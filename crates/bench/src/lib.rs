@@ -1,0 +1,25 @@
+//! # tcw-bench — criterion benchmarks
+//!
+//! Three suites:
+//!
+//! * `fig7` — one benchmark per Figure-7 panel: the full regeneration
+//!   unit (analytic controlled curve + one simulated point) so the cost
+//!   of reproducing each panel is tracked;
+//! * `kernel` — micro-benchmarks of the hot substrate paths (event queue,
+//!   RNG, lattice convolution, renewal series, splitting recursion,
+//!   policy iteration, protocol engine throughput);
+//! * `ablations` — design-choice comparisons (policy disciplines,
+//!   scheduling-time shapes, guard slot) as timed units.
+//!
+//! Run with `cargo bench --workspace`.
+
+/// A reduced simulation size used by the benches so a full `cargo bench`
+/// stays in the minutes range while still exercising every code path.
+pub fn bench_settings() -> tcw_experiments::SimSettings {
+    tcw_experiments::SimSettings {
+        messages: 2_000,
+        warmup: 200,
+        ticks_per_tau: 16,
+        ..Default::default()
+    }
+}

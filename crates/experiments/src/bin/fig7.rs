@@ -1,0 +1,239 @@
+//! Regenerates **Figure 7** of the paper: loss probability vs. time
+//! constraint `K`, for all six `(rho', M)` panels, comparing
+//!
+//! * the controlled protocol — analytic curve (eq. 4.7 + K-marching) and
+//!   simulation points (the paper's dots);
+//! * the uncontrolled FCFS protocol of [Kurose 83] — analytic curve and
+//!   simulation points;
+//! * the uncontrolled LCFS protocol of [Kurose 83] — analytic curve
+//!   (delay-busy-period analysis, `tcw-queueing::lcfs` — a result beyond
+//!   the paper, which had LCFS only by simulation) and simulation points.
+//!
+//! Output: `results/fig7_<panel>.csv` plus an ASCII rendering of each
+//! panel and a summary of the shape checks. Run with `--quick` for a
+//! fast smoke pass (fewer messages), or pass a panel id (e.g. `rho50_m25`)
+//! to regenerate a single panel.
+
+use std::path::PathBuf;
+use tcw_experiments::plot::{ascii_plot, write_csv, Series};
+use tcw_experiments::{simulate_panel, Panel, PolicyKind, SimPoint, SimSettings, PANELS};
+use tcw_queueing::marching::{controlled_curve, fcfs_curve, lcfs_curve, CurvePoint, PanelConfig};
+use tcw_queueing::service::SchedulingShape;
+
+struct PanelResult {
+    panel: Panel,
+    analytic_controlled: Vec<CurvePoint>,
+    analytic_fcfs: Vec<CurvePoint>,
+    analytic_lcfs: Vec<CurvePoint>,
+    sim_controlled: Vec<SimPoint>,
+    sim_fcfs: Vec<SimPoint>,
+    sim_lcfs: Vec<SimPoint>,
+}
+
+fn run_panel(panel: Panel, settings: SimSettings, seed: u64) -> PanelResult {
+    let cfg = PanelConfig {
+        m: panel.m,
+        rho_prime: panel.rho_prime,
+        shape: SchedulingShape::Geometric,
+    };
+    let grid = panel.k_grid();
+    let sim_grid = panel.k_grid_sim();
+    let analytic_controlled = controlled_curve(cfg, &grid);
+    let analytic_fcfs = fcfs_curve(cfg, &grid, true);
+    let analytic_lcfs = lcfs_curve(cfg, &grid, true);
+    let run = |kind: PolicyKind, salt: u64| -> Vec<SimPoint> {
+        sim_grid
+            .iter()
+            .map(|&k| simulate_panel(panel, kind, k, settings, seed ^ salt ^ (k as u64)))
+            .collect()
+    };
+    PanelResult {
+        panel,
+        analytic_controlled,
+        analytic_fcfs,
+        analytic_lcfs,
+        sim_controlled: run(PolicyKind::Controlled, 0x01),
+        sim_fcfs: run(PolicyKind::Fcfs, 0x02),
+        sim_lcfs: run(PolicyKind::Lcfs, 0x03),
+    }
+}
+
+fn emit(result: &PanelResult, out_dir: &PathBuf) {
+    let p = result.panel;
+    // CSV: one row per K of the dense analytic grid; simulation columns
+    // are filled on their sparser grid.
+    let mut rows = Vec::new();
+    for (i, a) in result.analytic_controlled.iter().enumerate() {
+        let f = &result.analytic_fcfs[i];
+        let l = &result.analytic_lcfs[i];
+        let sim = |points: &[SimPoint]| -> (String, String) {
+            match points.iter().find(|s| (s.k - a.k).abs() < 1e-9) {
+                Some(s) => (format!("{:.6}", s.loss), format!("{:.6}", s.ci95)),
+                None => (String::new(), String::new()),
+            }
+        };
+        let (sc, scci) = sim(&result.sim_controlled);
+        let (sf, sfci) = sim(&result.sim_fcfs);
+        let (sl, slci) = sim(&result.sim_lcfs);
+        rows.push(vec![
+            format!("{:.1}", a.k),
+            format!("{:.6}", a.loss),
+            format!("{:.6}", f.loss),
+            format!("{:.6}", l.loss),
+            sc,
+            scci,
+            sf,
+            sfci,
+            sl,
+            slci,
+        ]);
+    }
+    let path = out_dir.join(format!("fig7_{}.csv", p.id()));
+    write_csv(
+        &path,
+        &[
+            "k_tau",
+            "analytic_controlled",
+            "analytic_fcfs",
+            "analytic_lcfs",
+            "sim_controlled",
+            "sim_controlled_ci95",
+            "sim_fcfs",
+            "sim_fcfs_ci95",
+            "sim_lcfs",
+            "sim_lcfs_ci95",
+        ],
+        &rows,
+    )
+    .expect("writing CSV");
+
+    let y_max = result
+        .analytic_fcfs
+        .iter()
+        .map(|c| c.loss)
+        .chain(result.sim_lcfs.iter().map(|s| s.loss))
+        .fold(0.05, f64::max)
+        .min(1.0);
+    let series = vec![
+        Series {
+            label: "controlled (analytic)".into(),
+            glyph: 'c',
+            points: result
+                .analytic_controlled
+                .iter()
+                .map(|c| (c.k, c.loss))
+                .collect(),
+        },
+        Series {
+            label: "controlled (sim)".into(),
+            glyph: 'o',
+            points: result.sim_controlled.iter().map(|s| (s.k, s.loss)).collect(),
+        },
+        Series {
+            label: "fcfs (analytic)".into(),
+            glyph: 'f',
+            points: result.analytic_fcfs.iter().map(|c| (c.k, c.loss)).collect(),
+        },
+        Series {
+            label: "fcfs (sim)".into(),
+            glyph: 'x',
+            points: result.sim_fcfs.iter().map(|s| (s.k, s.loss)).collect(),
+        },
+        Series {
+            label: "lcfs (analytic)".into(),
+            glyph: 'l',
+            points: result.analytic_lcfs.iter().map(|c| (c.k, c.loss)).collect(),
+        },
+        Series {
+            label: "lcfs (sim)".into(),
+            glyph: 'L',
+            points: result.sim_lcfs.iter().map(|s| (s.k, s.loss)).collect(),
+        },
+    ];
+    let title = format!(
+        "Figure 7 panel rho' = {}, M = {} — p(loss) vs K (tau units)",
+        p.rho_prime, p.m
+    );
+    println!("{}", ascii_plot(&title, &series, 72, 18, 0.0, y_max));
+
+    // Shape checks (the claims the paper makes in prose).
+    let mut agree = 0usize;
+    for s in &result.sim_controlled {
+        let a = result
+            .analytic_controlled
+            .iter()
+            .find(|c| (c.k - s.k).abs() < 1e-9)
+            .expect("sim K on analytic grid");
+        if (a.loss - s.loss).abs() <= (3.0 * s.ci95).max(0.01) {
+            agree += 1;
+        }
+    }
+    println!(
+        "  [check] analytic-vs-sim agreement (controlled): {agree}/{} points within max(3*CI, 0.01)",
+        result.sim_controlled.len()
+    );
+    let mut agree_l = 0usize;
+    for s in &result.sim_lcfs {
+        let a = result
+            .analytic_lcfs
+            .iter()
+            .find(|c| (c.k - s.k).abs() < 1e-9)
+            .expect("sim K on analytic grid");
+        if (a.loss - s.loss).abs() <= (4.0 * s.ci95).max(0.02) {
+            agree_l += 1;
+        }
+    }
+    println!(
+        "  [check] analytic-vs-sim agreement (lcfs): {agree_l}/{} points within max(4*CI, 0.02)",
+        result.sim_lcfs.len()
+    );
+    let mut wins_f = 0usize;
+    let mut wins_l = 0usize;
+    for (s, (f, l)) in result
+        .sim_controlled
+        .iter()
+        .zip(result.sim_fcfs.iter().zip(&result.sim_lcfs))
+    {
+        if s.loss <= f.loss + 0.005 {
+            wins_f += 1;
+        }
+        if s.loss <= l.loss + 0.005 {
+            wins_l += 1;
+        }
+    }
+    println!(
+        "  [check] controlled <= FCFS at {wins_f}/{} simulated K, <= LCFS at {wins_l}/{}",
+        result.sim_fcfs.len(),
+        result.sim_lcfs.len()
+    );
+    println!("  [data]  {}", path.display());
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let panel_filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let settings = if quick {
+        SimSettings {
+            messages: 5_000,
+            warmup: 500,
+            ..Default::default()
+        }
+    } else {
+        SimSettings::default()
+    };
+    let out_dir = PathBuf::from("results");
+
+    println!(
+        "Reproducing Figure 7 ({} messages per simulated point; seed base 42)\n",
+        settings.messages
+    );
+    for panel in PANELS {
+        if !panel_filter.is_empty() && !panel_filter.iter().any(|f| **f == panel.id()) {
+            continue;
+        }
+        let result = run_panel(panel, settings, 42);
+        emit(&result, &out_dir);
+    }
+}

@@ -1,0 +1,109 @@
+//! Checks the analytic boundary behaviour of eq. 4.7 reported in §4.1:
+//!
+//! * `K -> 0`   ⟹ `p(loss) -> rho/(1 + rho)` = P(server busy);
+//! * `K -> ∞`  ⟹ `p(loss) -> 0` for `rho < 1`;
+//! * flow conservation (eq. 4.6): `p(accept) * rho = 1 - P(0)`, checked
+//!   against the independent centralized-queue simulation;
+//! * figure 5: front-of-queue loss and balking give the same loss and
+//!   utilization.
+//!
+//! Exits non-zero if any check fails.
+
+use tcw_numerics::grid::GridDist;
+use tcw_queueing::impatient::{loss_probability, p_idle};
+use tcw_queueing::simqueue::{simulate, LossMode};
+
+fn check(name: &str, ok: bool, detail: String, failures: &mut u32) {
+    if ok {
+        println!("  [ok]   {name}: {detail}");
+    } else {
+        println!("  [FAIL] {name}: {detail}");
+        *failures += 1;
+    }
+}
+
+fn main() {
+    let mut failures = 0u32;
+    println!("eq. 4.7 boundary checks\n");
+
+    for &(lambda, m) in &[(0.01f64, 25u64), (0.02, 25), (0.03, 25), (0.0075, 100)] {
+        let service = GridDist::point(1.0, m as f64);
+        let rho = lambda * m as f64;
+        println!("lambda = {lambda}, M = {m} (rho = {rho:.3}):");
+
+        let p0 = loss_probability(lambda, &service, 0.0);
+        let expect = rho / (1.0 + rho);
+        check(
+            "K -> 0 limit",
+            (p0 - expect).abs() < 1e-9,
+            format!("p(loss) = {p0:.6}, rho/(1+rho) = {expect:.6}"),
+            &mut failures,
+        );
+
+        let pinf = loss_probability(lambda, &service, 200.0 * m as f64);
+        check(
+            "K -> inf limit",
+            pinf < 1e-4,
+            format!("p(loss at K = 200 M) = {pinf:.2e}"),
+            &mut failures,
+        );
+
+        let k = 4.0 * m as f64;
+        let p = loss_probability(lambda, &service, k);
+        let idle = p_idle(lambda, &service, k);
+        let flow = (1.0 - p) * rho - (1.0 - idle);
+        check(
+            "eq. 4.6 flow conservation (analytic)",
+            flow.abs() < 1e-9,
+            format!("p(accept)*rho - (1 - P(0)) = {flow:.2e}"),
+            &mut failures,
+        );
+
+        let sim = simulate(lambda, &service, k, LossMode::Balking, 300_000, 7);
+        check(
+            "eq. 4.7 vs independent queue simulation",
+            (sim.loss - p).abs() < 0.01,
+            format!("analytic {p:.4}, simulated {:.4}", sim.loss),
+            &mut failures,
+        );
+        check(
+            "eq. 4.6 flow conservation (simulated)",
+            (sim.busy - (1.0 - sim.loss) * rho).abs() < 0.01,
+            format!(
+                "busy {:.4} vs p(accept)*rho {:.4}",
+                sim.busy,
+                (1.0 - sim.loss) * rho
+            ),
+            &mut failures,
+        );
+
+        let front = simulate(lambda, &service, k, LossMode::FrontOfQueue, 300_000, 8);
+        check(
+            "figure 5 equivalence",
+            (front.loss - sim.loss).abs() < 0.01 && (front.busy - sim.busy).abs() < 0.01,
+            format!(
+                "front: loss {:.4} busy {:.4}; balk: loss {:.4} busy {:.4}",
+                front.loss, front.busy, sim.loss, sim.busy
+            ),
+            &mut failures,
+        );
+        println!();
+    }
+
+    // Overload behaviour: p(loss) -> 1 - 1/rho as K grows.
+    let service = GridDist::point(1.0, 10.0);
+    let lambda = 0.15; // rho = 1.5
+    let p = loss_probability(lambda, &service, 5_000.0);
+    check(
+        "overload limit (rho = 1.5)",
+        (p - (1.0 - 1.0 / 1.5)).abs() < 1e-3,
+        format!("p(loss) = {p:.4}, 1 - 1/rho = {:.4}", 1.0 - 1.0 / 1.5),
+        &mut failures,
+    );
+
+    if failures > 0 {
+        println!("\n{failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("\nall checks passed");
+}

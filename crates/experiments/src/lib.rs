@@ -1,0 +1,28 @@
+//! # tcw-experiments — the reproduction harness
+//!
+//! Shared machinery for the binaries that regenerate every figure of the
+//! paper:
+//!
+//! * `fig7` — the six Figure-7 panels (`rho' ∈ {0.25, 0.50, 0.75} ×
+//!   M ∈ {25, 100}`): analytic controlled curve, simulated controlled /
+//!   FCFS / LCFS points, analytic FCFS check; CSV + ASCII plots;
+//! * `limits` — the eq. 4.7 boundary checks reported in §4.1;
+//! * `mdp_verify` — the Theorem-1 / semi-Markov decision model
+//!   verification of §3 and Appendix A;
+//! * `ablate` — design-choice ablations (discard on/off, split rule,
+//!   window length, scheduling-time shape, guard slot);
+//! * `trace_window` — the figure 1 / figure 4 operation walk-through.
+//!
+//! The library part hosts the simulation runners (so the `tcw-bench`
+//! criterion benches reuse exactly the code that produced EXPERIMENTS.md)
+//! and small CSV/ASCII-plot helpers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod panels;
+pub mod plot;
+pub mod runner;
+
+pub use panels::{Panel, PANELS};
+pub use runner::{simulate_panel, PolicyKind, SimPoint, SimSettings};

@@ -1,0 +1,95 @@
+//! The six Figure-7 panels.
+
+/// One `(rho', M)` panel of the paper's Figure 7.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Panel {
+    /// Normalized offered load `rho' = lambda * M * tau`.
+    pub rho_prime: f64,
+    /// Message length in propagation delays.
+    pub m: u64,
+}
+
+impl Panel {
+    /// Aggregate arrival rate per `tau`.
+    pub fn lambda(&self) -> f64 {
+        self.rho_prime / self.m as f64
+    }
+
+    /// A short identifier used in file names, e.g. `rho25_m100`.
+    pub fn id(&self) -> String {
+        format!("rho{:02}_m{}", (self.rho_prime * 100.0).round() as u32, self.m)
+    }
+
+    /// The deadline grid (in `tau`) this panel is evaluated on: up to
+    /// `16 * M`, which comfortably spans the knee of every curve.
+    pub fn k_grid(&self) -> Vec<f64> {
+        let max = 16 * self.m;
+        let step = self.m as f64 / 2.0;
+        let mut out = Vec::new();
+        let mut k = step;
+        while k <= max as f64 + 1e-9 {
+            out.push(k);
+            k += step;
+        }
+        out
+    }
+
+    /// The sparser grid used for simulation points.
+    pub fn k_grid_sim(&self) -> Vec<f64> {
+        (1..=8).map(|i| (2 * i * self.m) as f64).collect()
+    }
+}
+
+/// All six panels of Figure 7, in the paper's order.
+pub const PANELS: [Panel; 6] = [
+    Panel {
+        rho_prime: 0.25,
+        m: 25,
+    },
+    Panel {
+        rho_prime: 0.25,
+        m: 100,
+    },
+    Panel {
+        rho_prime: 0.50,
+        m: 25,
+    },
+    Panel {
+        rho_prime: 0.50,
+        m: 100,
+    },
+    Panel {
+        rho_prime: 0.75,
+        m: 25,
+    },
+    Panel {
+        rho_prime: 0.75,
+        m: 100,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let ids: Vec<String> = PANELS.iter().map(|p| p.id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert_eq!(PANELS[0].id(), "rho25_m25");
+    }
+
+    #[test]
+    fn grids_are_sane() {
+        for p in PANELS {
+            let g = p.k_grid();
+            assert!(g.len() > 8);
+            assert!(g.windows(2).all(|w| w[1] > w[0]));
+            assert!(p.k_grid_sim().iter().all(|&k| k <= *g.last().unwrap()));
+            assert!((p.lambda() * p.m as f64 - p.rho_prime).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! CSV output and ASCII plotting for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes a CSV file with a header row.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+/// One series for the ASCII plot.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot glyph.
+    pub glyph: char,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series into a fixed-size ASCII chart (y is clamped to
+/// `[y_min, y_max]`).
+pub fn ascii_plot(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    y_min: f64,
+    y_max: f64,
+) -> String {
+    assert!(width >= 16 && height >= 4);
+    assert!(y_max > y_min);
+    let x_min = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .fold(f64::INFINITY, f64::min);
+    let x_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut grid = vec![vec![' '; width]; height];
+    if x_max > x_min {
+        for s in series {
+            for &(x, y) in &s.points {
+                let xi = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let yn = ((y - y_min) / (y_max - y_min)).clamp(0.0, 1.0);
+                let yi = height - 1 - (yn * (height - 1) as f64).round() as usize;
+                let cell = &mut grid[yi][xi.min(width - 1)];
+                *cell = if *cell == ' ' || *cell == s.glyph {
+                    s.glyph
+                } else {
+                    '*' // overlapping series
+                };
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (i, row) in grid.iter().enumerate() {
+        let y = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+        let _ = writeln!(out, "{y:6.2} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "       {}",
+        "-".repeat(width + 2)
+    );
+    let _ = writeln!(out, "       x: {x_min:.0} .. {x_max:.0}");
+    for s in series {
+        let _ = writeln!(out, "       {} = {}", s.glyph, s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("tcw_plot_test");
+        let path = dir.join("x.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn plot_contains_series_glyphs_and_labels() {
+        let s = vec![
+            Series {
+                label: "one".into(),
+                glyph: 'o',
+                points: vec![(0.0, 0.1), (10.0, 0.9)],
+            },
+            Series {
+                label: "two".into(),
+                glyph: 'x',
+                points: vec![(0.0, 0.5), (10.0, 0.5)],
+            },
+        ];
+        let p = ascii_plot("demo", &s, 40, 10, 0.0, 1.0);
+        assert!(p.contains('o'));
+        assert!(p.contains('x'));
+        assert!(p.contains("one"));
+        assert!(p.contains("x: 0 .. 10"));
+    }
+
+    #[test]
+    fn overlapping_points_are_starred() {
+        let s = vec![
+            Series {
+                label: "a".into(),
+                glyph: 'a',
+                points: vec![(5.0, 0.5), (0.0, 0.0)],
+            },
+            Series {
+                label: "b".into(),
+                glyph: 'b',
+                points: vec![(5.0, 0.5), (10.0, 1.0)],
+            },
+        ];
+        let p = ascii_plot("t", &s, 20, 5, 0.0, 1.0);
+        assert!(p.contains('*'));
+    }
+}

@@ -1,0 +1,270 @@
+//! Protocol-simulation runners for the Figure-7 panels.
+
+use crate::panels::Panel;
+use tcw_mac::ChannelConfig;
+use tcw_sim::time::{Dur, Time};
+use tcw_window::analysis::optimal_mu;
+use tcw_window::engine::poisson_engine;
+use tcw_window::metrics::MeasureConfig;
+use tcw_window::policy::ControlPolicy;
+use tcw_window::trace::NoopObserver;
+
+/// Which protocol variant to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's controlled protocol (Theorem 1 + discard + heuristic
+    /// window).
+    Controlled,
+    /// Uncontrolled FCFS ([Kurose 83]); receiver losses only.
+    Fcfs,
+    /// Uncontrolled LCFS ([Kurose 83]); receiver losses only.
+    Lcfs,
+    /// Uncontrolled RANDOM order ([Kurose 83]); receiver losses only.
+    Random,
+}
+
+impl PolicyKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Controlled => "controlled",
+            PolicyKind::Fcfs => "fcfs",
+            PolicyKind::Lcfs => "lcfs",
+            PolicyKind::Random => "random",
+        }
+    }
+}
+
+/// Simulation-size knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SimSettings {
+    /// Ticks per propagation delay.
+    pub ticks_per_tau: u64,
+    /// Measured messages (after warm-up).
+    pub messages: u64,
+    /// Warm-up messages.
+    pub warmup: u64,
+    /// Number of stations.
+    pub stations: u32,
+    /// Guard slot after transmissions.
+    pub guard: bool,
+}
+
+impl Default for SimSettings {
+    fn default() -> Self {
+        SimSettings {
+            ticks_per_tau: 64,
+            messages: 40_000,
+            warmup: 4_000,
+            stations: 50,
+            guard: false,
+        }
+    }
+}
+
+/// One simulated point.
+#[derive(Clone, Copy, Debug)]
+pub struct SimPoint {
+    /// Deadline in `tau`.
+    pub k: f64,
+    /// Total loss fraction (sender + receiver).
+    pub loss: f64,
+    /// 95% CI half-width (binomial).
+    pub ci95: f64,
+    /// Sender-discard fraction of offered messages.
+    pub sender_loss: f64,
+    /// Mean scheduling time of transmitted messages (in `tau`).
+    pub sched_time_mean: f64,
+    /// Mean overhead slots of rounds ending in a transmission.
+    pub round_overhead_mean: f64,
+    /// Channel utilization (fraction of time carrying successes).
+    pub utilization: f64,
+    /// Offered (counted) messages.
+    pub offered: u64,
+}
+
+/// Runs one protocol simulation at deadline `k_tau` (units of `tau`) and
+/// returns the measured point.
+///
+/// The window length follows the §4.1 heuristic at the offered rate:
+/// `w* = mu* / lambda` (same value the analytic marching uses).
+pub fn simulate_panel(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+) -> SimPoint {
+    let channel = ChannelConfig {
+        ticks_per_tau: settings.ticks_per_tau,
+        message_slots: panel.m,
+        guard: settings.guard,
+    };
+    let lambda = panel.lambda(); // per tau
+    let w_star_tau = optimal_mu() / lambda;
+    let w = Dur::from_ticks((w_star_tau * settings.ticks_per_tau as f64).round().max(1.0) as u64);
+    let k = Dur::from_ticks((k_tau * settings.ticks_per_tau as f64).round() as u64);
+
+    let policy = match kind {
+        PolicyKind::Controlled => ControlPolicy::controlled(k, w),
+        PolicyKind::Fcfs => ControlPolicy::fcfs(w),
+        PolicyKind::Lcfs => ControlPolicy::lcfs(w),
+        PolicyKind::Random => ControlPolicy::random(w),
+    };
+
+    // Convert message counts to a time horizon.
+    let ticks_per_msg = settings.ticks_per_tau as f64 / (lambda / 1.0);
+    let warmup_end = (settings.warmup as f64 * ticks_per_msg) as u64;
+    let measure_end = warmup_end + (settings.messages as f64 * ticks_per_msg) as u64;
+    // Let the run continue past the measurement window so late messages
+    // resolve under realistic load, then drain.
+    let horizon = measure_end + (measure_end - warmup_end) / 10 + 64 * settings.ticks_per_tau;
+
+    let measure = MeasureConfig {
+        start: Time::from_ticks(warmup_end),
+        end: Time::from_ticks(measure_end),
+        deadline: k,
+    };
+    let mut eng = poisson_engine(channel, policy, measure, panel.rho_prime, settings.stations, seed);
+    eng.run_until(Time::from_ticks(horizon), &mut NoopObserver);
+    eng.drain(&mut NoopObserver);
+    assert_eq!(
+        eng.metrics.outstanding(),
+        0,
+        "unresolved messages after drain"
+    );
+
+    let offered = eng.metrics.offered();
+    SimPoint {
+        k: k_tau,
+        loss: eng.metrics.loss_fraction(),
+        ci95: eng.metrics.loss_ci95(),
+        sender_loss: if offered == 0 {
+            0.0
+        } else {
+            eng.metrics.sender_lost() as f64 / offered as f64
+        },
+        sched_time_mean: eng.metrics.sched_time().mean() / settings.ticks_per_tau as f64,
+        round_overhead_mean: eng.metrics.sched_slots().mean(),
+        utilization: eng.channel_stats.utilization(),
+        offered,
+    }
+}
+
+/// A replicated estimate: independent seeds, Student-t confidence
+/// interval across replications. This is the rigorous interval for
+/// autocorrelated protocol output (the per-run binomial CI in
+/// [`SimPoint::ci95`] treats messages as independent and is only
+/// indicative).
+#[derive(Clone, Copy, Debug)]
+pub struct Replicated {
+    /// Mean loss across replications.
+    pub loss: f64,
+    /// 95% half-width across replications (t-distribution).
+    pub ci95: f64,
+    /// Number of replications.
+    pub replications: u32,
+}
+
+/// Runs `replications` independent seeds of the same panel point and
+/// aggregates with a t-interval.
+///
+/// # Panics
+/// Panics if `replications < 2`.
+pub fn replicate_panel(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    base_seed: u64,
+    replications: u32,
+) -> Replicated {
+    assert!(replications >= 2);
+    // BatchMeans with batch size 1: each replication is one independent
+    // batch, so the collector's t-interval is exactly the replication CI.
+    let mut bm = tcw_sim::stats::BatchMeans::new(1);
+    for r in 0..replications {
+        let p = simulate_panel(panel, kind, k_tau, settings, base_seed ^ (0x9E37 + r as u64));
+        bm.record(p.loss);
+    }
+    Replicated {
+        loss: bm.mean(),
+        ci95: bm.ci95_half_width().unwrap_or(f64::INFINITY),
+        replications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::panels::PANELS;
+
+    fn quick() -> SimSettings {
+        SimSettings {
+            messages: 4_000,
+            warmup: 400,
+            ticks_per_tau: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn controlled_loss_decreases_with_k() {
+        let panel = PANELS[4]; // rho' = 0.75, M = 25
+        let p_small = simulate_panel(panel, PolicyKind::Controlled, 25.0, quick(), 1);
+        let p_large = simulate_panel(panel, PolicyKind::Controlled, 400.0, quick(), 1);
+        assert!(
+            p_large.loss < p_small.loss,
+            "loss did not decrease: {} -> {}",
+            p_small.loss,
+            p_large.loss
+        );
+        assert!(p_small.offered > 3_000);
+    }
+
+    #[test]
+    fn controlled_beats_fcfs_at_tight_k() {
+        let panel = PANELS[4];
+        let k = 100.0;
+        let c = simulate_panel(panel, PolicyKind::Controlled, k, quick(), 2);
+        let f = simulate_panel(panel, PolicyKind::Fcfs, k, quick(), 2);
+        assert!(
+            c.loss < f.loss,
+            "controlled {} !< fcfs {}",
+            c.loss,
+            f.loss
+        );
+    }
+
+    #[test]
+    fn replication_interval_contains_analytic_value() {
+        let panel = PANELS[2]; // rho' = 0.50, M = 25
+        let k = 100.0;
+        let rep = crate::runner::replicate_panel(
+            panel,
+            PolicyKind::Controlled,
+            k,
+            quick(),
+            9,
+            4,
+        );
+        assert_eq!(rep.replications, 4);
+        assert!(rep.ci95.is_finite());
+        // The analytic value (~0.0046) lies inside the replication CI.
+        let analytic = 0.0046;
+        assert!(
+            (rep.loss - analytic).abs() <= rep.ci95 + 0.01,
+            "analytic {analytic} outside {:.4} ± {:.4}",
+            rep.loss,
+            rep.ci95
+        );
+    }
+
+    #[test]
+    fn light_load_large_k_loss_is_negligible() {
+        let panel = PANELS[0]; // rho' = 0.25, M = 25
+        let p = simulate_panel(panel, PolicyKind::Controlled, 400.0, quick(), 3);
+        assert!(p.loss < 0.01, "loss = {}", p.loss);
+        assert!(p.utilization > 0.15 && p.utilization < 0.35);
+    }
+}

@@ -1,0 +1,273 @@
+//! Arrival processes: streams of message arrivals at stations.
+
+use crate::message::StationId;
+use tcw_sim::rng::Rng;
+use tcw_sim::time::Time;
+
+/// One message arrival: when, and at which station.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival instant.
+    pub time: Time,
+    /// The receiving (sending-side) station.
+    pub station: StationId,
+}
+
+/// A stream of arrivals with non-decreasing times.
+///
+/// Implementations must return times that never decrease across calls;
+/// `None` means the source is exhausted (infinite sources never return it).
+pub trait ArrivalSource {
+    /// Produces the next arrival, or `None` when the source is exhausted.
+    fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival>;
+}
+
+/// Aggregate Poisson arrivals at rate `lambda` (messages per tick),
+/// assigned to one of `stations` uniformly at random — the paper's traffic
+/// model ("the probability of more than one message arrival anywhere in the
+/// network in `Delta` is zero" holds in the limit of fine ticks).
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    rate_per_tick: f64,
+    stations: u32,
+    /// Continuous-time position, kept in f64 ticks to avoid accumulating
+    /// rounding bias when quantizing to the tick lattice.
+    clock: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a source with `rate_per_tick` expected arrivals per tick
+    /// spread over `stations` stations.
+    ///
+    /// # Panics
+    /// Panics if the rate is not positive-finite or `stations == 0`.
+    pub fn new(rate_per_tick: f64, stations: u32) -> Self {
+        assert!(rate_per_tick > 0.0 && rate_per_tick.is_finite());
+        assert!(stations > 0);
+        PoissonArrivals {
+            rate_per_tick,
+            stations,
+            clock: 0.0,
+        }
+    }
+
+    /// Creates a source with `rate_per_tau` expected arrivals per
+    /// propagation delay, given the channel tick resolution.
+    pub fn per_tau(rate_per_tau: f64, ticks_per_tau: u64, stations: u32) -> Self {
+        Self::new(rate_per_tau / ticks_per_tau as f64, stations)
+    }
+
+    /// The aggregate arrival rate in messages per tick.
+    pub fn rate_per_tick(&self) -> f64 {
+        self.rate_per_tick
+    }
+}
+
+impl ArrivalSource for PoissonArrivals {
+    fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival> {
+        let gap = -rng.f64_open_left().ln() / self.rate_per_tick;
+        self.clock += gap;
+        let station = StationId(rng.below(u64::from(self.stations)) as u32);
+        Some(Arrival {
+            time: Time::from_ticks(self.clock as u64),
+            station,
+        })
+    }
+}
+
+/// A deterministic, finite arrival trace — used for unit tests and for the
+/// Figure 1 walk-through example where arrival instants are hand-placed.
+#[derive(Clone, Debug)]
+pub struct TraceArrivals {
+    arrivals: Vec<Arrival>,
+    next: usize,
+}
+
+impl TraceArrivals {
+    /// Creates a trace from `(time, station)` pairs; they are sorted by
+    /// time (stable).
+    pub fn new(mut arrivals: Vec<Arrival>) -> Self {
+        arrivals.sort_by_key(|a| a.time);
+        TraceArrivals { arrivals, next: 0 }
+    }
+
+    /// Convenience constructor from `(ticks, station_index)` pairs.
+    pub fn from_ticks(pairs: &[(u64, u32)]) -> Self {
+        Self::new(
+            pairs
+                .iter()
+                .map(|&(t, s)| Arrival {
+                    time: Time::from_ticks(t),
+                    station: StationId(s),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of arrivals remaining.
+    pub fn remaining(&self) -> usize {
+        self.arrivals.len() - self.next
+    }
+}
+
+impl ArrivalSource for TraceArrivals {
+    fn next_arrival(&mut self, _rng: &mut Rng) -> Option<Arrival> {
+        let a = self.arrivals.get(self.next).copied();
+        if a.is_some() {
+            self.next += 1;
+        }
+        a
+    }
+}
+
+/// Merges several sources into one time-ordered stream.
+///
+/// Each inner source is buffered one arrival deep; the earliest buffered
+/// arrival is emitted next, so the merged stream is monotone as long as the
+/// inner streams are.
+pub struct MergedSource {
+    sources: Vec<(Box<dyn ArrivalSource>, Option<Arrival>)>,
+    primed: bool,
+}
+
+impl MergedSource {
+    /// Creates a merged source over the given inner sources.
+    pub fn new(sources: Vec<Box<dyn ArrivalSource>>) -> Self {
+        MergedSource {
+            sources: sources.into_iter().map(|s| (s, None)).collect(),
+            primed: false,
+        }
+    }
+}
+
+impl ArrivalSource for MergedSource {
+    fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival> {
+        if !self.primed {
+            for (src, buf) in &mut self.sources {
+                *buf = src.next_arrival(rng);
+            }
+            self.primed = true;
+        }
+        // Pick the earliest buffered arrival.
+        let idx = self
+            .sources
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, buf))| buf.map(|a| (i, a.time)))
+            .min_by_key(|&(_, t)| t)
+            .map(|(i, _)| i)?;
+        let out = self.sources[idx].1.take();
+        self.sources[idx].1 = self.sources[idx].0.next_arrival(rng);
+        out
+    }
+}
+
+/// Drains up to `max` arrivals before `horizon` into a vector (testing and
+/// batch-analysis helper).
+pub fn collect_until(
+    src: &mut dyn ArrivalSource,
+    rng: &mut Rng,
+    horizon: Time,
+    max: usize,
+) -> Vec<Arrival> {
+    let mut out = Vec::new();
+    while out.len() < max {
+        match src.next_arrival(rng) {
+            Some(a) if a.time <= horizon => out.push(a),
+            _ => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_matches() {
+        let mut src = PoissonArrivals::per_tau(0.01, 100, 50);
+        let mut rng = Rng::new(1);
+        let horizon = Time::from_ticks(10_000_000);
+        let arrivals = collect_until(&mut src, &mut rng, horizon, usize::MAX);
+        // expected 0.01 per tau = 1e-4/tick * 1e7 ticks = 1000
+        let n = arrivals.len() as f64;
+        assert!((n - 1000.0).abs() < 120.0, "n = {n}");
+    }
+
+    #[test]
+    fn poisson_times_monotone() {
+        let mut src = PoissonArrivals::new(0.1, 4);
+        let mut rng = Rng::new(2);
+        let mut prev = Time::ZERO;
+        for _ in 0..10_000 {
+            let a = src.next_arrival(&mut rng).unwrap();
+            assert!(a.time >= prev);
+            prev = a.time;
+        }
+    }
+
+    #[test]
+    fn poisson_stations_covered() {
+        let mut src = PoissonArrivals::new(0.5, 3);
+        let mut rng = Rng::new(3);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            let a = src.next_arrival(&mut rng).unwrap();
+            seen[a.station.0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_near_one() {
+        // Exponential gaps: coefficient of variation 1.
+        let mut src = PoissonArrivals::new(0.05, 1);
+        let mut rng = Rng::new(4);
+        let mut prev = 0.0;
+        let mut tally = tcw_sim::stats::Tally::new();
+        for _ in 0..50_000 {
+            let a = src.next_arrival(&mut rng).unwrap();
+            let t = a.time.ticks() as f64;
+            tally.record(t - prev);
+            prev = t;
+        }
+        let cv = tally.std_dev() / tally.mean();
+        assert!((cv - 1.0).abs() < 0.05, "cv = {cv}");
+    }
+
+    #[test]
+    fn trace_sorted_and_exhausts() {
+        let mut src = TraceArrivals::from_ticks(&[(30, 1), (10, 0), (20, 2)]);
+        let mut rng = Rng::new(0);
+        assert_eq!(src.remaining(), 3);
+        let a = src.next_arrival(&mut rng).unwrap();
+        assert_eq!((a.time.ticks(), a.station.0), (10, 0));
+        let a = src.next_arrival(&mut rng).unwrap();
+        assert_eq!(a.time.ticks(), 20);
+        let a = src.next_arrival(&mut rng).unwrap();
+        assert_eq!(a.time.ticks(), 30);
+        assert_eq!(src.next_arrival(&mut rng), None);
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn merged_interleaves_in_time_order() {
+        let a = TraceArrivals::from_ticks(&[(1, 0), (5, 0), (9, 0)]);
+        let b = TraceArrivals::from_ticks(&[(2, 1), (3, 1), (8, 1)]);
+        let mut m = MergedSource::new(vec![Box::new(a), Box::new(b)]);
+        let mut rng = Rng::new(0);
+        let mut times = Vec::new();
+        while let Some(x) = m.next_arrival(&mut rng) {
+            times.push(x.time.ticks());
+        }
+        assert_eq!(times, vec![1, 2, 3, 5, 8, 9]);
+    }
+
+    #[test]
+    fn merged_empty_sources() {
+        let mut m = MergedSource::new(vec![]);
+        let mut rng = Rng::new(0);
+        assert_eq!(m.next_arrival(&mut rng), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tcw-mac — multiple-access broadcast channel substrate
+//!
+//! Models the physical environment the 1983 paper assumes: a population of
+//! stations sharing a single slotted broadcast channel with end-to-end
+//! propagation delay `tau`. Every protocol step costs `tau` (the time for
+//! all stations to learn whether a slot was idle, a success, or a
+//! collision); a successful transmission occupies the channel for `M * tau`
+//! (the fixed message length of the paper's evaluation).
+//!
+//! The crate deliberately knows nothing about *which* stations transmit —
+//! that is the protocol's job (`tcw-window`). It provides:
+//!
+//! * [`message`] — messages, stations, identifiers;
+//! * [`channel`] — channel configuration, slot outcomes and costs
+//!   ([`channel::Medium::probe`]), utilization accounting;
+//! * [`arrivals`] — arrival processes: aggregate Poisson, deterministic
+//!   traces (for reproducing the paper's Figure 1 walk-through), and
+//!   merged/composite sources;
+//! * [`traffic`] — time-constrained application workloads motivating the
+//!   paper: packetized voice (on/off talkspurts) and distributed-sensor
+//!   event bursts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrivals;
+pub mod channel;
+pub mod message;
+pub mod traffic;
+
+pub use arrivals::{Arrival, ArrivalSource, MergedSource, PoissonArrivals, TraceArrivals};
+pub use channel::{ChannelConfig, ChannelStats, Medium, SlotOutcome};
+pub use message::{Message, MessageId, StationId};

@@ -1,0 +1,351 @@
+//! Time-constrained application workloads.
+//!
+//! The paper motivates the protocol with packetized voice [Cohen 77,
+//! Gitman 81] and distributed sensor networks [DSN 82]. These models supply
+//! realistic arrival streams for the example applications and for stressing
+//! the protocol beyond the Poisson assumption of the analysis (an explicit
+//! robustness check — Assumption 1 holds exactly only for Poisson traffic).
+
+use crate::arrivals::{Arrival, ArrivalSource};
+use crate::message::StationId;
+use tcw_sim::events::EventQueue;
+use tcw_sim::rng::Rng;
+use tcw_sim::time::{Dur, Time};
+use tcw_sim::variates::{Exponential, Geometric};
+
+/// Parameters for the packetized-voice workload.
+#[derive(Clone, Copy, Debug)]
+pub struct VoiceConfig {
+    /// Number of voice stations.
+    pub stations: u32,
+    /// Mean talkspurt (ON period) length in ticks.
+    pub mean_talkspurt: Dur,
+    /// Mean silence (OFF period) length in ticks.
+    pub mean_silence: Dur,
+    /// Fixed packetization interval during a talkspurt, in ticks.
+    pub packet_interval: Dur,
+}
+
+impl VoiceConfig {
+    /// Long-run fraction of time a station is talking.
+    pub fn activity(&self) -> f64 {
+        let on = self.mean_talkspurt.as_f64();
+        let off = self.mean_silence.as_f64();
+        on / (on + off)
+    }
+
+    /// Long-run aggregate packet rate (packets per tick).
+    pub fn aggregate_rate(&self) -> f64 {
+        self.activity() * self.stations as f64 / self.packet_interval.as_f64()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum VoiceEvent {
+    /// Station starts a talkspurt.
+    SpurtStart(StationId),
+    /// Station emits a packet; the attached instant is the end of the
+    /// current talkspurt, after which the station falls silent.
+    Packet(StationId, Time),
+}
+
+/// On/off talkspurt voice source: each station alternates exponential ON
+/// and OFF periods and emits one packet every `packet_interval` while ON.
+///
+/// Voice is the canonical time-constrained workload — a packet older than
+/// the playout deadline is useless, which is exactly the loss model the
+/// controlled window protocol optimizes.
+pub struct VoiceSource {
+    cfg: VoiceConfig,
+    on: Exponential,
+    off: Exponential,
+    events: EventQueue<VoiceEvent>,
+    primed: bool,
+}
+
+impl VoiceSource {
+    /// Creates a voice source.
+    ///
+    /// # Panics
+    /// Panics if any period is zero or there are no stations.
+    pub fn new(cfg: VoiceConfig) -> Self {
+        assert!(cfg.stations > 0);
+        assert!(!cfg.mean_talkspurt.is_zero());
+        assert!(!cfg.mean_silence.is_zero());
+        assert!(!cfg.packet_interval.is_zero());
+        VoiceSource {
+            cfg,
+            on: Exponential::with_mean(cfg.mean_talkspurt.as_f64()),
+            off: Exponential::with_mean(cfg.mean_silence.as_f64()),
+            events: EventQueue::new(),
+            primed: false,
+        }
+    }
+
+    fn prime(&mut self, rng: &mut Rng) {
+        for s in 0..self.cfg.stations {
+            // Start each station in a random phase of an OFF period.
+            let delay = self.off.sample(rng);
+            self.events.schedule(
+                Time::from_ticks(delay as u64),
+                VoiceEvent::SpurtStart(StationId(s)),
+            );
+        }
+        self.primed = true;
+    }
+}
+
+impl ArrivalSource for VoiceSource {
+    fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival> {
+        if !self.primed {
+            self.prime(rng);
+        }
+        loop {
+            let (now, ev) = self.events.pop()?;
+            match ev {
+                VoiceEvent::SpurtStart(s) => {
+                    let spurt = Dur::from_ticks(self.on.sample(rng).max(1.0) as u64);
+                    let end = now + spurt;
+                    // First packet at spurt start.
+                    self.events.schedule(now, VoiceEvent::Packet(s, end));
+                }
+                VoiceEvent::Packet(s, end) => {
+                    let next = now + self.cfg.packet_interval;
+                    if next < end {
+                        self.events.schedule(next, VoiceEvent::Packet(s, end));
+                    } else {
+                        let silence = Dur::from_ticks(self.off.sample(rng).max(1.0) as u64);
+                        self.events.schedule(end + silence, VoiceEvent::SpurtStart(s));
+                    }
+                    return Some(Arrival {
+                        time: now,
+                        station: s,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Parameters for the distributed-sensor workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SensorConfig {
+    /// Number of sensor stations.
+    pub stations: u32,
+    /// Mean time between physical events, in ticks.
+    pub mean_event_gap: Dur,
+    /// Mean number of sensors that detect each event (geometric, >= 1).
+    pub mean_reports: f64,
+    /// Detection jitter: each report is delayed uniformly in
+    /// `[0, jitter]` ticks after the event.
+    pub jitter: Dur,
+}
+
+/// Sensor-network source: physical events occur as a Poisson process; each
+/// event triggers a geometric number of near-simultaneous reports from
+/// distinct random stations.
+///
+/// The resulting arrival stream is *bursty* (clustered arrivals), the worst
+/// case for a window protocol since clustered arrivals collide repeatedly.
+pub struct SensorSource {
+    cfg: SensorConfig,
+    gap: Exponential,
+    reports: Geometric,
+    pending: EventQueue<StationId>,
+    next_event: f64,
+}
+
+impl SensorSource {
+    /// Creates a sensor source.
+    ///
+    /// # Panics
+    /// Panics if there are no stations, the gap is zero, or
+    /// `mean_reports < 1`.
+    pub fn new(cfg: SensorConfig) -> Self {
+        assert!(cfg.stations > 0);
+        assert!(!cfg.mean_event_gap.is_zero());
+        assert!(cfg.mean_reports >= 1.0);
+        SensorSource {
+            cfg,
+            gap: Exponential::with_mean(cfg.mean_event_gap.as_f64()),
+            reports: Geometric::with_mean(cfg.mean_reports),
+            pending: EventQueue::new(),
+            next_event: 0.0,
+        }
+    }
+
+    fn generate_event(&mut self, rng: &mut Rng) {
+        self.next_event += self.gap.sample(rng);
+        let base = Time::from_ticks(self.next_event as u64);
+        let n = self
+            .reports
+            .sample(rng)
+            .min(u64::from(self.cfg.stations)) as u32;
+        // Choose n distinct stations by partial Fisher-Yates over indices.
+        let mut chosen: Vec<u32> = Vec::with_capacity(n as usize);
+        while chosen.len() < n as usize {
+            let s = rng.below(u64::from(self.cfg.stations)) as u32;
+            if !chosen.contains(&s) {
+                chosen.push(s);
+            }
+        }
+        for s in chosen {
+            let jitter = if self.cfg.jitter.is_zero() {
+                Dur::ZERO
+            } else {
+                Dur::from_ticks(rng.below(self.cfg.jitter.ticks() + 1))
+            };
+            self.pending.schedule(base + jitter, StationId(s));
+        }
+    }
+}
+
+impl ArrivalSource for SensorSource {
+    fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival> {
+        // Generate events until a report is pending *and* no future event
+        // could precede it (events are generated in time order, and reports
+        // are jittered only forward, so one look-ahead event suffices).
+        loop {
+            match self.pending.peek_time() {
+                Some(t) if t.ticks() as f64 <= self.next_event => break,
+                _ => self.generate_event(rng),
+            }
+        }
+        let (time, station) = self.pending.pop()?;
+        Some(Arrival { time, station })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::collect_until;
+
+    fn voice_cfg() -> VoiceConfig {
+        VoiceConfig {
+            stations: 10,
+            mean_talkspurt: Dur::from_ticks(10_000),
+            mean_silence: Dur::from_ticks(20_000),
+            packet_interval: Dur::from_ticks(500),
+        }
+    }
+
+    #[test]
+    fn voice_activity_and_rate() {
+        let cfg = voice_cfg();
+        assert!((cfg.activity() - 1.0 / 3.0).abs() < 1e-12);
+        let expect = (1.0 / 3.0) * 10.0 / 500.0;
+        assert!((cfg.aggregate_rate() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voice_emits_near_nominal_rate() {
+        let mut src = VoiceSource::new(voice_cfg());
+        let mut rng = Rng::new(7);
+        let horizon = Time::from_ticks(3_000_000);
+        let arrivals = collect_until(&mut src, &mut rng, horizon, usize::MAX);
+        let expect = voice_cfg().aggregate_rate() * 3_000_000.0;
+        let n = arrivals.len() as f64;
+        assert!(
+            (n - expect).abs() / expect < 0.15,
+            "n = {n}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn voice_times_monotone() {
+        let mut src = VoiceSource::new(voice_cfg());
+        let mut rng = Rng::new(8);
+        let mut prev = Time::ZERO;
+        for _ in 0..5_000 {
+            let a = src.next_arrival(&mut rng).unwrap();
+            assert!(a.time >= prev, "time went backwards");
+            prev = a.time;
+        }
+    }
+
+    #[test]
+    fn voice_packets_spaced_by_interval_within_spurt() {
+        let cfg = VoiceConfig {
+            stations: 1,
+            mean_talkspurt: Dur::from_ticks(100_000),
+            mean_silence: Dur::from_ticks(1_000),
+            packet_interval: Dur::from_ticks(250),
+        };
+        let mut src = VoiceSource::new(cfg);
+        let mut rng = Rng::new(9);
+        let mut prev: Option<Time> = None;
+        let mut spaced = 0;
+        let mut total = 0;
+        for _ in 0..2_000 {
+            let a = src.next_arrival(&mut rng).unwrap();
+            if let Some(p) = prev {
+                total += 1;
+                if (a.time - p) == Dur::from_ticks(250) {
+                    spaced += 1;
+                }
+            }
+            prev = Some(a.time);
+        }
+        // Most consecutive gaps are exactly one packet interval (spurts are
+        // long relative to silences here).
+        assert!(spaced as f64 / total as f64 > 0.9);
+    }
+
+    fn sensor_cfg() -> SensorConfig {
+        SensorConfig {
+            stations: 20,
+            mean_event_gap: Dur::from_ticks(5_000),
+            mean_reports: 3.0,
+            jitter: Dur::from_ticks(100),
+        }
+    }
+
+    #[test]
+    fn sensor_times_monotone() {
+        let mut src = SensorSource::new(sensor_cfg());
+        let mut rng = Rng::new(10);
+        let mut prev = Time::ZERO;
+        for _ in 0..5_000 {
+            let a = src.next_arrival(&mut rng).unwrap();
+            assert!(a.time >= prev);
+            prev = a.time;
+        }
+    }
+
+    #[test]
+    fn sensor_rate_matches_event_rate_times_burst() {
+        let mut src = SensorSource::new(sensor_cfg());
+        let mut rng = Rng::new(11);
+        let horizon = Time::from_ticks(10_000_000);
+        let arrivals = collect_until(&mut src, &mut rng, horizon, usize::MAX);
+        // events: 1e7/5e3 = 2000; reports/event ≈ 3 (slightly lower due to
+        // the min(stations) clamp) => ≈ 6000
+        let n = arrivals.len() as f64;
+        assert!((5_000.0..7_000.0).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn sensor_bursts_are_clustered() {
+        // With jitter 100 and event gap 5000, consecutive same-burst
+        // arrivals are close together much more often than Poisson traffic
+        // of the same rate would allow.
+        let mut src = SensorSource::new(sensor_cfg());
+        let mut rng = Rng::new(12);
+        let mut close_gaps = 0;
+        let mut total = 0;
+        let mut prev: Option<Time> = None;
+        for _ in 0..3_000 {
+            let a = src.next_arrival(&mut rng).unwrap();
+            if let Some(p) = prev {
+                total += 1;
+                if (a.time - p).ticks() <= 100 {
+                    close_gaps += 1;
+                }
+            }
+            prev = Some(a.time);
+        }
+        let frac = close_gaps as f64 / total as f64;
+        assert!(frac > 0.4, "clustered fraction = {frac}");
+    }
+}

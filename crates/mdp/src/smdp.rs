@@ -1,0 +1,230 @@
+//! The semi-Markov decision process over the pseudo-time state space.
+//!
+//! State `i` is the pseudo-time backlog in `Delta = tau` units (eq. 3.2);
+//! the action in state `i >= 1` is the window length `w ∈ {1..i}`; state 0
+//! has the single forced action "idle one slot". One transition is one
+//! windowing round:
+//!
+//! * elapsed time `sigma` = overhead slots (+ `M` on a success);
+//! * next state `i' = min(K, i - c + sigma)` where `c` is the consumed
+//!   window prefix;
+//! * one-step pseudo loss (§3.2) `r = lambda * max(0, i + sigma - K - c)`:
+//!   the expected number of untransmitted messages in the backlog portion
+//!   whose pseudo delay crosses `K` before the next decision (the
+//!   transmitted message itself sits inside the consumed prefix, so it is
+//!   never double-counted).
+//!
+//! Poisson arrival density `lambda` in every unexamined interval is the
+//! paper's Assumption 1.
+
+use crate::splitting::{round_distribution, RoundLaw};
+
+/// Model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SmdpConfig {
+    /// Deadline `K` in `Delta = tau` units (also the largest state).
+    pub k: usize,
+    /// Message length in slots (the paper's `M`).
+    pub m: u64,
+    /// Arrival rate per `Delta`.
+    pub lambda: f64,
+}
+
+/// One action's outcome statistics in one state.
+#[derive(Clone, Debug)]
+pub struct ActionLaw {
+    /// Transition probabilities to states `0..=K`.
+    pub p: Vec<f64>,
+    /// Expected holding time (in `Delta`).
+    pub tau: f64,
+    /// Expected one-step pseudo loss (messages).
+    pub loss: f64,
+}
+
+/// The assembled decision model.
+pub struct Smdp {
+    cfg: SmdpConfig,
+    /// Round laws indexed by window width (1..=K).
+    rounds: Vec<RoundLaw>,
+}
+
+impl Smdp {
+    /// Builds the model (computes every window width's round law once).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `m == 0` or `lambda <= 0`.
+    pub fn new(cfg: SmdpConfig) -> Self {
+        assert!(cfg.k >= 1);
+        assert!(cfg.m >= 1);
+        assert!(cfg.lambda > 0.0);
+        let rounds = (1..=cfg.k)
+            .map(|w| round_distribution(w, cfg.lambda))
+            .collect();
+        Smdp { cfg, rounds }
+    }
+
+    /// Model parameters.
+    pub fn config(&self) -> &SmdpConfig {
+        &self.cfg
+    }
+
+    /// The admissible window lengths in state `i`.
+    pub fn actions(&self, i: usize) -> std::ops::RangeInclusive<usize> {
+        if i == 0 {
+            1..=0 // empty range: state 0 is forced
+        } else {
+            1..=i
+        }
+    }
+
+    /// The law of the forced idle action in state 0: one slot elapses, the
+    /// backlog becomes 1, nothing is lost.
+    pub fn idle_law(&self) -> ActionLaw {
+        let mut p = vec![0.0; self.cfg.k + 1];
+        p[1.min(self.cfg.k)] = 1.0;
+        ActionLaw {
+            p,
+            tau: 1.0,
+            loss: 0.0,
+        }
+    }
+
+    /// The law of taking window length `w` in state `i`.
+    ///
+    /// # Panics
+    /// Panics if `i == 0` or `w` is not in `1..=i`.
+    pub fn action_law(&self, i: usize, w: usize) -> ActionLaw {
+        assert!(i >= 1 && w >= 1 && w <= i, "invalid action ({i}, {w})");
+        let k = self.cfg.k;
+        let m = self.cfg.m as usize;
+        let law = &self.rounds[w - 1];
+        let mut p = vec![0.0; k + 1];
+        let mut tau = 0.0;
+        let mut loss = 0.0;
+
+        // Empty round: one idle slot, whole window consumed.
+        {
+            let sigma = 1usize;
+            let c = w;
+            let next = (i - c + sigma).min(k);
+            p[next] += law.p_empty;
+            tau += law.p_empty * sigma as f64;
+            let clip = (i + sigma).saturating_sub(k + c);
+            loss += law.p_empty * self.cfg.lambda * clip as f64;
+        }
+        // Successful rounds.
+        for (c, s, prob) in law.success.iter() {
+            let sigma = s + m;
+            let next = (i - c + sigma).min(k);
+            p[next] += prob;
+            tau += prob * sigma as f64;
+            let clip = (i + sigma).saturating_sub(k + c);
+            loss += prob * self.cfg.lambda * clip as f64;
+        }
+
+        // Renormalize the tiny Poisson truncation deficit into the
+        // distribution (keeps value determination well-posed).
+        let mass: f64 = p.iter().sum();
+        debug_assert!(mass > 0.999, "round law lost mass: {mass}");
+        for q in &mut p {
+            *q /= mass;
+        }
+        ActionLaw {
+            p,
+            tau: tau / mass,
+            loss: loss / mass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Smdp {
+        Smdp::new(SmdpConfig {
+            k: 30,
+            m: 5,
+            lambda: 0.2,
+        })
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic() {
+        let s = model();
+        for i in 1..=30usize {
+            for w in s.actions(i) {
+                let law = s.action_law(i, w);
+                let total: f64 = law.p.iter().sum();
+                assert!((total - 1.0).abs() < 1e-9, "({i},{w}): {total}");
+                assert!(law.tau >= 1.0 - 1e-9);
+                assert!(law.loss >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_law_moves_to_state_one() {
+        let s = model();
+        let law = s.idle_law();
+        assert_eq!(law.p[1], 1.0);
+        assert_eq!(law.tau, 1.0);
+        assert_eq!(law.loss, 0.0);
+    }
+
+    #[test]
+    fn small_state_with_full_window_cannot_lose() {
+        // i + sigma - K - c <= 0 whenever i and sigma are small relative
+        // to K: no loss at light states.
+        let s = model();
+        let law = s.action_law(3, 3);
+        // Only the extreme slot tail (probability ~1e-9) can push
+        // 3 + sigma past K + c here.
+        assert!(law.loss < 1e-6, "loss in a light state: {}", law.loss);
+    }
+
+    #[test]
+    fn saturated_state_loses_under_tiny_window() {
+        // In state K, a tiny window consumes little; after sigma slots the
+        // overflow is discarded.
+        let s = model();
+        let law = s.action_law(30, 1);
+        assert!(law.loss > 0.0);
+    }
+
+    #[test]
+    fn holding_time_includes_message_on_success() {
+        let s = model();
+        let law = s.action_law(20, 10);
+        // mostly successful rounds => tau close to overhead + M
+        assert!(law.tau > 4.0, "tau = {}", law.tau);
+    }
+
+    #[test]
+    fn state_never_exceeds_k() {
+        let s = model();
+        for i in [1usize, 10, 30] {
+            for w in s.actions(i) {
+                let law = s.action_law(i, w);
+                assert_eq!(law.p.len(), 31);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_lambda_means_larger_loss_in_saturated_state() {
+        let light = Smdp::new(SmdpConfig {
+            k: 30,
+            m: 5,
+            lambda: 0.05,
+        });
+        let heavy = Smdp::new(SmdpConfig {
+            k: 30,
+            m: 5,
+            lambda: 0.4,
+        });
+        let ll = light.action_law(30, 5).loss;
+        let hl = heavy.action_law(30, 5).loss;
+        assert!(hl > ll);
+    }
+}

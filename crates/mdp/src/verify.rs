@@ -1,0 +1,304 @@
+//! Computational verification of Theorem 1 (via Lemma 3).
+//!
+//! Lemma 3 compares, within the family `{P^w}` of policies sharing the
+//! same window-length element, the **one-step pseudo loss** of different
+//! choices for elements (1) (window position) and (3) (split rule). The
+//! paper's bookkeeping — exact under the minimum-slack policy by Lemma 2,
+//! and exactly the accounting of its decision model — advances every
+//! message's pseudo delay by the elapsed time `sigma` between decisions.
+//! A decision's one-step pseudo loss is then
+//!
+//! ```text
+//! r = E[ lambda * max(0, i + sigma - K)          (messages crossing K)
+//!        - 1{ transmitted message would have crossed K } ]
+//! ```
+//!
+//! The first term depends only on the window *length* (Assumption 1:
+//! equal-length windows are statistically identical, so `sigma`'s law is
+//! position- and split-independent); the disciplines differ only in which
+//! message they transmit. The minimum-slack policy transmits the message
+//! with the largest pseudo delay — precisely the one that is critical if
+//! any message is — so it maximizes the rescue term and minimizes `r`
+//! (Lemma 3); Lemma 4 + Appendix A lift this to the long-run average,
+//! which [`crate::howard`] exercises directly.
+//!
+//! This module estimates `r` for each discipline by Monte Carlo over the
+//! actual splitting dynamics (no analytic shortcuts shared with the thing
+//! being tested), so the comparison is an independent check.
+
+use tcw_sim::rng::Rng;
+
+/// The policy-element-(1)/(3) alternatives compared by Theorem 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// Window at the oldest backlog, older half first (Theorem 1 optimum:
+    /// transmits the oldest message in the window).
+    MinSlack,
+    /// Window at the oldest backlog, newer half first (transmits the
+    /// youngest message in the window).
+    OldestNewerSplit,
+    /// Window at the newest backlog, newer half first (LCFS: transmits
+    /// the youngest message overall).
+    NewestPos,
+}
+
+/// Result of a one-step pseudo-loss estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct OneStepLoss {
+    /// Estimated expected one-step pseudo loss (messages per decision).
+    pub mean: f64,
+    /// Standard error of the estimate.
+    pub std_err: f64,
+    /// Trials performed.
+    pub trials: u64,
+}
+
+/// Simulates the elapsed slots and the transmitted message's position for
+/// one windowing round over `n` messages at the given (sorted ascending,
+/// within `[0,1)`) relative positions, under the given split preference.
+///
+/// Returns `(overhead_slots, index_of_transmitted)`; positions are split
+/// by exact halving (continuous pseudo time, as in the paper's model).
+fn resolve(positions: &[f64], older_first: bool, rng: &mut Rng) -> (u64, usize) {
+    debug_assert!(positions.len() >= 2);
+    let mut slots = 1u64; // the initial collision
+    let mut members: Vec<usize> = (0..positions.len()).collect();
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    loop {
+        let mid = 0.5 * (lo + hi);
+        let (first, _second): (Vec<usize>, Vec<usize>) = if older_first {
+            members.iter().partition(|&&i| positions[i] < mid)
+        } else {
+            members.iter().partition(|&&i| positions[i] >= mid)
+        };
+        match first.len() {
+            1 => return (slots, first[0]),
+            0 => {
+                slots += 1; // idle probe of the preferred half
+                // the other half holds everyone, known >= 2: split again
+                if older_first {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+                // members unchanged
+            }
+            _ => {
+                slots += 1; // collision in the preferred half
+                members = first;
+                if older_first {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+        // Guard against floating-point exhaustion (identical positions):
+        // fall back to fair coins, statistically identical to continued
+        // halving of uniform positions.
+        if hi - lo < 1e-12 {
+            let mut cluster = members;
+            loop {
+                let older: Vec<usize> = cluster
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.chance(0.5))
+                    .collect();
+                match older.len() {
+                    1 => return (slots, older[0]),
+                    0 => slots += 1,
+                    _ => {
+                        slots += 1;
+                        cluster = older;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Estimates the one-step pseudo loss in state `i` (pseudo backlog, in
+/// `tau`), window length `w <= i`, message length `m`, deadline `k`,
+/// arrival density `lambda` per `tau`.
+///
+/// # Panics
+/// Panics if the geometry is inconsistent (`w > i` or `i > k`).
+pub fn one_step_pseudo_loss(
+    discipline: Discipline,
+    i: f64,
+    w: f64,
+    k: f64,
+    m: u64,
+    lambda: f64,
+    trials: u64,
+    seed: u64,
+) -> OneStepLoss {
+    assert!(w > 0.0 && w <= i && i <= k);
+    assert!(lambda > 0.0 && trials > 0);
+    let mut rng = Rng::new(seed);
+    let mu = lambda * w;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..trials {
+        // Window occupancy.
+        let n = {
+            let l = (-mu).exp();
+            let mut count = 0usize;
+            let mut p = 1.0;
+            loop {
+                p *= rng.f64_open_left();
+                if p <= l {
+                    break count;
+                }
+                count += 1;
+            }
+        };
+        let (slots, tx_rel_pos) = match n {
+            0 => (1u64, None),
+            1 => (0u64, Some(rng.f64())),
+            _ => {
+                let positions: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+                let older_first = discipline == Discipline::MinSlack;
+                let (s, idx) = resolve(&positions, older_first, &mut rng);
+                (s, Some(positions[idx]))
+            }
+        };
+        let sigma = slots as f64 + if tx_rel_pos.is_some() { m as f64 } else { 0.0 };
+        // Messages whose pseudo delay crosses K: density lambda over the
+        // backlog, crossing zone length (i + sigma - K)^+.
+        let zone = (i + sigma - k).max(0.0).min(i);
+        let mut r = lambda * zone;
+        // Rescue: was the transmitted message critical?
+        if let Some(u) = tx_rel_pos {
+            // Pseudo delay of the transmitted message at this decision.
+            let d_tx = match discipline {
+                Discipline::MinSlack | Discipline::OldestNewerSplit => i - u * w,
+                Discipline::NewestPos => w - u * w,
+            };
+            if d_tx + sigma > k {
+                r -= 1.0;
+            }
+        }
+        sum += r;
+        sum_sq += r * r;
+    }
+    let mean = sum / trials as f64;
+    let var = (sum_sq / trials as f64 - mean * mean).max(0.0);
+    OneStepLoss {
+        mean,
+        std_err: (var / trials as f64).sqrt(),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_isolates_oldest_under_older_first() {
+        let mut rng = Rng::new(1);
+        for trial in 0..200 {
+            let n = 2 + (trial % 5) as usize;
+            let positions: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+            let (_, idx) = resolve(&positions, true, &mut rng);
+            let min_idx = positions
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(idx, min_idx, "positions: {positions:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_isolates_youngest_under_newer_first() {
+        let mut rng = Rng::new(2);
+        for trial in 0..200 {
+            let n = 2 + (trial % 5) as usize;
+            let positions: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+            let (_, idx) = resolve(&positions, false, &mut rng);
+            let max_idx = positions
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(idx, max_idx);
+        }
+    }
+
+    #[test]
+    fn resolve_handles_identical_positions() {
+        let mut rng = Rng::new(3);
+        let positions = vec![0.5, 0.5, 0.5];
+        let (slots, idx) = resolve(&positions, true, &mut rng);
+        assert!(idx < 3);
+        assert!(slots >= 1);
+    }
+
+    #[test]
+    fn lemma3_minslack_minimizes_one_step_pseudo_loss() {
+        // Across a grid of states and window lengths, the minimum-slack
+        // discipline never does worse than the alternatives (beyond noise).
+        let (k, m, lambda) = (60.0, 25u64, 0.04);
+        let trials = 60_000;
+        for &(i, w) in &[(60.0, 30.0), (60.0, 60.0), (50.0, 25.0), (45.0, 10.0)] {
+            let ms = one_step_pseudo_loss(Discipline::MinSlack, i, w, k, m, lambda, trials, 7);
+            let ns =
+                one_step_pseudo_loss(Discipline::OldestNewerSplit, i, w, k, m, lambda, trials, 7);
+            let lc = one_step_pseudo_loss(Discipline::NewestPos, i, w, k, m, lambda, trials, 7);
+            let noise = 4.0 * (ms.std_err + ns.std_err);
+            assert!(
+                ms.mean <= ns.mean + noise,
+                "(i={i}, w={w}): min-slack {} vs newer-split {}",
+                ms.mean,
+                ns.mean
+            );
+            assert!(
+                ms.mean <= lc.mean + 4.0 * (ms.std_err + lc.std_err),
+                "(i={i}, w={w}): min-slack {} vs newest-pos {}",
+                ms.mean,
+                lc.mean
+            );
+        }
+    }
+
+    #[test]
+    fn lemma3_strict_in_a_loss_prone_state() {
+        // In a saturated state the rescue term matters and min-slack is
+        // strictly better than LCFS positioning.
+        let (k, m, lambda) = (40.0, 25u64, 0.05);
+        let i = 40.0;
+        let w = 40.0;
+        let trials = 120_000;
+        let ms = one_step_pseudo_loss(Discipline::MinSlack, i, w, k, m, lambda, trials, 11);
+        let lc = one_step_pseudo_loss(Discipline::NewestPos, i, w, k, m, lambda, trials, 11);
+        assert!(
+            ms.mean + 3.0 * (ms.std_err + lc.std_err) < lc.mean,
+            "expected strict dominance: min-slack {} ± {} vs newest {} ± {}",
+            ms.mean,
+            ms.std_err,
+            lc.mean,
+            lc.std_err
+        );
+    }
+
+    #[test]
+    fn light_state_has_zero_one_step_loss() {
+        // i + sigma stays below K: nothing can cross the deadline.
+        let r = one_step_pseudo_loss(
+            Discipline::MinSlack,
+            10.0,
+            10.0,
+            1_000.0,
+            25,
+            0.05,
+            20_000,
+            13,
+        );
+        assert_eq!(r.mean, 0.0);
+    }
+}

@@ -1,0 +1,557 @@
+//! Lattice probability distributions and renewal-series computations.
+//!
+//! A [`GridDist`] is a (possibly sub-stochastic) probability mass function
+//! on the lattice `{0, h, 2h, ...}`: entry `j` of the pmf vector is the
+//! probability of the value `j * h`. Truncation of an infinite support
+//! (e.g. a geometric scheduling-time distribution) leaves total mass
+//! slightly below one; the deficit is tracked by callers through
+//! [`GridDist::total_mass`].
+
+/// A probability mass function on the lattice `{0, h, 2h, ...}`.
+#[derive(Clone, Debug)]
+pub struct GridDist {
+    step: f64,
+    pmf: Vec<f64>,
+}
+
+impl GridDist {
+    /// Builds a distribution from a raw pmf vector on a lattice with step
+    /// `h`.
+    ///
+    /// # Panics
+    /// Panics if `h <= 0`, the vector is empty, any entry is negative/not
+    /// finite, or total mass exceeds `1 + 1e-9`.
+    pub fn from_pmf(step: f64, pmf: Vec<f64>) -> Self {
+        assert!(step > 0.0 && step.is_finite());
+        assert!(!pmf.is_empty());
+        let mut total = 0.0;
+        for &p in &pmf {
+            assert!(p >= 0.0 && p.is_finite(), "bad pmf entry {p}");
+            total += p;
+        }
+        assert!(total <= 1.0 + 1e-9, "pmf mass {total} exceeds 1");
+        GridDist { step, pmf }
+    }
+
+    /// A unit point mass at `value` (which must be a lattice point within
+    /// rounding tolerance).
+    ///
+    /// # Panics
+    /// Panics if `value` is negative or not within `1e-6` of a multiple of
+    /// `step`.
+    pub fn point(step: f64, value: f64) -> Self {
+        assert!(value >= 0.0);
+        let j = (value / step).round();
+        assert!(
+            (value - j * step).abs() <= 1e-6 * step.max(1.0),
+            "{value} is not a lattice point of step {step}"
+        );
+        let j = j as usize;
+        let mut pmf = vec![0.0; j + 1];
+        pmf[j] = 1.0;
+        GridDist { step, pmf }
+    }
+
+    /// A geometric distribution on `{1h, 2h, ...}` with per-trial success
+    /// probability `p`, truncated once the tail mass drops below `tail_tol`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 1]`.
+    pub fn geometric(step: f64, p: f64, tail_tol: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0);
+        let q = 1.0 - p;
+        let mut pmf = vec![0.0];
+        let mut tail = 1.0; // P(X > k)
+        let mut pk = p; // P(X = k), k starting at 1
+        while tail > tail_tol && pmf.len() < 4_000_000 {
+            pmf.push(pk);
+            tail *= q;
+            pk *= q;
+        }
+        GridDist { step, pmf }
+    }
+
+    /// A geometric distribution on `{0, 1h, 2h, ...}` (shifted to include
+    /// zero) with mean `mean` lattice steps, truncated at `tail_tol`.
+    ///
+    /// This is the paper's scheduling-time model: the number of *overhead*
+    /// slots before a successful transmission may be zero.
+    ///
+    /// # Panics
+    /// Panics if `mean < 0`.
+    pub fn geometric_from_zero(step: f64, mean: f64, tail_tol: f64) -> Self {
+        assert!(mean >= 0.0);
+        if mean == 0.0 {
+            return GridDist::point(step, 0.0);
+        }
+        // For a geometric on {0,1,2,...}, mean m ⟹ p = 1/(1+m).
+        let p = 1.0 / (1.0 + mean);
+        let q = 1.0 - p;
+        let mut pmf = Vec::new();
+        let mut pk = p;
+        let mut tail = 1.0;
+        while tail > tail_tol && pmf.len() < 4_000_000 {
+            pmf.push(pk);
+            tail *= q;
+            pk *= q;
+        }
+        GridDist { step, pmf }
+    }
+
+    /// The lattice step `h`.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The pmf vector (entry `j` is the mass at `j * h`).
+    pub fn pmf(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Number of lattice points in the stored support.
+    pub fn len(&self) -> usize {
+        self.pmf.len()
+    }
+
+    /// Whether the support is empty (never true for a valid distribution).
+    pub fn is_empty(&self) -> bool {
+        self.pmf.is_empty()
+    }
+
+    /// Total stored mass (`<= 1`; less than one after truncation).
+    pub fn total_mass(&self) -> f64 {
+        self.pmf.iter().sum()
+    }
+
+    /// Mean of the stored mass.
+    pub fn mean(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| p * j as f64 * self.step)
+            .sum()
+    }
+
+    /// Second moment `E[X^2]` of the stored mass.
+    pub fn second_moment(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| {
+                let x = j as f64 * self.step;
+                p * x * x
+            })
+            .sum()
+    }
+
+    /// Variance of the stored mass (treating it as a full distribution).
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        (self.second_moment() - m * m).max(0.0)
+    }
+
+    /// `P(X <= x)` for the stored mass.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let jmax = (x / self.step + 1e-9).floor() as usize;
+        self.pmf.iter().take(jmax + 1).sum()
+    }
+
+    /// Shifts the distribution right by `k` lattice steps (adds the constant
+    /// `k * h`).
+    pub fn shift(&self, k: usize) -> GridDist {
+        let mut pmf = vec![0.0; k];
+        pmf.extend_from_slice(&self.pmf);
+        GridDist {
+            step: self.step,
+            pmf,
+        }
+    }
+
+    /// Convolution with another lattice distribution on the same step,
+    /// truncated at `max_len` lattice points (mass beyond is dropped).
+    ///
+    /// # Panics
+    /// Panics if the steps differ by more than floating-point tolerance.
+    pub fn convolve(&self, other: &GridDist, max_len: usize) -> GridDist {
+        assert!(
+            (self.step - other.step).abs() <= 1e-12 * self.step,
+            "convolving distributions on different lattices"
+        );
+        let n = (self.pmf.len() + other.pmf.len() - 1).min(max_len.max(1));
+        let mut pmf = vec![0.0; n];
+        for (i, &a) in self.pmf.iter().enumerate() {
+            if a == 0.0 || i >= n {
+                continue;
+            }
+            let jmax = (n - i).min(other.pmf.len());
+            for (j, &b) in other.pmf.iter().take(jmax).enumerate() {
+                pmf[i + j] += a * b;
+            }
+        }
+        GridDist {
+            step: self.step,
+            pmf,
+        }
+    }
+
+    /// A mixture `w1 * self + (1 - w1) * other`.
+    ///
+    /// # Panics
+    /// Panics if the steps differ or `w1` is outside `[0, 1]`.
+    pub fn mix(&self, w1: f64, other: &GridDist) -> GridDist {
+        assert!((0.0..=1.0).contains(&w1));
+        assert!((self.step - other.step).abs() <= 1e-12 * self.step);
+        let n = self.pmf.len().max(other.pmf.len());
+        let mut pmf = vec![0.0; n];
+        for (j, &p) in self.pmf.iter().enumerate() {
+            pmf[j] += w1 * p;
+        }
+        for (j, &p) in other.pmf.iter().enumerate() {
+            pmf[j] += (1.0 - w1) * p;
+        }
+        GridDist {
+            step: self.step,
+            pmf,
+        }
+    }
+
+    /// The residual (equilibrium / stationary-excess) distribution
+    ///
+    /// ```text
+    /// beta_j = P(X > j - 1) * h / E[X],   j = 1, 2, ...    (beta_0 = 0)
+    /// ```
+    ///
+    /// which is the distribution of the remaining work an arriving customer
+    /// finds for the customer in service in an M/G/1 queue — the `beta(w)`
+    /// of the paper's eq. 4.4. The identity `sum_j P(X > j) * h = E[X]`
+    /// (for lattice `X >= 0`) makes the result a proper distribution up to
+    /// the truncation deficit of `self`.
+    ///
+    /// The continuous residual density over `[j*h, (j+1)*h)` is assigned to
+    /// the lattice point `(j+1)*h` (right-edge convention). This leaves no
+    /// atom at zero, so the continuous boundary identities hold exactly on
+    /// the lattice — `F_W(0) = 1 - rho` for the M/G/1 queue and
+    /// `p(loss) -> rho/(1+rho)` as `K -> 0` in eq. 4.7 — at the price of
+    /// over-estimating waits by at most `h/2` per convolution term
+    /// (conservative).
+    ///
+    /// # Panics
+    /// Panics if the mean of `self` is zero (a point mass at 0 has no
+    /// residual distribution).
+    pub fn residual(&self) -> GridDist {
+        let mean = self.mean();
+        assert!(mean > 0.0, "residual of a zero-mean distribution");
+        let total = self.total_mass();
+        let mut tail = total;
+        let mut pmf = Vec::with_capacity(self.pmf.len() + 1);
+        pmf.push(0.0);
+        for &p in &self.pmf {
+            tail -= p;
+            if tail <= 0.0 {
+                break;
+            }
+            pmf.push(tail * self.step / mean);
+        }
+        GridDist {
+            step: self.step,
+            pmf,
+        }
+    }
+
+    /// Renormalizes the stored mass to exactly one (used after deliberate
+    /// truncation when the deficit is known to be negligible).
+    pub fn normalized(&self) -> GridDist {
+        let total = self.total_mass();
+        assert!(total > 0.0);
+        GridDist {
+            step: self.step,
+            pmf: self.pmf.iter().map(|&p| p / total).collect(),
+        }
+    }
+}
+
+/// Computes the renewal-type series `u = sum_i rho^i * beta^(i)` as a
+/// measure on the lattice, up to `n` lattice points.
+///
+/// `u` is the unique solution of the renewal equation
+/// `u = delta_0 + rho * (beta ⊛ u)`, solved by forward substitution in
+/// `O(n * support(beta))`. From it:
+///
+/// * eq. 4.7's `z(K, rho)` is the partial sum `sum_{j*h <= K} u_j`
+///   (see [`RenewalSeries::partial_sum`]);
+/// * eq. 4.4's workload CDF is `P(0) * z(w, rho)`.
+///
+/// `beta` may carry an atom at zero (a lattice residual distribution always
+/// does); the solver handles it as long as `rho * beta_0 < 1`.
+///
+/// # Panics
+/// Panics if `rho < 0`, `n == 0`, or `rho * beta_0 >= 1`.
+pub fn renewal_series(beta: &GridDist, rho: f64, n: usize) -> RenewalSeries {
+    assert!(rho >= 0.0);
+    assert!(n > 0);
+    let b = beta.pmf();
+    let b0 = rho * b.first().copied().unwrap_or(0.0);
+    assert!(
+        b0 < 1.0,
+        "renewal series diverges: rho * beta(0) = {b0} >= 1"
+    );
+    let scale = 1.0 / (1.0 - b0);
+    let mut u = vec![0.0; n];
+    u[0] = scale;
+    for k in 1..n {
+        let mut s = 0.0;
+        let jmax = k.min(b.len() - 1);
+        for j in 1..=jmax {
+            s += b[j] * u[k - j];
+        }
+        u[k] = rho * s * scale;
+    }
+    RenewalSeries {
+        step: beta.step(),
+        u,
+    }
+}
+
+/// The solved renewal series; see [`renewal_series`].
+#[derive(Clone, Debug)]
+pub struct RenewalSeries {
+    step: f64,
+    u: Vec<f64>,
+}
+
+impl RenewalSeries {
+    /// The lattice step of the underlying distribution.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The raw series values `u_j` (the mass of `sum_i rho^i beta^(i)` at
+    /// `j * h`).
+    pub fn values(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// `z(K) = sum_{j : j*h <= K} u_j` — the partial sum entering eq. 4.7.
+    ///
+    /// Saturates at the full stored sum for `K` beyond the computed range.
+    pub fn partial_sum(&self, k: f64) -> f64 {
+        if k < 0.0 {
+            return 0.0;
+        }
+        let jmax = ((k / self.step + 1e-9).floor() as usize).min(self.u.len() - 1);
+        self.u.iter().take(jmax + 1).sum()
+    }
+
+    /// All prefix sums, so a full `z(K)` sweep costs one pass.
+    pub fn prefix_sums(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.u
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn point_mass_basics() {
+        let d = GridDist::point(1.0, 3.0);
+        assert_eq!(d.len(), 4);
+        assert!(close(d.mean(), 3.0, 1e-12));
+        assert!(close(d.second_moment(), 9.0, 1e-12));
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.cdf(2.9), 0.0);
+        assert_eq!(d.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn off_lattice_point_panics() {
+        GridDist::point(1.0, 2.5);
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let d = GridDist::geometric(1.0, 0.25, 1e-14);
+        assert!(close(d.total_mass(), 1.0, 1e-10));
+        assert!(close(d.mean(), 4.0, 1e-9), "mean = {}", d.mean());
+    }
+
+    #[test]
+    fn geometric_from_zero_mean_matches() {
+        let d = GridDist::geometric_from_zero(1.0, 2.5, 1e-14);
+        assert!(close(d.mean(), 2.5, 1e-9), "mean = {}", d.mean());
+        assert!(d.pmf()[0] > 0.0);
+    }
+
+    #[test]
+    fn geometric_from_zero_zero_mean_is_point() {
+        let d = GridDist::geometric_from_zero(1.0, 0.0, 1e-12);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.pmf()[0], 1.0);
+    }
+
+    #[test]
+    fn convolution_of_points_adds() {
+        let a = GridDist::point(1.0, 2.0);
+        let b = GridDist::point(1.0, 5.0);
+        let c = a.convolve(&b, usize::MAX);
+        assert!(close(c.mean(), 7.0, 1e-12));
+        assert!(close(c.total_mass(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn convolution_means_add() {
+        let a = GridDist::geometric(1.0, 0.5, 1e-15);
+        let b = GridDist::geometric(1.0, 0.25, 1e-15);
+        let c = a.convolve(&b, usize::MAX);
+        assert!(close(c.mean(), a.mean() + b.mean(), 1e-6));
+        assert!(close(
+            c.variance(),
+            a.variance() + b.variance(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn convolution_truncation_drops_tail_mass() {
+        let a = GridDist::point(1.0, 3.0);
+        let b = GridDist::point(1.0, 4.0);
+        let c = a.convolve(&b, 5); // support index 7 cut off
+        assert_eq!(c.total_mass(), 0.0);
+        let d = a.convolve(&b, 8);
+        assert!(close(d.total_mass(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn shift_adds_constant() {
+        let d = GridDist::geometric(1.0, 0.5, 1e-15).shift(3);
+        assert!(close(d.mean(), 2.0 + 3.0, 1e-9));
+    }
+
+    #[test]
+    fn mix_is_convex_combination() {
+        let a = GridDist::point(1.0, 0.0);
+        let b = GridDist::point(1.0, 10.0);
+        let m = a.mix(0.3, &b);
+        assert!(close(m.mean(), 7.0, 1e-12));
+        assert!(close(m.total_mass(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn residual_of_deterministic_is_uniform() {
+        // Residual of a point mass at m is uniform on {1,...,m} * h / m
+        // (right-edge convention, no atom at zero).
+        let d = GridDist::point(1.0, 4.0);
+        let r = d.residual();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.pmf()[0], 0.0);
+        for &p in &r.pmf()[1..] {
+            assert!(close(p, 0.25, 1e-12));
+        }
+        assert!(close(r.total_mass(), 1.0, 1e-12));
+        // continuous E[R] = E[X^2]/(2E[X]) = 2; right-edge adds h/2.
+        assert!(close(r.mean(), 2.5, 1e-12));
+    }
+
+    #[test]
+    fn residual_mass_is_one_up_to_truncation() {
+        let d = GridDist::geometric(1.0, 0.2, 1e-13);
+        let r = d.residual();
+        assert!(close(r.total_mass(), 1.0, 1e-9), "mass = {}", r.total_mass());
+    }
+
+    #[test]
+    fn residual_mean_is_excess_formula() {
+        // Continuous-time identity E[R] = E[X^2]/(2E[X]) adapted to the
+        // right-edge lattice convention: E[R] = E[X^2]/(2E[X]) + h/2.
+        let d = GridDist::geometric(1.0, 0.3, 1e-14);
+        let r = d.residual();
+        let expect = d.second_moment() / (2.0 * d.mean()) + 0.5;
+        assert!(close(r.mean(), expect, 1e-8), "{} vs {}", r.mean(), expect);
+    }
+
+    #[test]
+    fn renewal_series_geometric_sum_at_zero_support() {
+        // beta = point at 0 is not allowed (rho*beta_0 >= 1 for rho >= 1);
+        // with rho < 1 it sums the plain geometric series at lattice 0.
+        let beta = GridDist::point(1.0, 0.0);
+        let s = renewal_series(&beta, 0.5, 4);
+        assert!(close(s.values()[0], 2.0, 1e-12)); // 1/(1-0.5)
+        assert_eq!(s.values()[1], 0.0);
+    }
+
+    #[test]
+    fn renewal_series_matches_explicit_powers() {
+        // Compare against explicitly summed convolution powers.
+        let beta = GridDist::from_pmf(1.0, vec![0.1, 0.5, 0.4]);
+        let rho = 0.6;
+        let n = 40;
+        let s = renewal_series(&beta, rho, n);
+
+        let mut expect = vec![0.0; n];
+        // i = 0 term: delta at 0
+        expect[0] += 1.0;
+        let mut power = GridDist::point(1.0, 0.0);
+        let mut coef = 1.0;
+        for _ in 1..60 {
+            power = power.convolve(&beta, n);
+            coef *= rho;
+            for (j, &p) in power.pmf().iter().enumerate() {
+                if j < n {
+                    expect[j] += coef * p;
+                }
+            }
+        }
+        for j in 0..n {
+            assert!(
+                close(s.values()[j], expect[j], 1e-9),
+                "j={j}: {} vs {}",
+                s.values()[j],
+                expect[j]
+            );
+        }
+    }
+
+    #[test]
+    fn renewal_series_total_is_geometric_sum() {
+        // For rho < 1 and proper beta, the total mass of u is 1/(1-rho)
+        // (as n -> infinity).
+        let beta = GridDist::geometric(1.0, 0.5, 1e-15);
+        let rho = 0.7;
+        let s = renewal_series(&beta, rho, 400);
+        let total = s.partial_sum(f64::INFINITY.min(399.0));
+        assert!(close(total, 1.0 / (1.0 - rho), 1e-6), "total = {total}");
+    }
+
+    #[test]
+    fn partial_sums_monotone() {
+        let beta = GridDist::geometric(1.0, 0.4, 1e-14);
+        let s = renewal_series(&beta, 0.8, 100);
+        let ps = s.prefix_sums();
+        for w in ps.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(close(s.partial_sum(50.0), ps[50], 1e-12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn renewal_series_diverges_on_heavy_atom() {
+        let beta = GridDist::from_pmf(1.0, vec![0.9, 0.1]);
+        renewal_series(&beta, 1.2, 10);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tcw-numerics — numeric substrate for the analytic models
+//!
+//! The 1983 paper's performance model (Section 4) is built from operations
+//! on probability distributions of *times*: service-time distributions,
+//! their residual (equilibrium) transforms, i-fold convolutions, and the
+//! renewal-type series
+//!
+//! ```text
+//! z(K, rho) = sum_i rho^i  Int_0^K  beta^(i)(w) dw          (eq. 4.7)
+//! F(w)      = P(0) sum_i rho^i beta^(i)(w)                  (eq. 4.4)
+//! ```
+//!
+//! This crate provides those operations on **lattice distributions**
+//! ([`grid::GridDist`]): probability mass functions supported on
+//! `{0, h, 2h, ...}` for a configurable step `h`. Working on a lattice is
+//! exact for this protocol — every service time is an integer number of
+//! channel slots — and makes the series computable in a single `O(n^2)`
+//! forward pass ([`grid::renewal_series`]) instead of summing explicit
+//! convolution powers.
+//!
+//! Supporting modules: a dense linear solver ([`linalg`]) for the Howard
+//! policy-iteration value equations (Appendix A, eq. A1), scalar
+//! minimization ([`optimize`]) for the window-length heuristic, and stable
+//! special functions ([`special`]) for Poisson/binomial probabilities used
+//! by the splitting-process analysis.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grid;
+pub mod linalg;
+pub mod optimize;
+pub mod special;

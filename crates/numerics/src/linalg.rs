@@ -1,0 +1,255 @@
+//! Dense linear algebra: a row-major matrix and a Gaussian-elimination
+//! solver with partial pivoting.
+//!
+//! Used by `tcw-mdp` to solve the Howard value-determination equations
+//! (Appendix A, eq. A1): one dense system of size `|S|` per policy
+//! iteration. State spaces there are a few hundred at most, so a simple
+//! `O(n^3)` dense solve is the right tool.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0);
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty());
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            writeln!(f, "  {row:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Error from [`solve`]: the system is singular (or numerically so).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Panics
+/// Panics if `A` is not square or `b` has the wrong length.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    assert_eq!(a.rows, a.cols, "solve needs a square matrix");
+    assert_eq!(b.len(), a.rows);
+    let n = a.rows;
+    // Augmented working copy.
+    let mut m = a.data.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = m[col * n + col].abs();
+        for r in (col + 1)..n {
+            let v = m[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-300 {
+            return Err(SingularMatrix);
+        }
+        if piv != col {
+            for j in 0..n {
+                m.swap(col * n + j, piv * n + j);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for r in (col + 1)..n {
+            let factor = m[r * n + col] / d;
+            if factor == 0.0 {
+                continue;
+            }
+            m[r * n + col] = 0.0;
+            for j in (col + 1)..n {
+                m[r * n + j] -= factor * m[col * n + j];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for j in (i + 1)..n {
+            s -= m[i * n + j] * x[j];
+        }
+        x[i] = s / m[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Maximum absolute residual `|A x - b|_inf`, for verifying solutions.
+pub fn residual_inf(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    a.mul_vec(x)
+        .iter()
+        .zip(b)
+        .map(|(ax, bi)| (ax - bi).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5 ; x - y = 1  => x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn residual_small_on_random_system() {
+        // Deterministic pseudo-random matrix.
+        let n = 30;
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonally dominant => well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(&a, &b).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Scalar minimization.
+//!
+//! The paper's heuristic for control-policy element (2) chooses the initial
+//! window length that minimizes the mean scheduling time (Section 4.1).
+//! That objective is unimodal in the window length, so golden-section search
+//! applies; an exhaustive integer grid search is also provided for lattice
+//! decision variables and for verifying unimodality assumptions in tests.
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// Returns `(x_min, f(x_min))` with the bracket narrowed to width `tol`.
+///
+/// # Panics
+/// Panics if `a > b`, bounds are not finite, or `tol <= 0`.
+pub fn golden_section<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> (f64, f64) {
+    assert!(a.is_finite() && b.is_finite() && a <= b);
+    assert!(tol > 0.0);
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut a, mut b) = (a, b);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a) > tol {
+        if fc <= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+/// Exhaustive minimization of `f` over the integer range `lo..=hi`.
+///
+/// Returns `(argmin, min)`; ties break toward the smaller argument.
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn argmin_grid<F: FnMut(u64) -> f64>(mut f: F, lo: u64, hi: u64) -> (u64, f64) {
+    assert!(lo <= hi);
+    let mut best_x = lo;
+    let mut best = f(lo);
+    for x in (lo + 1)..=hi {
+        let v = f(x);
+        if v < best {
+            best = v;
+            best_x = x;
+        }
+    }
+    (best_x, best)
+}
+
+/// Minimizes a unimodal function on the integer range `lo..=hi` by ternary
+/// search (`O(log(hi - lo))` evaluations).
+///
+/// For non-unimodal inputs the result is a local minimum.
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn argmin_unimodal<F: FnMut(u64) -> f64>(mut f: F, lo: u64, hi: u64) -> (u64, f64) {
+    assert!(lo <= hi);
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > 2 {
+        let m1 = lo + (hi - lo) / 3;
+        let m2 = hi - (hi - lo) / 3;
+        if f(m1) <= f(m2) {
+            hi = m2 - 1;
+        } else {
+            lo = m1 + 1;
+        }
+    }
+    argmin_grid(f, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_minimum() {
+        let (x, fx) = golden_section(|x| (x - 3.2) * (x - 3.2) + 1.0, 0.0, 10.0, 1e-8);
+        assert!((x - 3.2).abs() < 1e-6);
+        assert!((fx - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_handles_minimum_at_edge() {
+        let (x, _) = golden_section(|x| x, 2.0, 5.0, 1e-8);
+        assert!((x - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_degenerate_interval() {
+        let (x, fx) = golden_section(|x| x * x, 4.0, 4.0, 1e-8);
+        assert_eq!(x, 4.0);
+        assert_eq!(fx, 16.0);
+    }
+
+    #[test]
+    fn grid_finds_global_min() {
+        let f = |x: u64| ((x as f64) - 17.0).abs();
+        assert_eq!(argmin_grid(f, 0, 100), (17, 0.0));
+    }
+
+    #[test]
+    fn grid_tie_breaks_low() {
+        let f = |x: u64| if x == 3 || x == 7 { 0.0 } else { 1.0 };
+        assert_eq!(argmin_grid(f, 0, 10).0, 3);
+    }
+
+    #[test]
+    fn unimodal_matches_grid_on_convex() {
+        let f = |x: u64| {
+            let d = x as f64 - 41.0;
+            d * d + 5.0
+        };
+        let g = argmin_grid(f, 0, 200);
+        let u = argmin_unimodal(f, 0, 200);
+        assert_eq!(g, u);
+    }
+
+    #[test]
+    fn unimodal_single_point() {
+        assert_eq!(argmin_unimodal(|x| x as f64, 9, 9), (9, 9.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Stable special functions: log-gamma, log-factorial, and the Poisson /
+//! binomial probability mass functions used by the splitting-process
+//! analysis (numbers of arrivals in windows and their binomial splits).
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 relative error for `x > 0`.
+///
+/// # Panics
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma needs x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln(n!)`.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Exact table for small n avoids any rounding in the hot path.
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_894,
+        30.671_860_106_080_675,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n <= 20 {
+        TABLE[n as usize]
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Poisson pmf `P(N = k)` for mean `mu >= 0`, computed in log space.
+pub fn poisson_pmf(k: u64, mu: f64) -> f64 {
+    assert!(mu >= 0.0 && mu.is_finite());
+    if mu == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    (k as f64 * mu.ln() - mu - ln_factorial(k)).exp()
+}
+
+/// Poisson tail `P(N > k)`.
+pub fn poisson_sf(k: u64, mu: f64) -> f64 {
+    let mut cdf = 0.0;
+    for j in 0..=k {
+        cdf += poisson_pmf(j, mu);
+    }
+    (1.0 - cdf).max(0.0)
+}
+
+/// Binomial pmf `P(X = k)` for `X ~ Bin(n, p)`, computed in log space.
+///
+/// # Panics
+/// Panics if `k > n` or `p` is outside `[0, 1]`.
+pub fn binomial_pmf(k: u64, n: u64, p: f64) -> f64 {
+    assert!(k <= n);
+    assert!((0.0..=1.0).contains(&p));
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn ln_gamma_integer_values() {
+        // Gamma(n) = (n-1)!
+        assert!(close(ln_gamma(1.0), 0.0, 1e-12));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-12));
+        assert!(close(ln_gamma(5.0), (24.0f64).ln(), 1e-12));
+        assert!(close(ln_gamma(11.0), ln_factorial(10), 1e-12));
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Gamma(1/2) = sqrt(pi)
+        assert!(close(
+            ln_gamma(0.5),
+            0.5 * std::f64::consts::PI.ln(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct() {
+        let mut acc = 0.0f64;
+        for n in 1..=30u64 {
+            acc += (n as f64).ln();
+            assert!(close(ln_factorial(n), acc, 1e-12), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn choose_small_cases() {
+        assert!(close(ln_choose(5, 2).exp(), 10.0, 1e-12));
+        assert!(close(ln_choose(10, 0).exp(), 1.0, 1e-12));
+        assert!(close(ln_choose(52, 5).exp(), 2_598_960.0, 1e-9));
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        for &mu in &[0.1, 1.0, 5.0, 25.0] {
+            let total: f64 = (0..200).map(|k| poisson_pmf(k, mu)).sum();
+            assert!(close(total, 1.0, 1e-10), "mu = {mu}, total = {total}");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_mu() {
+        let mu = 3.7;
+        let mean: f64 = (0..200).map(|k| k as f64 * poisson_pmf(k, mu)).sum();
+        assert!(close(mean, mu, 1e-10));
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        assert_eq!(poisson_pmf(0, 0.0), 1.0);
+        assert_eq!(poisson_pmf(3, 0.0), 0.0);
+        assert_eq!(poisson_sf(5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_sf_complements_cdf() {
+        let mu = 2.0;
+        let cdf: f64 = (0..=4).map(|k| poisson_pmf(k, mu)).sum();
+        assert!(close(poisson_sf(4, mu), 1.0 - cdf, 1e-12));
+    }
+
+    #[test]
+    fn binomial_pmf_sums_and_mean() {
+        let (n, p) = (13u64, 0.37);
+        let total: f64 = (0..=n).map(|k| binomial_pmf(k, n, p)).sum();
+        assert!(close(total, 1.0, 1e-12));
+        let mean: f64 = (0..=n).map(|k| k as f64 * binomial_pmf(k, n, p)).sum();
+        assert!(close(mean, n as f64 * p, 1e-10));
+    }
+
+    #[test]
+    fn binomial_degenerate_p() {
+        assert_eq!(binomial_pmf(0, 7, 0.0), 1.0);
+        assert_eq!(binomial_pmf(3, 7, 0.0), 0.0);
+        assert_eq!(binomial_pmf(7, 7, 1.0), 1.0);
+        assert_eq!(binomial_pmf(6, 7, 1.0), 0.0);
+    }
+
+    #[test]
+    fn binomial_half_symmetry() {
+        for k in 0..=9u64 {
+            assert!(close(
+                binomial_pmf(k, 9, 0.5),
+                binomial_pmf(9 - k, 9, 0.5),
+                1e-12
+            ));
+        }
+    }
+}

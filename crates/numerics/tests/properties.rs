@@ -1,0 +1,146 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+use tcw_numerics::grid::{renewal_series, GridDist};
+use tcw_numerics::linalg::{residual_inf, solve, Matrix};
+use tcw_numerics::special::{binomial_pmf, poisson_pmf};
+
+/// Strategy: a small random sub-stochastic pmf vector.
+fn pmf_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 1..max_len).prop_map(|mut v| {
+        let total: f64 = v.iter().sum();
+        if total > 0.0 {
+            for x in &mut v {
+                *x /= total * 1.001; // keep strictly sub-stochastic
+            }
+        }
+        v
+    })
+}
+
+proptest! {
+    /// Convolution preserves total mass (product of the factor masses) when
+    /// not truncated.
+    #[test]
+    fn convolution_mass_is_product(a in pmf_strategy(20), b in pmf_strategy(20)) {
+        let da = GridDist::from_pmf(1.0, a);
+        let db = GridDist::from_pmf(1.0, b);
+        let c = da.convolve(&db, usize::MAX);
+        let expect = da.total_mass() * db.total_mass();
+        prop_assert!((c.total_mass() - expect).abs() < 1e-10);
+    }
+
+    /// Convolution means add (scaled by the factor masses).
+    #[test]
+    fn convolution_mean_adds(a in pmf_strategy(20), b in pmf_strategy(20)) {
+        let da = GridDist::from_pmf(1.0, a).normalized();
+        let db = GridDist::from_pmf(1.0, b).normalized();
+        let c = da.convolve(&db, usize::MAX);
+        prop_assert!((c.mean() - (da.mean() + db.mean())).abs() < 1e-8);
+    }
+
+    /// Convolution is commutative.
+    #[test]
+    fn convolution_commutes(a in pmf_strategy(15), b in pmf_strategy(15)) {
+        let da = GridDist::from_pmf(1.0, a);
+        let db = GridDist::from_pmf(1.0, b);
+        let ab = da.convolve(&db, usize::MAX);
+        let ba = db.convolve(&da, usize::MAX);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.pmf().iter().zip(ba.pmf()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// CDF of any GridDist is monotone, 0 below support, total mass at top.
+    #[test]
+    fn cdf_monotone_bounded(a in pmf_strategy(30)) {
+        let d = GridDist::from_pmf(1.0, a);
+        let mut prev = 0.0;
+        for j in 0..d.len() + 3 {
+            let c = d.cdf(j as f64);
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+        prop_assert!((prev - d.total_mass()).abs() < 1e-12);
+        prop_assert_eq!(d.cdf(-1.0), 0.0);
+    }
+
+    /// Residual distribution: total mass equals one for a proper
+    /// distribution, no atom at zero (right-edge convention), and the
+    /// residual mean follows the lattice excess formula
+    /// E[R] = E[X^2]/(2E[X]) + h/2.
+    #[test]
+    fn residual_mass_and_mean(a in pmf_strategy(25)) {
+        let d = GridDist::from_pmf(1.0, a).normalized();
+        prop_assume!(d.mean() > 1e-9);
+        let r = d.residual();
+        prop_assert!((r.total_mass() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(r.pmf()[0], 0.0);
+        let expect = d.second_moment() / (2.0 * d.mean()) + 0.5;
+        prop_assert!((r.mean() - expect).abs() < 1e-8);
+    }
+
+    /// The renewal series solves its defining equation
+    /// u = delta_0 + rho * beta ⊛ u on the computed range.
+    #[test]
+    fn renewal_series_satisfies_equation(a in pmf_strategy(12), rho in 0.05f64..0.95) {
+        let beta = GridDist::from_pmf(1.0, a).normalized();
+        prop_assume!(rho * beta.pmf()[0] < 0.99);
+        let n = 50;
+        let s = renewal_series(&beta, rho, n);
+        let u = s.values();
+        for k in 0..n {
+            let mut conv = 0.0;
+            for j in 0..=k.min(beta.len() - 1) {
+                conv += beta.pmf()[j] * u[k - j];
+            }
+            let expect = if k == 0 { 1.0 } else { 0.0 } + rho * conv;
+            prop_assert!((u[k] - expect).abs() < 1e-9, "k={k}: {} vs {}", u[k], expect);
+        }
+    }
+
+    /// Gaussian elimination solutions have tiny residuals on diagonally
+    /// dominant systems.
+    #[test]
+    fn solver_residual_small(
+        seed in any::<u64>(),
+        n in 2usize..20,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64; // ensure well-conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(&a, &b).unwrap();
+        prop_assert!(residual_inf(&a, &x, &b) < 1e-8);
+    }
+
+    /// Poisson pmf values are probabilities and decay past the mean.
+    #[test]
+    fn poisson_pmf_is_probability(k in 0u64..200, mu in 0.0f64..50.0) {
+        let p = poisson_pmf(k, mu);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// A binomial split of a binomial is binomial:
+    /// thinning Bin(n, 1/2) by 1/2 gives Bin(n, 1/4).
+    #[test]
+    fn binomial_thinning(n in 1u64..30, k in 0u64..30) {
+        prop_assume!(k <= n);
+        let direct = binomial_pmf(k, n, 0.25);
+        let mut via_split = 0.0;
+        for m in k..=n {
+            via_split += binomial_pmf(m, n, 0.5) * binomial_pmf(k, m, 0.5);
+        }
+        prop_assert!((direct - via_split).abs() < 1e-10);
+    }
+}

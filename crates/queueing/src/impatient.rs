@@ -1,0 +1,184 @@
+//! The M/G/1 queue with impatient customers — eq. 4.7.
+//!
+//! Customers balk when the unfinished work (their prospective FCFS wait)
+//! exceeds the constraint `K`; by the figure-5 argument this produces the
+//! same server utilization and loss as the protocol's front-of-queue
+//! discard. Combining the truncated workload solution (eq. 4.4), the
+//! probability-conservation identity (eq. 4.3) and flow conservation
+//! (eq. 4.6) gives the loss in closed form (eq. 4.7):
+//!
+//! ```text
+//! p(loss) = 1 - 1/rho + 1 / (rho + rho^2 * z(K, rho))
+//! ```
+//!
+//! with `z` the truncated renewal series of the residual service
+//! distribution. Checks (also in the paper): `K -> 0` gives
+//! `rho/(1 + rho)` (an arriving customer is lost iff the server is busy)
+//! and `K -> ∞` gives `0` for `rho < 1`.
+
+use tcw_numerics::grid::{renewal_series, GridDist};
+
+/// Loss probability of the impatient-customer M/G/1 queue (eq. 4.7).
+///
+/// * `lambda` — arrival rate of **all** messages, per lattice step of
+///   `service`;
+/// * `service` — the full service-time distribution (scheduling +
+///   transmission);
+/// * `k` — the time constraint, in the same units.
+///
+/// Valid for any `rho > 0`, including overload (`rho >= 1`), where the
+/// loss tends to `1 - 1/rho` as `K` grows.
+///
+/// # Panics
+/// Panics if `lambda <= 0`, `k < 0`, or the service mean is zero.
+pub fn loss_probability(lambda: f64, service: &GridDist, k: f64) -> f64 {
+    assert!(lambda > 0.0);
+    assert!(k >= 0.0);
+    let rho = lambda * service.mean();
+    assert!(rho > 0.0, "zero service time");
+    let z = z_series(lambda, service, k);
+    (1.0 - 1.0 / rho + 1.0 / (rho + rho * rho * z)).clamp(0.0, 1.0)
+}
+
+/// The truncated series `z(K, rho) = sum_i rho^i Int_0^K beta^(i)`.
+pub fn z_series(lambda: f64, service: &GridDist, k: f64) -> f64 {
+    let rho = lambda * service.mean();
+    let beta = service.residual();
+    let n = (k / service.step()).floor() as usize + 2;
+    renewal_series(&beta, rho, n).partial_sum(k)
+}
+
+/// A full loss curve over a `K` grid (units of the service lattice step),
+/// computing the renewal series once.
+pub fn loss_curve(lambda: f64, service: &GridDist, k_max: f64, k_step: f64) -> Vec<(f64, f64)> {
+    assert!(k_step > 0.0 && k_max >= 0.0);
+    let rho = lambda * service.mean();
+    let beta = service.residual();
+    let n = (k_max / service.step()).floor() as usize + 2;
+    let series = renewal_series(&beta, rho, n);
+    let mut out = Vec::new();
+    let mut k = 0.0;
+    while k <= k_max + 1e-9 {
+        let z = series.partial_sum(k);
+        let p = (1.0 - 1.0 / rho + 1.0 / (rho + rho * rho * z)).clamp(0.0, 1.0);
+        out.push((k, p));
+        k += k_step;
+    }
+    out
+}
+
+/// Probability the server is idle, from flow conservation (eq. 4.6):
+/// `P(0) = 1 - rho * p(accept)`.
+pub fn p_idle(lambda: f64, service: &GridDist, k: f64) -> f64 {
+    let rho = lambda * service.mean();
+    let p_accept = 1.0 - loss_probability(lambda, service, k);
+    (1.0 - rho * p_accept).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_service(m: u64) -> GridDist {
+        GridDist::point(1.0, m as f64)
+    }
+
+    #[test]
+    fn k_zero_limit_is_rho_over_one_plus_rho() {
+        for &(lambda, m) in &[(0.02, 25u64), (0.03, 25), (0.0075, 100)] {
+            let s = det_service(m);
+            let rho = lambda * m as f64;
+            let p = loss_probability(lambda, &s, 0.0);
+            let expect = rho / (1.0 + rho);
+            assert!(
+                (p - expect).abs() < 1e-10,
+                "lambda={lambda}: {p} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_infinity_limit_is_zero_when_stable() {
+        let s = det_service(25);
+        let lambda = 0.02; // rho = 0.5
+        let p = loss_probability(lambda, &s, 5_000.0);
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn overload_limit_is_one_minus_inverse_rho() {
+        let s = det_service(10);
+        let lambda = 0.2; // rho = 2
+        let p = loss_probability(lambda, &s, 10_000.0);
+        assert!((p - 0.5).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn loss_is_monotone_nonincreasing_in_k() {
+        let s = det_service(25);
+        let lambda = 0.03;
+        let curve = loss_curve(lambda, &s, 800.0, 5.0);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-12,
+                "loss increased between K={} and K={}",
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn loss_increases_with_load() {
+        let s = det_service(25);
+        let k = 200.0;
+        let mut prev = 0.0;
+        for &lambda in &[0.01, 0.02, 0.03, 0.035] {
+            let p = loss_probability(lambda, &s, k);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn curve_matches_pointwise_evaluation() {
+        let s = det_service(25);
+        let lambda = 0.02;
+        for (k, p) in loss_curve(lambda, &s, 300.0, 25.0) {
+            let direct = loss_probability(lambda, &s, k);
+            assert!((p - direct).abs() < 1e-12, "K={k}");
+        }
+    }
+
+    #[test]
+    fn p_idle_limits() {
+        let s = det_service(25);
+        let lambda = 0.02; // rho = 0.5
+        // K = 0: p_accept = 1/(1+rho), P(0) = 1 - rho/(1+rho) = 1/(1+rho)
+        let p0 = p_idle(lambda, &s, 0.0);
+        assert!((p0 - 1.0 / 1.5).abs() < 1e-9, "P(0) = {p0}");
+        // K -> inf: P(0) = 1 - rho
+        let pinf = p_idle(lambda, &s, 10_000.0);
+        assert!((pinf - 0.5).abs() < 1e-6, "P(0) = {pinf}");
+    }
+
+    #[test]
+    fn stochastic_service_behaves_like_deterministic_at_limits() {
+        let s = GridDist::geometric(1.0, 1.0 / 25.0, 1e-13); // mean 25
+        let lambda = 0.02;
+        let p0 = loss_probability(lambda, &s, 0.0);
+        assert!((p0 - 0.5 / 1.5).abs() < 1e-6);
+        let pinf = loss_probability(lambda, &s, 50_000.0);
+        assert!(pinf < 1e-4, "p = {pinf}");
+    }
+
+    #[test]
+    fn deterministic_beats_variable_service_at_moderate_k() {
+        // Higher service variability worsens the loss at intermediate K.
+        let det = det_service(25);
+        let geo = GridDist::geometric(1.0, 1.0 / 25.0, 1e-13);
+        let lambda = 0.024; // rho = 0.6
+        let k = 150.0;
+        assert!(loss_probability(lambda, &det, k) < loss_probability(lambda, &geo, k));
+    }
+}

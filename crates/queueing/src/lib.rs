@@ -1,0 +1,39 @@
+//! # tcw-queueing — analytic performance model (paper §4)
+//!
+//! The distributed window protocol is mapped onto a centralized queue: the
+//! messages spread across stations form one FCFS queue whose "service
+//! time" is the *scheduling time* (windowing overhead preceding a
+//! transmission) plus the *transmission time* `M·tau`. Under the optimal
+//! control policy, a message is denied service exactly when its waiting
+//! time would exceed the constraint `K` — an **M/G/1 queue with impatient
+//! customers** (figure 5), whose loss probability has the closed form of
+//! eq. 4.7:
+//!
+//! ```text
+//! p(loss) = 1 - 1/rho + 1 / (rho + rho^2 * z(K, rho))
+//! z(K, rho) = sum_i rho^i * Int_0^K beta^(i)(w) dw
+//! ```
+//!
+//! Crate layout:
+//!
+//! * [`service`] — service-time distributions: the exact splitting-process
+//!   scheduling model and the geometric approximation used by the paper;
+//! * [`mg1`] — classical M/G/1 results (Pollaczek–Khinchine, the
+//!   Beneš/Takács waiting-time series) plus M/M/1 and M/D/1 oracles;
+//! * [`impatient`] — eq. 4.7 itself;
+//! * [`marching`] — the paper's iteration over `K` coupling the loss to
+//!   the load-dependent scheduling time, producing the controlled
+//!   protocol's analytic loss curve, and the FCFS receiver-loss baseline;
+//! * [`simqueue`] — a small centralized-queue simulator used to validate
+//!   the analytics (including the figure-5 equivalence of front-of-queue
+//!   loss and balking).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod impatient;
+pub mod lcfs;
+pub mod marching;
+pub mod mg1;
+pub mod service;
+pub mod simqueue;

@@ -1,0 +1,115 @@
+//! Service-time distributions for the centralized queue model.
+//!
+//! A message's service time is `scheduling time + M` (in units of `tau`,
+//! on the unit lattice). Two scheduling-time shapes are provided:
+//!
+//! * [`SchedulingShape::ExactSplitting`] — the full overhead-slot
+//!   distribution from the recursive analysis of the windowing process
+//!   (`tcw-window::analysis`);
+//! * [`SchedulingShape::Geometric`] — the approximation used by the paper
+//!   (and [Kurose 83]): a geometric distribution with the correct mean.
+//!   (The original work obtained that mean by fitting two exactly-computed
+//!   endpoints; having the exact analysis we evaluate the mean directly,
+//!   which only strengthens the approximation being reproduced.)
+
+use tcw_numerics::grid::GridDist;
+use tcw_window::analysis::{expected_overhead_slots, overhead_slot_pmf};
+
+/// Which distributional shape models the scheduling time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulingShape {
+    /// Exact overhead-slot pmf from the splitting recursion.
+    ExactSplitting,
+    /// Geometric (from zero) with the exact mean — the paper's model.
+    Geometric,
+}
+
+/// Builds the service-time distribution (lattice step = one `tau`) for
+/// message length `m` slots and window occupancy `mu = lambda_eff * w`.
+///
+/// `mu <= 0` (no traffic to schedule) degenerates to zero scheduling
+/// overhead.
+pub fn service_dist(shape: SchedulingShape, mu: f64, m: u64) -> GridDist {
+    let overhead = if mu <= 0.0 {
+        GridDist::point(1.0, 0.0)
+    } else {
+        match shape {
+            SchedulingShape::ExactSplitting => {
+                let pmf = overhead_slot_pmf(mu, 1e-10);
+                GridDist::from_pmf(1.0, pmf)
+            }
+            SchedulingShape::Geometric => {
+                let mean = expected_overhead_slots(mu);
+                GridDist::geometric_from_zero(1.0, mean, 1e-12)
+            }
+        }
+    };
+    overhead.shift(m as usize)
+}
+
+/// Mean of the service time (in `tau`) for the given model without
+/// materializing the distribution.
+pub fn service_mean(mu: f64, m: u64) -> f64 {
+    let overhead = if mu <= 0.0 {
+        0.0
+    } else {
+        expected_overhead_slots(mu)
+    };
+    overhead + m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_traffic_service_is_deterministic() {
+        let d = service_dist(SchedulingShape::ExactSplitting, 0.0, 25);
+        assert_eq!(d.len(), 26);
+        assert!((d.mean() - 25.0).abs() < 1e-12);
+        assert_eq!(d.variance(), 0.0);
+    }
+
+    #[test]
+    fn both_shapes_share_the_mean() {
+        for &mu in &[0.5, 1.26, 2.0] {
+            let exact = service_dist(SchedulingShape::ExactSplitting, mu, 25);
+            let geo = service_dist(SchedulingShape::Geometric, mu, 25);
+            let want = service_mean(mu, 25);
+            assert!(
+                (exact.mean() - want).abs() < 1e-6,
+                "exact mean {} vs {want}",
+                exact.mean()
+            );
+            assert!(
+                (geo.mean() - want).abs() < 1e-6,
+                "geometric mean {} vs {want}",
+                geo.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn service_never_shorter_than_transmission() {
+        let d = service_dist(SchedulingShape::ExactSplitting, 1.0, 10);
+        assert_eq!(d.cdf(9.0), 0.0);
+        assert!(d.cdf(10.0) > 0.0);
+    }
+
+    #[test]
+    fn geometric_shape_has_larger_variance() {
+        // The geometric approximation is heavier-tailed than the true
+        // splitting distribution at the optimal occupancy.
+        let exact = service_dist(SchedulingShape::ExactSplitting, 1.26, 25);
+        let geo = service_dist(SchedulingShape::Geometric, 1.26, 25);
+        assert!(geo.variance() > exact.variance());
+    }
+
+    #[test]
+    fn masses_are_complete() {
+        for shape in [SchedulingShape::ExactSplitting, SchedulingShape::Geometric] {
+            let d = service_dist(shape, 1.0, 25);
+            assert!((d.total_mass() - 1.0).abs() < 1e-8);
+        }
+    }
+}

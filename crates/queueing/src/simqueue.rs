@@ -1,0 +1,272 @@
+//! A centralized-queue simulator for validating the analytics.
+//!
+//! Simulates a single-server FCFS queue with Poisson arrivals and
+//! deadline-induced loss in either of the paper's two equivalent forms
+//! (figure 5):
+//!
+//! * [`LossMode::FrontOfQueue`] — every customer joins; a customer found
+//!   to have waited longer than `K` when reaching the head of the queue is
+//!   denied service;
+//! * [`LossMode::Balking`] — an arriving customer observes the unfinished
+//!   work and joins only if it does not exceed `K`.
+//!
+//! The simulator validates eq. 4.7 (and the figure-5 equivalence of the
+//! two loss models in utilization and loss) independently of the protocol
+//! engine.
+
+use tcw_numerics::grid::GridDist;
+use tcw_sim::rng::Rng;
+
+/// How deadline losses are realized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossMode {
+    /// Join always; drop at the head of the queue if wait exceeded `K`.
+    FrontOfQueue,
+    /// Join only if the unfinished work is at most `K`.
+    Balking,
+}
+
+/// Results of a queue simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct SimResult {
+    /// Fraction of customers lost.
+    pub loss: f64,
+    /// Fraction of time the server was busy.
+    pub busy: f64,
+    /// Mean wait of customers that entered service.
+    pub mean_wait_served: f64,
+    /// Number of customers simulated.
+    pub customers: u64,
+}
+
+/// Samples a `GridDist` by inversion (linear scan with cached cdf).
+pub struct DistSampler {
+    step: f64,
+    cdf: Vec<f64>,
+}
+
+impl DistSampler {
+    /// Builds a sampler; the distribution is renormalized over its stored
+    /// mass.
+    pub fn new(dist: &GridDist) -> Self {
+        let total = dist.total_mass();
+        assert!(total > 0.0);
+        let mut cdf = Vec::with_capacity(dist.len());
+        let mut acc = 0.0;
+        for &p in dist.pmf() {
+            acc += p / total;
+            cdf.push(acc);
+        }
+        DistSampler {
+            step: dist.step(),
+            cdf,
+        }
+    }
+
+    /// Draws one value (a lattice point).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = rng.f64();
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.cdf.len() - 1);
+        idx as f64 * self.step
+    }
+}
+
+/// Simulates `customers` arrivals through the queue.
+///
+/// `lambda` is the Poisson arrival rate per unit time (the unit being the
+/// lattice step of `service`); `k` is the deadline in the same units.
+pub fn simulate(
+    lambda: f64,
+    service: &GridDist,
+    k: f64,
+    mode: LossMode,
+    customers: u64,
+    seed: u64,
+) -> SimResult {
+    assert!(lambda > 0.0);
+    assert!(customers > 0);
+    let sampler = DistSampler::new(service);
+    let mut rng = Rng::new(seed);
+
+    let mut clock = 0.0f64; // arrival clock
+    let mut lost = 0u64;
+    let mut busy_time = 0.0f64;
+    let mut wait_sum = 0.0f64;
+    let mut served = 0u64;
+
+    match mode {
+        LossMode::Balking => {
+            // Workload (virtual waiting time) recursion.
+            let mut workload = 0.0f64;
+            let mut last_arrival = 0.0f64;
+            for _ in 0..customers {
+                clock += -rng.f64_open_left().ln() / lambda;
+                workload = (workload - (clock - last_arrival)).max(0.0);
+                last_arrival = clock;
+                if workload > k {
+                    lost += 1;
+                } else {
+                    wait_sum += workload;
+                    served += 1;
+                    let x = sampler.sample(&mut rng);
+                    workload += x;
+                    busy_time += x;
+                }
+            }
+        }
+        LossMode::FrontOfQueue => {
+            // Explicit FIFO queue; service-start check.
+            let mut queue: std::collections::VecDeque<f64> = Default::default();
+            let mut server_free_at = 0.0f64;
+            for _ in 0..customers {
+                clock += -rng.f64_open_left().ln() / lambda;
+                // Let the server chew through the queue up to this arrival.
+                while let Some(&arr) = queue.front() {
+                    let start = server_free_at.max(arr);
+                    if start > clock {
+                        break;
+                    }
+                    queue.pop_front();
+                    if start - arr > k {
+                        lost += 1; // denied service at the head
+                        server_free_at = start;
+                    } else {
+                        wait_sum += start - arr;
+                        served += 1;
+                        let x = sampler.sample(&mut rng);
+                        busy_time += x;
+                        server_free_at = start + x;
+                    }
+                }
+                queue.push_back(clock);
+            }
+            // Drain the remaining queue.
+            while let Some(arr) = queue.pop_front() {
+                let start = server_free_at.max(arr);
+                if start - arr > k {
+                    lost += 1;
+                    server_free_at = start;
+                } else {
+                    wait_sum += start - arr;
+                    served += 1;
+                    let x = sampler.sample(&mut rng);
+                    busy_time += x;
+                    server_free_at = start + x;
+                }
+            }
+        }
+    }
+
+    SimResult {
+        loss: lost as f64 / customers as f64,
+        busy: busy_time / clock.max(1e-12),
+        mean_wait_served: if served > 0 {
+            wait_sum / served as f64
+        } else {
+            0.0
+        },
+        customers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impatient::loss_probability;
+
+    const N: u64 = 400_000;
+
+    #[test]
+    fn front_loss_equals_balking() {
+        // Figure 5: the two loss models agree in loss and utilization.
+        let service = GridDist::point(1.0, 25.0);
+        let lambda = 0.03;
+        let k = 100.0;
+        let a = simulate(lambda, &service, k, LossMode::FrontOfQueue, N, 1);
+        let b = simulate(lambda, &service, k, LossMode::Balking, N, 2);
+        assert!(
+            (a.loss - b.loss).abs() < 0.01,
+            "loss: front {} vs balk {}",
+            a.loss,
+            b.loss
+        );
+        assert!(
+            (a.busy - b.busy).abs() < 0.01,
+            "busy: front {} vs balk {}",
+            a.busy,
+            b.busy
+        );
+    }
+
+    #[test]
+    fn balking_matches_eq_4_7_deterministic_service() {
+        let service = GridDist::point(1.0, 25.0);
+        let lambda = 0.03; // rho = 0.75
+        for &k in &[0.0, 50.0, 100.0, 200.0, 400.0] {
+            let sim = simulate(lambda, &service, k, LossMode::Balking, N, 3);
+            let ana = loss_probability(lambda, &service, k);
+            assert!(
+                (sim.loss - ana).abs() < 0.012,
+                "K={k}: sim {} vs analytic {}",
+                sim.loss,
+                ana
+            );
+        }
+    }
+
+    #[test]
+    fn balking_matches_eq_4_7_geometric_service() {
+        let service = GridDist::geometric(1.0, 0.1, 1e-13); // mean 10
+        let lambda = 0.06; // rho = 0.6
+        for &k in &[0.0, 20.0, 60.0, 150.0] {
+            let sim = simulate(lambda, &service, k, LossMode::Balking, N, 4);
+            let ana = loss_probability(lambda, &service, k);
+            assert!(
+                (sim.loss - ana).abs() < 0.012,
+                "K={k}: sim {} vs analytic {}",
+                sim.loss,
+                ana
+            );
+        }
+    }
+
+    #[test]
+    fn flow_conservation_eq_4_6_holds_in_simulation() {
+        // p(accept) * rho = 1 - P(0): measured utilization equals accepted
+        // load.
+        let service = GridDist::point(1.0, 20.0);
+        let lambda = 0.04; // rho = 0.8
+        let k = 60.0;
+        let sim = simulate(lambda, &service, k, LossMode::Balking, N, 5);
+        let rho = lambda * 20.0;
+        let expect_busy = (1.0 - sim.loss) * rho;
+        assert!(
+            (sim.busy - expect_busy).abs() < 0.01,
+            "busy {} vs p(accept)*rho = {}",
+            sim.busy,
+            expect_busy
+        );
+    }
+
+    #[test]
+    fn overloaded_queue_sheds_excess() {
+        let service = GridDist::point(1.0, 10.0);
+        let lambda = 0.2; // rho = 2
+        let sim = simulate(lambda, &service, 100.0, LossMode::Balking, N, 6);
+        assert!((sim.loss - 0.5).abs() < 0.02, "loss = {}", sim.loss);
+        assert!(sim.busy > 0.97, "busy = {}", sim.busy);
+    }
+
+    #[test]
+    fn sampler_reproduces_distribution_mean() {
+        let d = GridDist::geometric(1.0, 0.25, 1e-12);
+        let s = DistSampler::new(&d);
+        let mut rng = Rng::new(7);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| s.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean = {mean}");
+    }
+}

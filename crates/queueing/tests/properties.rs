@@ -1,0 +1,130 @@
+//! Property-based tests for the analytic queueing models.
+
+use proptest::prelude::*;
+use tcw_numerics::grid::GridDist;
+use tcw_queueing::impatient::{loss_probability, p_idle, z_series};
+use tcw_queueing::lcfs::{lcfs_tail, step_work_pmf};
+use tcw_queueing::mg1::{fcfs_tail, rho, waiting_time_cdf};
+use tcw_queueing::service::{service_dist, service_mean, SchedulingShape};
+
+/// Strategy: a proper service distribution with no mass at zero.
+fn service_strategy() -> impl Strategy<Value = GridDist> {
+    proptest::collection::vec(0.0f64..1.0, 1..15).prop_map(|mut v| {
+        let total: f64 = v.iter().sum();
+        if total <= 0.0 {
+            v[0] = 1.0;
+        }
+        let total: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= total;
+        }
+        let mut pmf = vec![0.0];
+        pmf.extend(v);
+        GridDist::from_pmf(1.0, pmf)
+    })
+}
+
+proptest! {
+    /// Eq. 4.7 is a probability, monotone non-increasing in K, anchored at
+    /// rho/(1+rho) at K = 0.
+    #[test]
+    fn loss_probability_properties(
+        service in service_strategy(),
+        lambda_scale in 0.05f64..1.8,
+    ) {
+        let lambda = lambda_scale / service.mean();
+        let anchor = loss_probability(lambda, &service, 0.0);
+        let r = lambda * service.mean();
+        prop_assert!((anchor - r / (1.0 + r)).abs() < 1e-9);
+        let mut prev = anchor;
+        for k in [1.0, 2.0, 5.0, 10.0, 25.0, 60.0, 150.0] {
+            let p = loss_probability(lambda, &service, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p <= prev + 1e-12, "loss increased at K={k}");
+            prev = p;
+        }
+    }
+
+    /// Flow conservation (eq. 4.6) holds identically: P(0) derived from
+    /// the loss is a probability, decreasing in K (busier server at
+    /// looser deadlines).
+    #[test]
+    fn p_idle_properties(service in service_strategy(), lambda_scale in 0.05f64..0.9) {
+        let lambda = lambda_scale / service.mean();
+        let mut prev = 1.0;
+        for k in [0.0, 2.0, 8.0, 30.0, 100.0] {
+            let p0 = p_idle(lambda, &service, k);
+            prop_assert!((0.0..=1.0).contains(&p0));
+            prop_assert!(p0 <= prev + 1e-12);
+            prev = p0;
+        }
+    }
+
+    /// z(K) is non-decreasing in K and bounded by the geometric sum.
+    #[test]
+    fn z_series_monotone(service in service_strategy(), lambda_scale in 0.05f64..0.9) {
+        let lambda = lambda_scale / service.mean();
+        let r = rho(lambda, &service);
+        let mut prev = 0.0;
+        for k in [0.0, 1.0, 4.0, 16.0, 64.0] {
+            let z = z_series(lambda, &service, k);
+            prop_assert!(z + 1e-12 >= prev);
+            prop_assert!(z <= 1.0 / (1.0 - r) + 1e-9);
+            prev = z;
+        }
+    }
+
+    /// FCFS waiting CDF: starts at 1 - rho, monotone, reaches ~1.
+    #[test]
+    fn fcfs_waiting_cdf_properties(service in service_strategy(), lambda_scale in 0.05f64..0.9) {
+        let lambda = lambda_scale / service.mean();
+        let cdf = waiting_time_cdf(lambda, &service, 3_000);
+        prop_assert!((cdf[0] - (1.0 - lambda_scale)).abs() < 1e-9);
+        for w in cdf.windows(2) {
+            prop_assert!(w[1] + 1e-12 >= w[0]);
+        }
+        prop_assert!(cdf.last().unwrap() > &0.98);
+    }
+
+    /// LCFS and FCFS share P(W = 0) and the ordering flips between small
+    /// and large K cannot make either tail negative or above one.
+    #[test]
+    fn lcfs_tail_is_probability(service in service_strategy(), lambda_scale in 0.1f64..0.9) {
+        let lambda = lambda_scale / service.mean();
+        let mut prev = 1.0;
+        for k in [0.0, 3.0, 10.0, 40.0, 120.0] {
+            let t = lcfs_tail(lambda, &service, k);
+            prop_assert!((0.0..=1.0).contains(&t));
+            prop_assert!(t <= prev + 1e-12);
+            prev = t;
+        }
+        // Far tails: LCFS >= FCFS (heavier tail, same mean).
+        let t_l = lcfs_tail(lambda, &service, 400.0);
+        let t_f = fcfs_tail(lambda, &service, 400.0);
+        prop_assert!(t_l + 1e-9 >= t_f, "lcfs {t_l} < fcfs {t_f}");
+    }
+
+    /// The compound-Poisson step-work pmf has the right mean and mass.
+    #[test]
+    fn step_work_properties(service in service_strategy(), lam in 0.01f64..0.5) {
+        let j = step_work_pmf(lam, &service, 2_000);
+        let total: f64 = j.iter().sum();
+        prop_assert!(total > 0.999 && total <= 1.0 + 1e-9);
+        let mean: f64 = j.iter().enumerate().map(|(n, &p)| n as f64 * p).sum();
+        prop_assert!((mean - lam * service.mean()).abs() < 1e-6);
+    }
+
+    /// Service-model invariants: both shapes share the mean, which equals
+    /// overhead + M; masses are complete.
+    #[test]
+    fn service_model_invariants(mu in 0.05f64..3.0, m in 1u64..60) {
+        let exact = service_dist(SchedulingShape::ExactSplitting, mu, m);
+        let geo = service_dist(SchedulingShape::Geometric, mu, m);
+        let want = service_mean(mu, m);
+        prop_assert!((exact.mean() - want).abs() < 1e-5);
+        prop_assert!((geo.mean() - want).abs() < 1e-5);
+        prop_assert!(exact.cdf((m - 1) as f64) == 0.0);
+        prop_assert!((exact.total_mass() - 1.0).abs() < 1e-7);
+        prop_assert!((geo.total_mass() - 1.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,170 @@
+//! A stable discrete-event queue.
+//!
+//! Events are ordered by their scheduled [`Time`]; events scheduled for the
+//! same instant are delivered in FIFO (insertion) order. Stability matters
+//! for reproducibility: `std::collections::BinaryHeap` alone is not stable,
+//! so every entry carries a monotone sequence number used as a tie-breaker.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list keyed by simulation time, stable for equal times.
+///
+/// ```
+/// use tcw_sim::events::EventQueue;
+/// use tcw_sim::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_ticks(7), 'x');
+/// q.schedule(Time::from_ticks(7), 'y');
+/// q.schedule(Time::from_ticks(3), 'z');
+/// assert_eq!(q.pop(), Some((Time::from_ticks(3), 'z')));
+/// assert_eq!(q.pop(), Some((Time::from_ticks(7), 'x')));
+/// assert_eq!(q.pop(), Some((Time::from_ticks(7), 'y')));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with capacity for `n` pending events.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at instant `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for &t in &[9u64, 1, 5, 3, 7] {
+            q.schedule(Time::from_ticks(t), t);
+        }
+        let mut got = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            got.push(e);
+        }
+        assert_eq!(got, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn fifo_for_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_ticks(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from_ticks(4), ());
+        q.schedule(Time::from_ticks(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_ticks(2)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ticks(10), "late");
+        q.schedule(Time::from_ticks(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.schedule(Time::from_ticks(5), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+}

@@ -1,0 +1,123 @@
+//! Event counters for ratio estimates (loss probabilities).
+
+/// Counts "marked" events against a total, reporting their ratio together
+/// with a normal-approximation confidence interval for the proportion.
+///
+/// This is the estimator used for the paper's headline metric: the fraction
+/// of messages **not** delivered within the time constraint `K`.
+#[derive(Clone, Debug, Default)]
+pub struct RatioCounter {
+    marked: u64,
+    total: u64,
+}
+
+impl RatioCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event; `marked` says whether it counts toward the ratio.
+    pub fn record(&mut self, marked: bool) {
+        self.total += 1;
+        if marked {
+            self.marked += 1;
+        }
+    }
+
+    /// Records a marked event.
+    pub fn hit(&mut self) {
+        self.record(true);
+    }
+
+    /// Records an unmarked event.
+    pub fn miss(&mut self) {
+        self.record(false);
+    }
+
+    /// Number of marked events.
+    pub fn marked(&self) -> u64 {
+        self.marked
+    }
+
+    /// Total number of events.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Ratio of marked events; `0.0` when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.marked as f64 / self.total as f64
+        }
+    }
+
+    /// Half-width of the 95% normal-approximation confidence interval for
+    /// the proportion. Returns `0.0` when empty.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let p = self.ratio();
+        1.96 * (p * (1.0 - p) / self.total as f64).sqrt()
+    }
+
+    /// Merges another counter's observations into this one.
+    pub fn merge(&mut self, other: &RatioCounter) {
+        self.marked += other.marked;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_counts() {
+        let mut c = RatioCounter::new();
+        c.hit();
+        c.miss();
+        c.miss();
+        c.record(true);
+        assert_eq!(c.marked(), 2);
+        assert_eq!(c.total(), 4);
+        assert!((c.ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        let c = RatioCounter::new();
+        assert_eq!(c.ratio(), 0.0);
+        assert_eq!(c.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = RatioCounter::new();
+        let mut large = RatioCounter::new();
+        for i in 0..100 {
+            small.record(i % 2 == 0);
+        }
+        for i in 0..10_000 {
+            large.record(i % 2 == 0);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+        // 1.96 * sqrt(0.25/10000) = 0.0098
+        assert!((large.ci95_half_width() - 0.0098).abs() < 1e-4);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = RatioCounter::new();
+        a.hit();
+        let mut b = RatioCounter::new();
+        b.miss();
+        b.miss();
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.marked(), 1);
+    }
+}

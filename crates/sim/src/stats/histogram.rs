@@ -1,0 +1,229 @@
+//! Fixed-width-bin histograms with quantile estimation.
+
+/// A histogram with `bins` equal-width buckets over `[lo, hi)` plus
+/// underflow/overflow buckets. Quantiles are estimated by linear
+/// interpolation inside the containing bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` buckets.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total number of observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bucket `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of buckets (excluding under/overflow).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `[lo, hi)` bounds of bucket `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo + self.width * i as f64;
+        (lo, lo + self.width)
+    }
+
+    /// Empirical fraction of observations strictly below `x` (underflow
+    /// counts as below; overflow as above). Within the containing bucket the
+    /// mass is assumed uniform.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x <= self.lo {
+            return self.underflow as f64 / self.total as f64;
+        }
+        let mut below = self.underflow;
+        let idx = ((x - self.lo) / self.width) as usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if i < idx {
+                below += c;
+            } else {
+                break;
+            }
+        }
+        let mut frac = below as f64;
+        if idx < self.counts.len() {
+            let (blo, _) = self.bin_bounds(idx);
+            frac += self.counts[idx] as f64 * ((x - blo) / self.width).clamp(0.0, 1.0);
+        } else {
+            // x beyond the histogram range: everything except overflow is below.
+            frac = (self.total - self.overflow) as f64;
+        }
+        frac / self.total as f64
+    }
+
+    /// Estimates the `q`-quantile (`q ∈ [0,1]`).
+    ///
+    /// Returns `None` if the histogram is empty or the quantile falls in the
+    /// under/overflow mass (where no value estimate is possible).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut acc = self.underflow as f64;
+        if target < acc {
+            return None;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if target <= next && c > 0 {
+                let (blo, _) = self.bin_bounds(i);
+                let inside = (target - acc) / c as f64;
+                return Some(blo + inside * self.width);
+            }
+            acc = next;
+        }
+        None
+    }
+
+    /// Mean estimated from bucket midpoints (ignores under/overflow).
+    pub fn approximate_mean(&self) -> f64 {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let mut s = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (blo, bhi) = self.bin_bounds(i);
+            s += c as f64 * 0.5 * (blo + bhi);
+        }
+        s / in_range as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_bounds() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bins(), 5);
+        assert_eq!(h.bin_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bin_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(1.99);
+        h.record(2.0);
+        h.record(9.99);
+        h.record(10.0);
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(4), 1);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn cdf_of_uniform_fill() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        assert!((h.cdf(0.5) - 0.5).abs() < 0.01);
+        assert!((h.cdf(0.25) - 0.25).abs() < 0.01);
+        assert_eq!(h.cdf(2.0), 1.0);
+        assert_eq!(h.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_fill() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..10_000 {
+            h.record(i as f64 / 10_000.0);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 0.5).abs() < 0.02, "median = {med}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 0.95).abs() < 0.02, "p95 = {p95}");
+    }
+
+    #[test]
+    fn quantile_in_overflow_is_none() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.record(5.0);
+        h.record(6.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(0.0, 1.0, 10);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.cdf(0.5), 0.0);
+        assert_eq!(h.approximate_mean(), 0.0);
+    }
+
+    #[test]
+    fn approximate_mean_tracks_true_mean() {
+        let mut h = Histogram::new(0.0, 10.0, 1000);
+        for i in 0..10_000 {
+            h.record((i % 100) as f64 / 10.0);
+        }
+        assert!((h.approximate_mean() - 4.95).abs() < 0.02);
+    }
+}

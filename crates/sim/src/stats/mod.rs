@@ -1,0 +1,29 @@
+//! Online statistics for simulation output analysis.
+//!
+//! All collectors are *online* (O(1) memory per observation) and never
+//! allocate on the observation path, so they can be sampled inside the inner
+//! simulation loop:
+//!
+//! * [`Tally`] — Welford mean/variance/min/max of plain observations;
+//! * [`TimeWeighted`] — time-averaged piecewise-constant signals (queue
+//!   lengths, busy indicators);
+//! * [`Histogram`] — fixed-width bins with overflow, quantile estimates;
+//! * [`RatioCounter`] — counted events over a denominator (loss ratios);
+//! * [`BatchMeans`] — batch-means confidence intervals for steady-state
+//!   simulation estimates;
+//! * [`P2Quantile`] — O(1)-memory online quantile estimation (tail-delay
+//!   percentiles).
+
+mod batch;
+mod counter;
+mod histogram;
+mod quantile;
+mod tally;
+mod timeweighted;
+
+pub use batch::BatchMeans;
+pub use counter::RatioCounter;
+pub use histogram::Histogram;
+pub use quantile::P2Quantile;
+pub use tally::Tally;
+pub use timeweighted::TimeWeighted;

@@ -1,0 +1,230 @@
+//! P² (piecewise-parabolic) online quantile estimation.
+//!
+//! Jain & Chlamtac's P² algorithm estimates a single quantile in O(1)
+//! memory without storing observations — the right tool for tail-delay
+//! percentiles (p95/p99 waiting times) over long simulation runs, where a
+//! bounded histogram would clip and a full sample would not fit.
+
+/// Online estimator of one quantile via the P² algorithm.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the quantile curve).
+    heights: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile (`0 < q < 1`).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile being estimated.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate.
+    ///
+    /// With fewer than five observations, returns the exact sample
+    /// quantile of what has been seen (`None` when empty).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut seen: Vec<f64> = self.heights[..self.count as usize].to_vec();
+            seen.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            let idx = ((self.count as f64 - 1.0) * self.q).round() as usize;
+            return Some(seen[idx]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn uniform_median() {
+        let mut est = P2Quantile::new(0.5);
+        let mut rng = Rng::new(1);
+        for _ in 0..100_000 {
+            est.record(rng.f64());
+        }
+        let m = est.estimate().unwrap();
+        assert!((m - 0.5).abs() < 0.01, "median = {m}");
+    }
+
+    #[test]
+    fn uniform_p95_and_p99() {
+        let mut p95 = P2Quantile::new(0.95);
+        let mut p99 = P2Quantile::new(0.99);
+        let mut rng = Rng::new(2);
+        for _ in 0..200_000 {
+            let x = rng.f64();
+            p95.record(x);
+            p99.record(x);
+        }
+        let a = p95.estimate().unwrap();
+        let b = p99.estimate().unwrap();
+        assert!((a - 0.95).abs() < 0.01, "p95 = {a}");
+        assert!((b - 0.99).abs() < 0.005, "p99 = {b}");
+        assert!(b > a);
+    }
+
+    #[test]
+    fn exponential_tail_quantile() {
+        // p90 of Exp(1) is ln(10) ≈ 2.3026.
+        let mut est = P2Quantile::new(0.9);
+        let mut rng = Rng::new(3);
+        for _ in 0..300_000 {
+            est.record(-rng.f64_open_left().ln());
+        }
+        let x = est.estimate().unwrap();
+        assert!((x - 10f64.ln()).abs() < 0.05, "p90 = {x}");
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        est.record(3.0);
+        assert_eq!(est.estimate(), Some(3.0));
+        est.record(1.0);
+        est.record(2.0);
+        // exact median of {1,2,3}
+        assert_eq!(est.estimate(), Some(2.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut est = P2Quantile::new(0.75);
+        for _ in 0..1000 {
+            est.record(7.0);
+        }
+        assert_eq!(est.estimate(), Some(7.0));
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted_streams_agree() {
+        let n = 50_000;
+        let mut fwd = P2Quantile::new(0.9);
+        let mut rev = P2Quantile::new(0.9);
+        for i in 0..n {
+            fwd.record(i as f64);
+            rev.record((n - 1 - i) as f64);
+        }
+        let expect = 0.9 * (n as f64 - 1.0);
+        let f = fwd.estimate().unwrap();
+        let r = rev.estimate().unwrap();
+        assert!((f - expect).abs() / expect < 0.02, "fwd {f} vs {expect}");
+        assert!((r - expect).abs() / expect < 0.02, "rev {r} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_quantile_panics() {
+        P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Welford online mean/variance tally.
+
+/// Accumulates observations and reports count, mean, variance, min and max.
+///
+/// Uses Welford's numerically stable recurrence, so it is safe for long runs
+/// with values of very different magnitude.
+#[derive(Clone, Debug, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merges another tally into this one (parallel-reduction friendly).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // population variance 4.0 => sample variance 32/7
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert!((t.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_sane() {
+        let t = Tally::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut t = Tally::new();
+        t.record(3.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.mean(), 3.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Tally::new();
+        a.record(1.0);
+        a.record(2.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&Tally::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut empty = Tally::new();
+        let mut b = Tally::new();
+        b.record(5.0);
+        empty.merge(&b);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 5.0);
+    }
+}

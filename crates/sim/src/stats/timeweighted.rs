@@ -1,0 +1,127 @@
+//! Time-weighted averages of piecewise-constant signals.
+
+use crate::time::Time;
+
+/// Integrates a piecewise-constant signal over simulation time and reports
+/// its time average — the right estimator for quantities like queue length
+/// or server-busy indicators ("fraction of time the server was busy",
+/// i.e. `1 − P(0)` in the paper's flow-conservation identity, eq. 4.6).
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    start: Time,
+    last_change: Time,
+    value: f64,
+    integral: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `start` with initial signal value `value`.
+    pub fn new(start: Time, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            value,
+            integral: 0.0,
+            max: value,
+        }
+    }
+
+    /// Records that the signal changed to `value` at instant `now`.
+    ///
+    /// # Panics
+    /// Debug-panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: Time, value: f64) {
+        self.advance(now);
+        self.value = value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Adds `delta` to the current signal value at instant `now`.
+    pub fn add(&mut self, now: Time, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// The current signal value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The largest value the signal has taken.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time average of the signal over `[start, now]`.
+    ///
+    /// Returns `0.0` if no time has elapsed.
+    pub fn average(&self, now: Time) -> f64 {
+        let total = (now - self.start).as_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let tail = (now - self.last_change).as_f64() * self.value;
+        (self.integral + tail) / total
+    }
+
+    fn advance(&mut self, now: Time) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        self.integral += (now - self.last_change).as_f64() * self.value;
+        self.last_change = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Dur, Time};
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    #[test]
+    fn square_wave_average() {
+        let mut w = TimeWeighted::new(t(0), 0.0);
+        w.set(t(10), 1.0); // 0 for 10 ticks
+        w.set(t(30), 0.0); // 1 for 20 ticks
+        // average over [0, 40] = 20/40
+        assert!((w.average(t(40)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_includes_open_tail() {
+        let mut w = TimeWeighted::new(t(0), 2.0);
+        w.set(t(5), 4.0);
+        // [0,5): 2, [5,15): 4 -> (10 + 40)/15
+        assert!((w.average(t(15)) - 50.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_tracks_queue_length() {
+        let mut w = TimeWeighted::new(t(0), 0.0);
+        w.add(t(1), 1.0);
+        w.add(t(2), 1.0);
+        w.add(t(4), -1.0);
+        assert_eq!(w.value(), 1.0);
+        assert_eq!(w.max(), 2.0);
+        // integral: [1,2)=1, [2,4)=2*2=4, [4,6)=1*2=2 => 7/6
+        assert!((w.average(t(6)) - 7.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_time_is_zero_average() {
+        let w = TimeWeighted::new(t(5), 3.0);
+        assert_eq!(w.average(t(5)), 0.0);
+    }
+
+    #[test]
+    fn nonzero_start_offsets_window() {
+        let mut w = TimeWeighted::new(t(100), 1.0);
+        w.set(t(100) + Dur::from_ticks(10), 0.0);
+        assert!((w.average(t(120)) - 0.5).abs() < 1e-12);
+    }
+}

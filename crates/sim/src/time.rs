@@ -1,0 +1,323 @@
+//! Integer-tick simulation time.
+//!
+//! All simulation time is kept in unsigned integer *ticks* so that event
+//! ordering is exact and runs are reproducible across platforms (no floating
+//! point drift). The physical meaning of a tick is set by the embedding
+//! model; in this workspace the `tcw-mac` channel fixes `ticks_per_tau`, the
+//! number of ticks in one end-to-end propagation delay `tau`.
+//!
+//! [`Time`] is an absolute instant; [`Dur`] is a non-negative span. The
+//! arithmetic between them is the usual affine algebra (`Time - Time = Dur`,
+//! `Time + Dur = Time`, ...), with overflow checked in debug builds via the
+//! standard integer semantics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An absolute simulation instant, in ticks since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A non-negative span of simulation time, in ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The origin of simulation time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (useful as an "infinite" horizon).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Builds an instant from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(t: u64) -> Self {
+        Time(t)
+    }
+
+    /// Raw tick count since the origin.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Span from the origin to this instant.
+    #[inline]
+    pub const fn since_origin(self) -> Dur {
+        Dur(self.0)
+    }
+
+    /// Saturating subtraction of a span; clamps at the origin.
+    #[inline]
+    pub const fn saturating_sub(self, d: Dur) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+
+    /// Checked subtraction of a span.
+    #[inline]
+    pub const fn checked_sub(self, d: Dur) -> Option<Time> {
+        match self.0.checked_sub(d.0) {
+            Some(t) => Some(Time(t)),
+            None => None,
+        }
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0);
+    /// The largest representable span.
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Builds a span from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(t: u64) -> Self {
+        Dur(t)
+    }
+
+    /// Raw tick count of this span.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the span is empty.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction; clamps at zero.
+    #[inline]
+    pub const fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// This span as a floating-point number of ticks (for statistics only;
+    /// never used for event ordering).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Dur> for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        debug_assert!(self.0 >= rhs.0, "negative duration: {self:?} - {rhs:?}");
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        debug_assert!(self.0 >= rhs.0, "negative duration: {self:?} - {rhs:?}");
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Div<Dur> for Dur {
+    type Output = u64;
+    /// Integer ratio of two spans (floor division).
+    #[inline]
+    fn div(self, rhs: Dur) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn rem(self, rhs: Dur) -> Dur {
+        Dur(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_algebra() {
+        let a = Time::from_ticks(10);
+        let b = Time::from_ticks(25);
+        assert_eq!(b - a, Dur::from_ticks(15));
+        assert_eq!(a + Dur::from_ticks(15), b);
+        assert_eq!(b - Dur::from_ticks(15), a);
+    }
+
+    #[test]
+    fn saturating_behavior() {
+        let a = Time::from_ticks(3);
+        assert_eq!(a.saturating_sub(Dur::from_ticks(10)), Time::ZERO);
+        assert_eq!(a.checked_sub(Dur::from_ticks(10)), None);
+        assert_eq!(
+            a.checked_sub(Dur::from_ticks(3)),
+            Some(Time::ZERO)
+        );
+        assert_eq!(
+            Dur::from_ticks(3).saturating_sub(Dur::from_ticks(5)),
+            Dur::ZERO
+        );
+    }
+
+    #[test]
+    fn dur_scaling_and_division() {
+        let d = Dur::from_ticks(12);
+        assert_eq!(d * 3, Dur::from_ticks(36));
+        assert_eq!(d / 5, Dur::from_ticks(2));
+        assert_eq!(d / Dur::from_ticks(5), 2);
+        assert_eq!(d % Dur::from_ticks(5), Dur::from_ticks(2));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::from_ticks(1);
+        let b = Time::from_ticks(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Dur::from_ticks(1).max(Dur::from_ticks(2)), Dur::from_ticks(2));
+        assert_eq!(Dur::from_ticks(1).min(Dur::from_ticks(2)), Dur::from_ticks(1));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn negative_duration_panics_in_debug() {
+        let _ = Time::from_ticks(1) - Time::from_ticks(2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Half-open time intervals `[lo, hi)` on the tick lattice.
+
+use std::fmt;
+use tcw_sim::time::{Dur, Time};
+
+/// A half-open interval of simulation time, `lo <= t < hi`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: Time,
+    /// Exclusive upper bound.
+    pub hi: Time,
+}
+
+impl Interval {
+    /// Creates `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` (empty intervals with `lo == hi` are allowed).
+    pub fn new(lo: Time, hi: Time) -> Self {
+        assert!(lo <= hi, "inverted interval [{lo:?}, {hi:?})");
+        Interval { lo, hi }
+    }
+
+    /// Builds from raw tick bounds.
+    pub fn from_ticks(lo: u64, hi: u64) -> Self {
+        Self::new(Time::from_ticks(lo), Time::from_ticks(hi))
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> Dur {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval contains no time.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether instant `t` lies inside.
+    pub fn contains(&self, t: Time) -> bool {
+        self.lo <= t && t < self.hi
+    }
+
+    /// Whether two intervals share any time.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Intersection, or `None` when disjoint (an empty intersection at a
+    /// shared boundary counts as disjoint).
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo < hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Splits at the midpoint into (older, younger) halves.
+    ///
+    /// The midpoint is `lo + floor(width/2)`, so for odd widths the older
+    /// half is the shorter one; both halves are non-empty whenever
+    /// `width >= 2` ticks.
+    ///
+    /// Returns `None` if the interval is narrower than 2 ticks (the lattice
+    /// cannot split further; the engine then falls back to per-message
+    /// coin-flip resolution, which models sub-tick splitting of the
+    /// continuous-time protocol).
+    pub fn split(&self) -> Option<(Interval, Interval)> {
+        if self.width().ticks() < 2 {
+            return None;
+        }
+        let mid = self.lo + Dur::from_ticks(self.width().ticks() / 2);
+        Some((
+            Interval {
+                lo: self.lo,
+                hi: mid,
+            },
+            Interval {
+                lo: mid,
+                hi: self.hi,
+            },
+        ))
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo.ticks(), self.hi.ticks())
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo.ticks(), self.hi.ticks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_and_contains() {
+        let i = Interval::from_ticks(10, 20);
+        assert_eq!(i.width(), Dur::from_ticks(10));
+        assert!(i.contains(Time::from_ticks(10)));
+        assert!(i.contains(Time::from_ticks(19)));
+        assert!(!i.contains(Time::from_ticks(20)));
+        assert!(!i.contains(Time::from_ticks(9)));
+    }
+
+    #[test]
+    fn empty_interval() {
+        let i = Interval::from_ticks(5, 5);
+        assert!(i.is_empty());
+        assert!(!i.contains(Time::from_ticks(5)));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Interval::from_ticks(0, 10);
+        let b = Interval::from_ticks(5, 15);
+        let c = Interval::from_ticks(10, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+        assert_eq!(a.intersect(&b), Some(Interval::from_ticks(5, 10)));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn split_halves_cover_whole() {
+        let i = Interval::from_ticks(4, 13); // width 9
+        let (older, younger) = i.split().unwrap();
+        assert_eq!(older, Interval::from_ticks(4, 8));
+        assert_eq!(younger, Interval::from_ticks(8, 13));
+        assert_eq!(older.width() + younger.width(), i.width());
+        assert!(!older.overlaps(&younger));
+    }
+
+    #[test]
+    fn split_even_width_is_exact_halves() {
+        let (a, b) = Interval::from_ticks(0, 8).split().unwrap();
+        assert_eq!(a.width(), b.width());
+    }
+
+    #[test]
+    fn split_below_two_ticks_fails() {
+        assert!(Interval::from_ticks(3, 4).split().is_none());
+        assert!(Interval::from_ticks(3, 3).split().is_none());
+        assert!(Interval::from_ticks(3, 5).split().is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_interval_panics() {
+        Interval::from_ticks(5, 3);
+    }
+}

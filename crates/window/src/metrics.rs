@@ -1,0 +1,305 @@
+//! Per-message loss and delay accounting.
+//!
+//! The paper distinguishes (§4.2):
+//!
+//! * **sender loss** — messages discarded by policy element (4) because
+//!   their waiting time exceeded `K` before they could be scheduled;
+//! * **receiver loss** — messages that were transmitted but whose *true*
+//!   waiting time (arrival → start of own successful transmission)
+//!   exceeded `K`, so the receiver drops them;
+//! * the headline metric, **total loss** — the fraction of offered
+//!   messages not delivered within the constraint.
+//!
+//! Uncontrolled protocols (FCFS/LCFS/RANDOM of [Kurose 83]) have only
+//! receiver losses; the controlled protocol has mostly sender losses plus a
+//! small receiver-loss component caused by the paper's waiting-time
+//! approximation (a message's own scheduling time is not counted in the
+//! waiting time used for the discard decision, but it is counted by the
+//! receiver — the simulation measures the truth, exactly as the paper's
+//! simulation points do).
+
+use tcw_sim::stats::{Histogram, P2Quantile, RatioCounter, Tally};
+use tcw_sim::time::{Dur, Time};
+
+/// Measurement window and deadline configuration for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureConfig {
+    /// Messages arriving before this instant are warm-up and not counted.
+    pub start: Time,
+    /// Messages arriving at/after this instant are cool-down and not
+    /// counted.
+    pub end: Time,
+    /// The delivery deadline `K` used for receiver-loss classification.
+    pub deadline: Dur,
+}
+
+impl MeasureConfig {
+    /// Whether a message arriving at `t` is inside the measured window.
+    pub fn counts(&self, t: Time) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// Aggregated results of a simulation run.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    cfg: MeasureConfig,
+    /// Per-message loss indicator (1 = lost), in arrival order.
+    loss: RatioCounter,
+    sender_lost: u64,
+    receiver_lost: u64,
+    blocked: u64,
+    /// True waiting time (arrival → start of successful transmission) of
+    /// transmitted, counted messages.
+    true_delay: Tally,
+    /// The paper's waiting-time definition (arrival → start of the
+    /// windowing process producing the transmission).
+    paper_delay: Tally,
+    /// Overhead (idle + collision) slots per message-scheduling round.
+    sched_slots: Tally,
+    /// Scheduling time per transmitted message: from max(end of previous
+    /// transmission, own arrival) to start of own transmission — the
+    /// scheduling component of the queueing model's service time (§4).
+    sched_time: Tally,
+    /// Histogram of paper-definition waiting times of transmitted
+    /// messages, over `[0, 2K)` — the empirical counterpart of the
+    /// workload distribution of eq. 4.4.
+    paper_delay_hist: Histogram,
+    /// Online p95/p99 of true waiting times (unbounded, O(1) memory).
+    true_delay_p95: P2Quantile,
+    true_delay_p99: P2Quantile,
+    outstanding: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics for a measurement window.
+    pub fn new(cfg: MeasureConfig) -> Self {
+        Metrics {
+            cfg,
+            loss: RatioCounter::new(),
+            sender_lost: 0,
+            receiver_lost: 0,
+            blocked: 0,
+            true_delay: Tally::new(),
+            paper_delay: Tally::new(),
+            sched_slots: Tally::new(),
+            sched_time: Tally::new(),
+            paper_delay_hist: Histogram::new(
+                0.0,
+                (2 * cfg.deadline.ticks()).max(2) as f64,
+                256,
+            ),
+            true_delay_p95: P2Quantile::new(0.95),
+            true_delay_p99: P2Quantile::new(0.99),
+            outstanding: 0,
+        }
+    }
+
+    /// The measurement configuration.
+    pub fn config(&self) -> &MeasureConfig {
+        &self.cfg
+    }
+
+    /// Records the arrival of a counted message.
+    pub fn on_offered(&mut self, arrival: Time) {
+        if self.cfg.counts(arrival) {
+            self.outstanding += 1;
+        }
+    }
+
+    /// Records an arrival blocked at a full single-buffer station (the
+    /// finite-population sensitivity model; see
+    /// `Engine::set_single_buffer_stations`). Blocked messages never enter
+    /// the protocol and count as lost.
+    pub fn on_blocked(&mut self, arrival: Time) {
+        if self.cfg.counts(arrival) {
+            self.blocked += 1;
+            self.loss.hit();
+        }
+    }
+
+    /// Records a sender-side discard (policy element 4).
+    pub fn on_sender_discard(&mut self, arrival: Time) {
+        if self.cfg.counts(arrival) {
+            self.outstanding -= 1;
+            self.sender_lost += 1;
+            self.loss.hit();
+        }
+    }
+
+    /// Records a successful transmission.
+    pub fn on_transmit(&mut self, arrival: Time, paper_delay: Dur, true_delay: Dur) {
+        if !self.cfg.counts(arrival) {
+            return;
+        }
+        self.outstanding -= 1;
+        self.true_delay.record(true_delay.as_f64());
+        self.true_delay_p95.record(true_delay.as_f64());
+        self.true_delay_p99.record(true_delay.as_f64());
+        self.paper_delay.record(paper_delay.as_f64());
+        self.paper_delay_hist.record(paper_delay.as_f64());
+        if true_delay > self.cfg.deadline {
+            self.receiver_lost += 1;
+            self.loss.hit();
+        } else {
+            self.loss.miss();
+        }
+    }
+
+    /// Records the overhead slot count of a scheduling round that produced
+    /// a transmission.
+    pub fn on_round(&mut self, overhead_slots: u64) {
+        self.sched_slots.record(overhead_slots as f64);
+    }
+
+    /// Records the scheduling-time component of a transmitted message's
+    /// service time (in ticks).
+    pub fn on_sched_time(&mut self, t: Dur) {
+        self.sched_time.record(t.as_f64());
+    }
+
+    /// Counted messages that have not yet been resolved (must be zero after
+    /// a drained run).
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Offered (counted) messages resolved so far.
+    pub fn offered(&self) -> u64 {
+        self.loss.total()
+    }
+
+    /// Messages discarded at the sender.
+    pub fn sender_lost(&self) -> u64 {
+        self.sender_lost
+    }
+
+    /// Messages transmitted but late at the receiver.
+    pub fn receiver_lost(&self) -> u64 {
+        self.receiver_lost
+    }
+
+    /// Arrivals blocked at full single-buffer stations.
+    pub fn blocked(&self) -> u64 {
+        self.blocked
+    }
+
+    /// Total loss fraction — the paper's headline metric.
+    pub fn loss_fraction(&self) -> f64 {
+        self.loss.ratio()
+    }
+
+    /// 95% confidence half-width for the loss fraction (binomial
+    /// approximation; successive messages are weakly dependent, so this is
+    /// indicative — batch-level replication in the harness provides the
+    /// rigorous interval).
+    pub fn loss_ci95(&self) -> f64 {
+        self.loss.ci95_half_width()
+    }
+
+    /// Tally of true waiting times of transmitted messages (ticks).
+    pub fn true_delay(&self) -> &Tally {
+        &self.true_delay
+    }
+
+    /// Tally of paper-definition waiting times (ticks).
+    pub fn paper_delay(&self) -> &Tally {
+        &self.paper_delay
+    }
+
+    /// Tally of overhead slots per successful scheduling round.
+    pub fn sched_slots(&self) -> &Tally {
+        &self.sched_slots
+    }
+
+    /// Tally of scheduling times of transmitted messages (ticks).
+    pub fn sched_time(&self) -> &Tally {
+        &self.sched_time
+    }
+
+    /// Histogram of paper-definition waiting times of transmitted,
+    /// counted messages (ticks, 256 bins over `[0, 2K)`).
+    pub fn paper_delay_histogram(&self) -> &Histogram {
+        &self.paper_delay_hist
+    }
+
+    /// Online p95 of true waiting times of transmitted messages (ticks).
+    pub fn true_delay_p95(&self) -> Option<f64> {
+        self.true_delay_p95.estimate()
+    }
+
+    /// Online p99 of true waiting times of transmitted messages (ticks).
+    pub fn true_delay_p99(&self) -> Option<f64> {
+        self.true_delay_p99.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MeasureConfig {
+        MeasureConfig {
+            start: Time::from_ticks(100),
+            end: Time::from_ticks(1000),
+            deadline: Dur::from_ticks(50),
+        }
+    }
+
+    #[test]
+    fn warmup_and_cooldown_not_counted() {
+        let mut m = Metrics::new(cfg());
+        m.on_offered(Time::from_ticks(10)); // warm-up
+        m.on_offered(Time::from_ticks(1000)); // cool-down boundary
+        m.on_offered(Time::from_ticks(500)); // counted
+        assert_eq!(m.outstanding(), 1);
+        m.on_transmit(Time::from_ticks(10), Dur::ZERO, Dur::ZERO);
+        m.on_transmit(Time::from_ticks(500), Dur::ZERO, Dur::from_ticks(10));
+        assert_eq!(m.offered(), 1);
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn late_delivery_is_receiver_loss() {
+        let mut m = Metrics::new(cfg());
+        m.on_offered(Time::from_ticks(200));
+        m.on_transmit(Time::from_ticks(200), Dur::from_ticks(40), Dur::from_ticks(51));
+        assert_eq!(m.receiver_lost(), 1);
+        assert_eq!(m.loss_fraction(), 1.0);
+    }
+
+    #[test]
+    fn deadline_is_inclusive() {
+        let mut m = Metrics::new(cfg());
+        m.on_offered(Time::from_ticks(200));
+        m.on_transmit(Time::from_ticks(200), Dur::from_ticks(50), Dur::from_ticks(50));
+        assert_eq!(m.receiver_lost(), 0);
+        assert_eq!(m.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sender_discard_counts_as_loss() {
+        let mut m = Metrics::new(cfg());
+        m.on_offered(Time::from_ticks(200));
+        m.on_offered(Time::from_ticks(300));
+        m.on_sender_discard(Time::from_ticks(200));
+        m.on_transmit(Time::from_ticks(300), Dur::ZERO, Dur::from_ticks(5));
+        assert_eq!(m.sender_lost(), 1);
+        assert!((m.loss_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn delays_recorded_only_for_counted() {
+        let mut m = Metrics::new(cfg());
+        m.on_offered(Time::from_ticks(50));
+        m.on_transmit(Time::from_ticks(50), Dur::from_ticks(1), Dur::from_ticks(2));
+        assert_eq!(m.true_delay().count(), 0);
+        m.on_offered(Time::from_ticks(150));
+        m.on_transmit(Time::from_ticks(150), Dur::from_ticks(3), Dur::from_ticks(4));
+        assert_eq!(m.true_delay().count(), 1);
+        assert_eq!(m.true_delay().mean(), 4.0);
+        assert_eq!(m.paper_delay().mean(), 3.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Distributed consistency checker.
+//!
+//! The protocol's correctness rests on a strong claim (paper §2): *every*
+//! station, observing only the shared channel, maintains exactly the same
+//! view of the windowing process, so all stations always agree on the next
+//! window. [`StationMirror`] verifies that claim mechanically: it is an
+//! independent model of one listening station that receives **only** the
+//! channel feedback (slot outcomes and their durations) plus the public
+//! policy and the shared pseudo-random stream — never the engine's message
+//! state — and must reproduce every window decision the engine makes.
+//!
+//! Any divergence would mean the protocol requires information a real
+//! station could not have; the integration tests run every policy preset
+//! through the mirror and assert zero mismatches.
+
+use crate::interval::Interval;
+use crate::policy::ControlPolicy;
+use crate::pseudo::{PseudoInterval, PseudoMap};
+use crate::timeline::Timeline;
+use crate::trace::EngineObserver;
+use tcw_mac::{Message, SlotOutcome};
+use tcw_sim::rng::Rng;
+use tcw_sim::time::{Dur, Time};
+
+struct RoundState {
+    pm: PseudoMap,
+    current: PseudoInterval,
+    sibling: Option<PseudoInterval>,
+    cluster: bool,
+}
+
+/// An independent station model fed exclusively by channel feedback.
+pub struct StationMirror {
+    policy: ControlPolicy,
+    timeline: Timeline,
+    rng_policy: Rng,
+    round: Option<RoundState>,
+    mismatches: Vec<String>,
+    decisions: u64,
+    probes: u64,
+}
+
+impl StationMirror {
+    /// Creates a mirror for an engine built with the same `policy` and
+    /// master `seed` (the engine derives its policy stream as the first
+    /// fork of `Rng::new(seed)`; the mirror does the same).
+    pub fn new(policy: ControlPolicy, seed: u64) -> Self {
+        StationMirror {
+            policy,
+            timeline: Timeline::new(),
+            rng_policy: Rng::new(seed).fork("policy"),
+            round: None,
+            mismatches: Vec::new(),
+            decisions: 0,
+            probes: 0,
+        }
+    }
+
+    /// Mismatch descriptions collected so far (empty = fully consistent).
+    pub fn mismatches(&self) -> &[String] {
+        &self.mismatches
+    }
+
+    /// Decisions checked.
+    pub fn decisions_checked(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Probes observed.
+    pub fn probes_observed(&self) -> u64 {
+        self.probes
+    }
+
+    /// Panics with the collected mismatches if any divergence occurred.
+    pub fn assert_consistent(&self) {
+        assert!(
+            self.mismatches.is_empty(),
+            "station diverged from engine after {} decisions / {} probes:\n{}",
+            self.decisions,
+            self.probes,
+            self.mismatches.join("\n")
+        );
+    }
+
+    fn note(&mut self, msg: String) {
+        if self.mismatches.len() < 32 {
+            self.mismatches.push(msg);
+        }
+    }
+}
+
+impl EngineObserver for StationMirror {
+    fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
+        self.decisions += 1;
+        if self.round.is_some() {
+            self.note(format!("t={now}: decision arrived mid-round"));
+            self.round = None;
+        }
+        if self.timeline.now() != now {
+            self.note(format!(
+                "t={now}: mirror clock is at {} instead",
+                self.timeline.now()
+            ));
+            self.timeline.advance(now.max(self.timeline.now()));
+        }
+        // Element (4): a listening station knows K and discards on its own.
+        if let Some(k) = self.policy.discard_after {
+            self.timeline.discard_before(now.saturating_sub(k));
+        }
+        let pm = PseudoMap::new(&self.timeline);
+        let window = self
+            .policy
+            .choose_window(pm.backlog(), &mut self.rng_policy);
+        let mine: Option<Vec<Interval>> = window.map(|w| pm.preimage(w));
+        let theirs: Option<Vec<Interval>> = segments.map(|s| s.to_vec());
+        if mine != theirs {
+            self.note(format!(
+                "t={now}: window mismatch — station chose {mine:?}, engine chose {theirs:?}"
+            ));
+        }
+        if let Some(w) = window {
+            self.round = Some(RoundState {
+                pm,
+                current: w,
+                sibling: None,
+                cluster: false,
+            });
+        }
+    }
+
+    fn on_probe(&mut self, start: Time, _segments: &[Interval], outcome: &SlotOutcome, dur: Dur) {
+        self.probes += 1;
+        if self.timeline.now() != start {
+            self.note(format!(
+                "t={start}: probe started but mirror clock is at {}",
+                self.timeline.now()
+            ));
+        }
+        self.timeline.advance(start + dur);
+
+        let Some(mut round) = self.round.take() else {
+            // No round in progress: this must be the no-window idle slot.
+            if !matches!(outcome, SlotOutcome::Idle) {
+                self.note(format!("t={start}: unexpected {outcome:?} outside a round"));
+            }
+            return;
+        };
+
+        if round.cluster {
+            // Sub-tick resolution: outcomes carry no timeline information;
+            // the round ends at the first success.
+            if !matches!(outcome, SlotOutcome::Success(_)) {
+                self.round = Some(round);
+            }
+            return;
+        }
+
+        let segments = round.pm.preimage(round.current);
+        match outcome {
+            SlotOutcome::Idle => {
+                for s in &segments {
+                    self.timeline.mark_examined(*s);
+                }
+                match round.sibling.take() {
+                    None => {} // empty initial window: round over
+                    Some(sib) => {
+                        match sib.split() {
+                            Some((older, younger)) => {
+                                let (first, second) =
+                                    self.policy.order_halves(older, younger, &mut self.rng_policy);
+                                round.current = first;
+                                round.sibling = Some(second);
+                            }
+                            None => {
+                                round.current = sib;
+                                round.sibling = None;
+                            }
+                        }
+                        self.round = Some(round);
+                    }
+                }
+            }
+            SlotOutcome::Success(_) => {
+                for s in &segments {
+                    self.timeline.mark_examined(*s);
+                }
+                // round over
+            }
+            SlotOutcome::Collision(_) => {
+                match round.current.split() {
+                    Some((older, younger)) => {
+                        let (first, second) =
+                            self.policy.order_halves(older, younger, &mut self.rng_policy);
+                        round.current = first;
+                        round.sibling = Some(second);
+                    }
+                    None => {
+                        round.cluster = true;
+                    }
+                }
+                self.round = Some(round);
+            }
+        }
+    }
+
+    fn on_transmit(&mut self, _msg: &Message, _start: Time, _paper: Dur, _true_delay: Dur) {}
+    fn on_sender_discard(&mut self, _msg: &Message, _now: Time) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::poisson_engine;
+    use crate::metrics::MeasureConfig;
+    use crate::trace::Tee;
+    use tcw_mac::ChannelConfig;
+
+    fn check_policy(policy: ControlPolicy, seed: u64) {
+        let channel = ChannelConfig {
+            ticks_per_tau: 4,
+            message_slots: 5,
+            guard: false,
+        };
+        let measure = MeasureConfig {
+            start: Time::ZERO,
+            end: Time::from_ticks(u64::MAX / 2),
+            deadline: Dur::from_ticks(400),
+        };
+        let mut mirror = StationMirror::new(policy.clone(), seed);
+        let mut eng = poisson_engine(channel, policy, measure, 0.6, 10, seed);
+        let mut noop = crate::trace::NoopObserver;
+        let mut tee = Tee {
+            a: &mut mirror,
+            b: &mut noop,
+        };
+        eng.run_until(Time::from_ticks(100_000), &mut tee);
+        mirror.assert_consistent();
+        assert!(mirror.decisions_checked() > 100);
+    }
+
+    #[test]
+    fn mirror_tracks_controlled_policy() {
+        check_policy(
+            ControlPolicy::controlled(Dur::from_ticks(400), Dur::from_ticks(12)),
+            1,
+        );
+    }
+
+    #[test]
+    fn mirror_tracks_fcfs() {
+        check_policy(ControlPolicy::fcfs(Dur::from_ticks(12)), 2);
+    }
+
+    #[test]
+    fn mirror_tracks_lcfs() {
+        check_policy(ControlPolicy::lcfs(Dur::from_ticks(12)), 3);
+    }
+
+    #[test]
+    fn mirror_tracks_random_policy() {
+        check_policy(ControlPolicy::random(Dur::from_ticks(12)), 4);
+    }
+
+    #[test]
+    fn mirror_detects_wrong_seed() {
+        // A station with the wrong shared pseudo-random stream must
+        // diverge under the RANDOM discipline.
+        let channel = ChannelConfig {
+            ticks_per_tau: 4,
+            message_slots: 5,
+            guard: false,
+        };
+        let measure = MeasureConfig {
+            start: Time::ZERO,
+            end: Time::from_ticks(u64::MAX / 2),
+            deadline: Dur::from_ticks(400),
+        };
+        let policy = ControlPolicy::random(Dur::from_ticks(12));
+        let mut mirror = StationMirror::new(policy.clone(), 999);
+        let mut eng = poisson_engine(channel, policy, measure, 0.6, 10, 1);
+        eng.run_until(Time::from_ticks(50_000), &mut mirror);
+        assert!(
+            !mirror.mismatches().is_empty(),
+            "mirror with wrong seed failed to detect divergence"
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! The four-element protocol control policy (paper §2).
+//!
+//! A decision — made whenever an initial window must be chosen — fixes
+//! (1) the window's position, (2) its length, and (3) the rule for picking
+//! halves of split windows; element (4) decides whether messages older
+//! than the deadline are discarded at the sender. The presets reproduce
+//! the disciplines studied by the paper and its companion [Kurose 83]:
+//!
+//! | preset | position | split | discard | global order |
+//! |---|---|---|---|---|
+//! | [`ControlPolicy::controlled`] | oldest (≤ K) | older first | yes | FCFS (optimal, Thm. 1) |
+//! | [`ControlPolicy::fcfs`] | oldest | older first | no | FCFS |
+//! | [`ControlPolicy::lcfs`] | newest | newer first | no | LCFS |
+//! | [`ControlPolicy::random`] | random | random | no | RANDOM |
+//!
+//! Windows are intervals of **pseudo time** (see [`crate::pseudo`]):
+//! positions are expressed on the compressed axis where examined regions
+//! have been removed, exactly as the protocol family of [Kurose 83]
+//! operates. For the Theorem-1 policies the two views coincide because the
+//! unexamined region never fragments.
+
+use crate::pseudo::PseudoInterval;
+use tcw_sim::rng::Rng;
+use tcw_sim::time::Dur;
+
+/// Policy element (1): where the initial window is placed on the pseudo
+/// time axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowPosition {
+    /// Start at the oldest unexamined instant (Theorem 1's optimum; global
+    /// FCFS).
+    Oldest,
+    /// End at the newest unexamined instant (global LCFS).
+    Newest,
+    /// Start at a uniformly random unexamined instant (global RANDOM).
+    Random,
+}
+
+/// Policy element (2): how long the initial window is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WindowLength {
+    /// A fixed length, typically chosen by the mean-scheduling-time
+    /// heuristic of §4.1 (see [`crate::analysis::optimal_window`]).
+    Fixed(Dur),
+    /// A length depending on the current pseudo-time backlog (index =
+    /// backlog in ticks, saturating at the table end) — the form the
+    /// SMDP-optimal element (2) takes; `tcw-mdp` produces such tables.
+    PerBacklog(Vec<Dur>),
+}
+
+/// Policy element (3): which half of a split window is probed first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitRule {
+    /// Always the older half (Theorem 1's optimum).
+    OlderFirst,
+    /// Always the newer half.
+    NewerFirst,
+    /// A fair coin per split (shared pseudo-random sequence across
+    /// stations).
+    Random,
+}
+
+/// A complete control policy: elements (1)–(4), plus the §5 extension of
+/// a configurable split point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlPolicy {
+    /// Element (1): window position.
+    pub position: WindowPosition,
+    /// Element (2): window length.
+    pub length: WindowLength,
+    /// Element (3): split rule.
+    pub split: SplitRule,
+    /// Element (4): if `Some(K)`, messages with waiting time exceeding `K`
+    /// are discarded at the sender at every decision point.
+    pub discard_after: Option<Dur>,
+    /// Where a window is cut on a split, as the fraction of its width
+    /// given to the older part (0.5 = the paper's halving; §5 suggests
+    /// exploring other values).
+    pub split_fraction: f64,
+}
+
+impl ControlPolicy {
+    /// The paper's controlled protocol: optimal elements (1), (3), (4) for
+    /// deadline `k`, with fixed window length `w` (element (2) heuristic).
+    pub fn controlled(k: Dur, w: Dur) -> Self {
+        ControlPolicy {
+            position: WindowPosition::Oldest,
+            length: WindowLength::Fixed(w),
+            split: SplitRule::OlderFirst,
+            discard_after: Some(k),
+            split_fraction: 0.5,
+        }
+    }
+
+    /// The uncontrolled FCFS protocol of [Kurose 83]: every message is
+    /// eventually sent; losses occur only at receivers.
+    pub fn fcfs(w: Dur) -> Self {
+        ControlPolicy {
+            position: WindowPosition::Oldest,
+            length: WindowLength::Fixed(w),
+            split: SplitRule::OlderFirst,
+            discard_after: None,
+            split_fraction: 0.5,
+        }
+    }
+
+    /// The uncontrolled LCFS protocol of [Kurose 83].
+    pub fn lcfs(w: Dur) -> Self {
+        ControlPolicy {
+            position: WindowPosition::Newest,
+            length: WindowLength::Fixed(w),
+            split: SplitRule::NewerFirst,
+            discard_after: None,
+            split_fraction: 0.5,
+        }
+    }
+
+    /// The uncontrolled RANDOM-order protocol of [Kurose 83].
+    pub fn random(w: Dur) -> Self {
+        ControlPolicy {
+            position: WindowPosition::Random,
+            length: WindowLength::Fixed(w),
+            split: SplitRule::Random,
+            discard_after: None,
+            split_fraction: 0.5,
+        }
+    }
+
+    /// The window length for the given pseudo-time backlog.
+    pub fn window_length(&self, backlog: Dur) -> u64 {
+        let w = match &self.length {
+            WindowLength::Fixed(w) => w.ticks(),
+            WindowLength::PerBacklog(table) => {
+                if table.is_empty() {
+                    1
+                } else {
+                    let idx = (backlog.ticks() as usize).min(table.len() - 1);
+                    table[idx].ticks()
+                }
+            }
+        };
+        w.max(1)
+    }
+
+    /// Chooses the initial window on the pseudo time axis for a backlog of
+    /// `backlog` pseudo ticks, or `None` when the backlog is zero (the
+    /// channel then idles one `tau`).
+    ///
+    /// All stations make this choice identically: it depends only on the
+    /// shared backlog and, for the RANDOM discipline, on the shared
+    /// pseudo-random stream `rng`.
+    pub fn choose_window(&self, backlog: Dur, rng: &mut Rng) -> Option<PseudoInterval> {
+        let b = backlog.ticks();
+        if b == 0 {
+            return None;
+        }
+        let w = self.window_length(backlog);
+        Some(match self.position {
+            WindowPosition::Oldest => PseudoInterval::new(0, w.min(b)),
+            WindowPosition::Newest => PseudoInterval::new(b - w.min(b), b),
+            WindowPosition::Random => {
+                let lo = rng.below(b);
+                PseudoInterval::new(lo, (lo + w).min(b))
+            }
+        })
+    }
+
+    /// Orders the two halves of a split window into (first, second)
+    /// according to element (3). `older`/`younger` are as produced by
+    /// [`PseudoInterval::split`].
+    pub fn order_halves(
+        &self,
+        older: PseudoInterval,
+        younger: PseudoInterval,
+        rng: &mut Rng,
+    ) -> (PseudoInterval, PseudoInterval) {
+        let older_first = match self.split {
+            SplitRule::OlderFirst => true,
+            SplitRule::NewerFirst => false,
+            SplitRule::Random => rng.chance(0.5),
+        };
+        if older_first {
+            (older, younger)
+        } else {
+            (younger, older)
+        }
+    }
+
+    /// Splits a window at the policy's split fraction and orders the parts
+    /// by element (3), returning (probe-first, sibling). `None` when the
+    /// window is too narrow to split on the lattice.
+    pub fn split_window(
+        &self,
+        iv: PseudoInterval,
+        rng: &mut Rng,
+    ) -> Option<(PseudoInterval, PseudoInterval)> {
+        let (older, younger) = iv.split_at_fraction(self.split_fraction)?;
+        Some(self.order_halves(older, younger, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn oldest_window_starts_at_pseudo_origin() {
+        let p = ControlPolicy::fcfs(d(10));
+        let mut rng = Rng::new(0);
+        assert_eq!(
+            p.choose_window(d(70), &mut rng),
+            Some(PseudoInterval::new(0, 10))
+        );
+    }
+
+    #[test]
+    fn oldest_window_clips_to_backlog() {
+        let p = ControlPolicy::fcfs(d(50));
+        let mut rng = Rng::new(0);
+        assert_eq!(
+            p.choose_window(d(5), &mut rng),
+            Some(PseudoInterval::new(0, 5))
+        );
+    }
+
+    #[test]
+    fn newest_window_ends_at_backlog() {
+        let p = ControlPolicy::lcfs(d(25));
+        let mut rng = Rng::new(0);
+        assert_eq!(
+            p.choose_window(d(100), &mut rng),
+            Some(PseudoInterval::new(75, 100))
+        );
+        assert_eq!(
+            p.choose_window(d(10), &mut rng),
+            Some(PseudoInterval::new(0, 10))
+        );
+    }
+
+    #[test]
+    fn zero_backlog_yields_none() {
+        let mut rng = Rng::new(0);
+        for p in [
+            ControlPolicy::fcfs(d(10)),
+            ControlPolicy::lcfs(d(10)),
+            ControlPolicy::random(d(10)),
+            ControlPolicy::controlled(d(100), d(10)),
+        ] {
+            assert_eq!(p.choose_window(d(0), &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn random_window_in_range_and_covers_backlog() {
+        let p = ControlPolicy::random(d(10));
+        let mut rng = Rng::new(42);
+        let (mut saw_low, mut saw_high) = (false, false);
+        for _ in 0..500 {
+            let w = p.choose_window(d(200), &mut rng).unwrap();
+            assert!(w.hi <= 200);
+            assert!(w.width() >= 1 && w.width() <= 10);
+            if w.lo < 50 {
+                saw_low = true;
+            }
+            if w.lo > 150 {
+                saw_high = true;
+            }
+        }
+        assert!(saw_low && saw_high);
+    }
+
+    #[test]
+    fn split_rule_ordering() {
+        let older = PseudoInterval::new(0, 5);
+        let younger = PseudoInterval::new(5, 10);
+        let mut rng = Rng::new(0);
+
+        let p = ControlPolicy::controlled(d(100), d(10));
+        assert_eq!(p.order_halves(older, younger, &mut rng), (older, younger));
+
+        let p = ControlPolicy::lcfs(d(10));
+        assert_eq!(p.order_halves(older, younger, &mut rng), (younger, older));
+
+        let p = ControlPolicy::random(d(10));
+        let mut saw = [false, false];
+        for _ in 0..100 {
+            let (first, _) = p.order_halves(older, younger, &mut rng);
+            saw[(first == older) as usize] = true;
+        }
+        assert!(saw[0] && saw[1]);
+    }
+
+    #[test]
+    fn per_backlog_length_lookup() {
+        let table = vec![d(1), d(2), d(4), d(8)];
+        let p = ControlPolicy {
+            position: WindowPosition::Oldest,
+            length: WindowLength::PerBacklog(table),
+            split: SplitRule::OlderFirst,
+            discard_after: None,
+            split_fraction: 0.5,
+        };
+        assert_eq!(p.window_length(d(0)), 1);
+        assert_eq!(p.window_length(d(2)), 4);
+        assert_eq!(p.window_length(d(100)), 8); // saturates
+    }
+
+    #[test]
+    fn zero_fixed_length_is_clamped_to_one_tick() {
+        let p = ControlPolicy::fcfs(d(0));
+        let mut rng = Rng::new(0);
+        let w = p.choose_window(d(10), &mut rng).unwrap();
+        assert_eq!(w.width(), 1);
+    }
+
+    #[test]
+    fn empty_per_backlog_table_defaults_to_one() {
+        let p = ControlPolicy {
+            position: WindowPosition::Oldest,
+            length: WindowLength::PerBacklog(vec![]),
+            split: SplitRule::OlderFirst,
+            discard_after: None,
+            split_fraction: 0.5,
+        };
+        assert_eq!(p.window_length(d(33)), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! The station's view of the time axis (paper figure 2).
+//!
+//! Every station tracks which intervals of past time are *examined* — known
+//! to contain either no message arrivals or only arrivals that were already
+//! transmitted (the shaded regions of figure 2). The complement within
+//! `[horizon, now)` is the *unexamined* region, which may still contain
+//! untransmitted messages; initial windows are always drawn from it.
+//!
+//! The representation stores the examined set as a sorted, coalesced list
+//! of disjoint [`Interval`]s. Under the optimal (Theorem 1) policy the
+//! unexamined region is always a single interval `[t_past, now)` — a
+//! property the integration tests assert — but LCFS/RANDOM policies leave
+//! genuine gaps, so the general structure is required.
+
+use crate::interval::Interval;
+use tcw_sim::time::{Dur, Time};
+
+/// Examined/unexamined bookkeeping over `[0, now)`.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    now: Time,
+    /// Sorted, disjoint, coalesced examined intervals, all within
+    /// `[0, now)`.
+    examined: Vec<Interval>,
+}
+
+impl Timeline {
+    /// A timeline starting at the origin with nothing examined.
+    pub fn new() -> Self {
+        Timeline {
+            now: Time::ZERO,
+            examined: Vec::new(),
+        }
+    }
+
+    /// Current time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advances the clock; newly elapsed time is unexamined.
+    ///
+    /// # Panics
+    /// Debug-panics if `to` precedes the current time.
+    pub fn advance(&mut self, to: Time) {
+        debug_assert!(to >= self.now, "timeline moved backwards");
+        self.now = to;
+    }
+
+    /// Marks `iv` as examined (coalescing with neighbours).
+    ///
+    /// # Panics
+    /// Panics if `iv` extends beyond `now`.
+    pub fn mark_examined(&mut self, iv: Interval) {
+        assert!(iv.hi <= self.now, "cannot examine the future: {iv:?}");
+        if iv.is_empty() {
+            return;
+        }
+        // Find insertion range: all stored intervals overlapping or adjacent
+        // to iv get merged into one.
+        let start = self.examined.partition_point(|e| e.hi < iv.lo);
+        let mut end = start;
+        let mut lo = iv.lo;
+        let mut hi = iv.hi;
+        while end < self.examined.len() && self.examined[end].lo <= iv.hi {
+            lo = lo.min(self.examined[end].lo);
+            hi = hi.max(self.examined[end].hi);
+            end += 1;
+        }
+        self.examined
+            .splice(start..end, std::iter::once(Interval::new(lo, hi)));
+    }
+
+    /// Marks everything before `t` examined — policy element (4): messages
+    /// older than the deadline are discarded by treating their arrival
+    /// intervals as if they were known to contain no untransmitted
+    /// arrivals (paper §3.1).
+    pub fn discard_before(&mut self, t: Time) {
+        let t = t.min(self.now);
+        if t > Time::ZERO {
+            self.mark_examined(Interval::new(Time::ZERO, t));
+        }
+    }
+
+    /// Whether instant `t` is inside an examined interval.
+    pub fn is_examined(&self, t: Time) -> bool {
+        let idx = self.examined.partition_point(|e| e.hi <= t);
+        self.examined
+            .get(idx)
+            .is_some_and(|e| e.contains(t))
+    }
+
+    /// The unexamined gaps within `[0, now)`, oldest first.
+    pub fn unexamined(&self) -> Vec<Interval> {
+        let mut gaps = Vec::new();
+        let mut cursor = Time::ZERO;
+        for e in &self.examined {
+            if e.lo > cursor {
+                gaps.push(Interval::new(cursor, e.lo));
+            }
+            cursor = cursor.max(e.hi);
+        }
+        if cursor < self.now {
+            gaps.push(Interval::new(cursor, self.now));
+        }
+        gaps
+    }
+
+    /// The oldest unexamined instant (`t_past` of the controlled protocol),
+    /// or `None` when everything up to `now` is examined.
+    pub fn t_past(&self) -> Option<Time> {
+        match self.examined.first() {
+            Some(first) if first.lo == Time::ZERO => {
+                if first.hi < self.now {
+                    Some(first.hi)
+                } else {
+                    None
+                }
+            }
+            _ => {
+                if self.now > Time::ZERO {
+                    Some(Time::ZERO)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The oldest unexamined gap, or `None` if fully examined.
+    pub fn oldest_gap(&self) -> Option<Interval> {
+        self.unexamined().into_iter().next()
+    }
+
+    /// The newest unexamined gap, or `None` if fully examined.
+    pub fn newest_gap(&self) -> Option<Interval> {
+        self.unexamined().into_iter().next_back()
+    }
+
+    /// Total unexamined time.
+    pub fn unexamined_total(&self) -> Dur {
+        self.unexamined()
+            .iter()
+            .fold(Dur::ZERO, |acc, g| acc + g.width())
+    }
+
+    /// Whether the unexamined region is a single contiguous interval
+    /// `[t_past, now)` (or empty) — the structural consequence of
+    /// Theorem 1 / Lemma 2: under the optimal policy actual time equals
+    /// pseudo time, so no interior gaps ever form.
+    pub fn is_contiguous(&self) -> bool {
+        self.unexamined().len() <= 1
+    }
+
+    /// Number of stored examined intervals (memory/diagnostics).
+    pub fn examined_fragments(&self) -> usize {
+        self.examined.len()
+    }
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    #[test]
+    fn fresh_timeline_is_one_gap() {
+        let mut tl = Timeline::new();
+        assert_eq!(tl.unexamined(), vec![]);
+        assert_eq!(tl.t_past(), None);
+        tl.advance(t(100));
+        assert_eq!(tl.unexamined(), vec![Interval::from_ticks(0, 100)]);
+        assert_eq!(tl.t_past(), Some(t(0)));
+        assert!(tl.is_contiguous());
+    }
+
+    #[test]
+    fn marking_prefix_moves_t_past() {
+        let mut tl = Timeline::new();
+        tl.advance(t(100));
+        tl.mark_examined(Interval::from_ticks(0, 30));
+        assert_eq!(tl.t_past(), Some(t(30)));
+        assert_eq!(tl.unexamined(), vec![Interval::from_ticks(30, 100)]);
+        assert!(tl.is_contiguous());
+    }
+
+    #[test]
+    fn interior_mark_creates_gaps() {
+        let mut tl = Timeline::new();
+        tl.advance(t(100));
+        tl.mark_examined(Interval::from_ticks(40, 60));
+        let gaps = tl.unexamined();
+        assert_eq!(
+            gaps,
+            vec![Interval::from_ticks(0, 40), Interval::from_ticks(60, 100)]
+        );
+        assert!(!tl.is_contiguous());
+        assert_eq!(tl.t_past(), Some(t(0)));
+        assert_eq!(tl.oldest_gap(), Some(Interval::from_ticks(0, 40)));
+        assert_eq!(tl.newest_gap(), Some(Interval::from_ticks(60, 100)));
+        assert_eq!(tl.unexamined_total(), Dur::from_ticks(80));
+    }
+
+    #[test]
+    fn adjacent_marks_coalesce() {
+        let mut tl = Timeline::new();
+        tl.advance(t(100));
+        tl.mark_examined(Interval::from_ticks(10, 20));
+        tl.mark_examined(Interval::from_ticks(20, 30));
+        tl.mark_examined(Interval::from_ticks(0, 10));
+        assert_eq!(tl.examined_fragments(), 1);
+        assert_eq!(tl.t_past(), Some(t(30)));
+    }
+
+    #[test]
+    fn overlapping_marks_merge() {
+        let mut tl = Timeline::new();
+        tl.advance(t(100));
+        tl.mark_examined(Interval::from_ticks(10, 40));
+        tl.mark_examined(Interval::from_ticks(30, 60));
+        tl.mark_examined(Interval::from_ticks(5, 15));
+        assert_eq!(tl.examined_fragments(), 1);
+        assert_eq!(
+            tl.unexamined(),
+            vec![Interval::from_ticks(0, 5), Interval::from_ticks(60, 100)]
+        );
+    }
+
+    #[test]
+    fn mark_bridging_multiple_fragments() {
+        let mut tl = Timeline::new();
+        tl.advance(t(100));
+        tl.mark_examined(Interval::from_ticks(10, 20));
+        tl.mark_examined(Interval::from_ticks(40, 50));
+        tl.mark_examined(Interval::from_ticks(70, 80));
+        assert_eq!(tl.examined_fragments(), 3);
+        tl.mark_examined(Interval::from_ticks(15, 75));
+        assert_eq!(tl.examined_fragments(), 1);
+        assert_eq!(
+            tl.unexamined(),
+            vec![Interval::from_ticks(0, 10), Interval::from_ticks(80, 100)]
+        );
+    }
+
+    #[test]
+    fn discard_before_clamps_to_now() {
+        let mut tl = Timeline::new();
+        tl.advance(t(50));
+        tl.discard_before(t(80));
+        assert_eq!(tl.t_past(), None);
+        assert_eq!(tl.unexamined(), vec![]);
+        tl.advance(t(60));
+        assert_eq!(tl.unexamined(), vec![Interval::from_ticks(50, 60)]);
+    }
+
+    #[test]
+    fn discard_before_zero_is_noop() {
+        let mut tl = Timeline::new();
+        tl.advance(t(10));
+        tl.discard_before(t(0));
+        assert_eq!(tl.unexamined(), vec![Interval::from_ticks(0, 10)]);
+    }
+
+    #[test]
+    fn is_examined_queries() {
+        let mut tl = Timeline::new();
+        tl.advance(t(100));
+        tl.mark_examined(Interval::from_ticks(20, 30));
+        assert!(!tl.is_examined(t(19)));
+        assert!(tl.is_examined(t(20)));
+        assert!(tl.is_examined(t(29)));
+        assert!(!tl.is_examined(t(30)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn examining_future_panics() {
+        let mut tl = Timeline::new();
+        tl.advance(t(10));
+        tl.mark_examined(Interval::from_ticks(5, 15));
+    }
+
+    #[test]
+    fn t_past_fully_examined_is_none() {
+        let mut tl = Timeline::new();
+        tl.advance(t(10));
+        tl.mark_examined(Interval::from_ticks(0, 10));
+        assert_eq!(tl.t_past(), None);
+        assert_eq!(tl.oldest_gap(), None);
+        assert_eq!(tl.newest_gap(), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Observer hooks and a human-readable trace recorder.
+//!
+//! The engine reports every externally visible protocol event through
+//! [`EngineObserver`]. Observers power the distributed consistency checker
+//! ([`crate::mirror`]) and the [`TraceRecorder`], whose output reproduces
+//! the walk-throughs of the paper's figures 1 and 4.
+//!
+//! Windows are reported as their materialized actual-time segments (a
+//! window is contiguous in pseudo time but may map to several actual
+//! intervals when examined regions intervene).
+
+use crate::interval::Interval;
+use tcw_mac::{Message, SlotOutcome};
+use tcw_sim::time::{Dur, Time};
+
+/// Callbacks for protocol events. All methods have empty defaults.
+pub trait EngineObserver {
+    /// A decision point: a new initial window was chosen (`None`: no
+    /// unexamined time existed, the channel idles one `tau`). `segments`
+    /// are the window's actual-time segments, oldest first.
+    fn on_decision(&mut self, _now: Time, _segments: Option<&[Interval]>) {}
+
+    /// A probe step completed. `segments` is the probed window
+    /// (materialized), empty during sub-tick (coin-flip) resolution and
+    /// for the no-window idle slot.
+    fn on_probe(&mut self, _start: Time, _segments: &[Interval], _outcome: &SlotOutcome, _dur: Dur) {
+    }
+
+    /// A window known to hold two or more arrivals was split without a
+    /// probe.
+    fn on_immediate_split(&mut self, _now: Time, _segments: &[Interval]) {}
+
+    /// A message was transmitted successfully.
+    fn on_transmit(&mut self, _msg: &Message, _start: Time, _paper_delay: Dur, _true_delay: Dur) {}
+
+    /// A message was discarded at the sender (policy element 4).
+    fn on_sender_discard(&mut self, _msg: &Message, _now: Time) {}
+}
+
+/// The do-nothing observer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl EngineObserver for NoopObserver {}
+
+fn fmt_segments(segments: &[Interval]) -> String {
+    if segments.is_empty() {
+        return "(sub-tick)".to_string();
+    }
+    segments
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join("∪")
+}
+
+/// Records a textual narrative of protocol operation.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    lines: Vec<String>,
+    limit: usize,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder keeping at most `limit` lines.
+    pub fn new(limit: usize) -> Self {
+        TraceRecorder {
+            lines: Vec::new(),
+            limit,
+        }
+    }
+
+    /// The recorded lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The full narrative as one string.
+    pub fn text(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    fn push(&mut self, line: String) {
+        if self.lines.len() < self.limit {
+            self.lines.push(line);
+        }
+    }
+}
+
+impl EngineObserver for TraceRecorder {
+    fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
+        match segments {
+            Some(s) => self.push(format!(
+                "t={now}: decision — initial window {}",
+                fmt_segments(s)
+            )),
+            None => self.push(format!("t={now}: decision — nothing unexamined, idle tau")),
+        }
+    }
+
+    fn on_probe(&mut self, start: Time, segments: &[Interval], outcome: &SlotOutcome, dur: Dur) {
+        let what = match outcome {
+            SlotOutcome::Idle => "idle (no arrivals)".to_string(),
+            SlotOutcome::Success(id) => format!("success: {id:?} transmits"),
+            SlotOutcome::Collision(n) => format!("collision among {n}"),
+        };
+        self.push(format!(
+            "t={start}: probe {} -> {what} [+{dur}]",
+            fmt_segments(segments)
+        ));
+    }
+
+    fn on_immediate_split(&mut self, now: Time, segments: &[Interval]) {
+        self.push(format!(
+            "t={now}: {} known to hold >=2 arrivals — split without probing",
+            fmt_segments(segments)
+        ));
+    }
+
+    fn on_transmit(&mut self, msg: &Message, start: Time, paper_delay: Dur, true_delay: Dur) {
+        self.push(format!(
+            "t={start}: {:?} from {:?} delivered (waiting time {paper_delay}, true {true_delay})",
+            msg.id, msg.station
+        ));
+    }
+
+    fn on_sender_discard(&mut self, msg: &Message, now: Time) {
+        self.push(format!(
+            "t={now}: {:?} discarded at sender (older than deadline)",
+            msg.id
+        ));
+    }
+}
+
+/// Fans one event stream out to two observers (e.g. a mirror plus a trace).
+pub struct Tee<'a, A: EngineObserver + ?Sized, B: EngineObserver + ?Sized> {
+    /// First observer.
+    pub a: &'a mut A,
+    /// Second observer.
+    pub b: &'a mut B,
+}
+
+impl<'a, A: EngineObserver + ?Sized, B: EngineObserver + ?Sized> EngineObserver for Tee<'a, A, B> {
+    fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
+        self.a.on_decision(now, segments);
+        self.b.on_decision(now, segments);
+    }
+    fn on_probe(&mut self, start: Time, segments: &[Interval], outcome: &SlotOutcome, dur: Dur) {
+        self.a.on_probe(start, segments, outcome, dur);
+        self.b.on_probe(start, segments, outcome, dur);
+    }
+    fn on_immediate_split(&mut self, now: Time, segments: &[Interval]) {
+        self.a.on_immediate_split(now, segments);
+        self.b.on_immediate_split(now, segments);
+    }
+    fn on_transmit(&mut self, msg: &Message, start: Time, paper_delay: Dur, true_delay: Dur) {
+        self.a.on_transmit(msg, start, paper_delay, true_delay);
+        self.b.on_transmit(msg, start, paper_delay, true_delay);
+    }
+    fn on_sender_discard(&mut self, msg: &Message, now: Time) {
+        self.a.on_sender_discard(msg, now);
+        self.b.on_sender_discard(msg, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcw_mac::{MessageId, StationId};
+
+    #[test]
+    fn recorder_formats_events() {
+        let mut r = TraceRecorder::new(10);
+        let w = [Interval::from_ticks(0, 8)];
+        r.on_decision(Time::from_ticks(0), Some(&w));
+        r.on_probe(
+            Time::from_ticks(0),
+            &w,
+            &SlotOutcome::Collision(2),
+            Dur::from_ticks(1),
+        );
+        let msg = Message::new(MessageId(3), StationId(1), Time::from_ticks(2));
+        r.on_transmit(&msg, Time::from_ticks(5), Dur::from_ticks(3), Dur::from_ticks(3));
+        assert_eq!(r.lines().len(), 3);
+        assert!(r.text().contains("collision among 2"));
+        assert!(r.text().contains("m3"));
+    }
+
+    #[test]
+    fn recorder_formats_multi_segment_windows() {
+        let mut r = TraceRecorder::new(10);
+        let w = [Interval::from_ticks(0, 5), Interval::from_ticks(9, 12)];
+        r.on_decision(Time::from_ticks(20), Some(&w));
+        assert!(r.text().contains("[0, 5)∪[9, 12)"), "{}", r.text());
+    }
+
+    #[test]
+    fn recorder_respects_limit() {
+        let mut r = TraceRecorder::new(2);
+        for i in 0..5 {
+            r.on_decision(Time::from_ticks(i), None);
+        }
+        assert_eq!(r.lines().len(), 2);
+    }
+}

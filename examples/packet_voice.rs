@@ -1,0 +1,101 @@
+//! Packetized voice over the controlled window protocol — the paper's
+//! motivating application [Cohen 77].
+//!
+//! A population of talkers alternates talkspurts and silences; during a
+//! talkspurt a station emits one voice packet every packetization
+//! interval. A packet that misses its playout deadline is worthless, so
+//! the right metric is the fraction delivered in time — exactly what the
+//! controlled protocol maximizes. The example compares the controlled
+//! protocol against the uncontrolled FCFS variant on identical traffic.
+//!
+//! ```sh
+//! cargo run --release --example packet_voice
+//! ```
+
+use tcw_mac::traffic::{VoiceConfig, VoiceSource};
+use tcw_mac::ChannelConfig;
+use tcw_sim::time::{Dur, Time};
+use tcw_window::analysis::optimal_window;
+use tcw_window::engine::{Engine, EngineConfig};
+use tcw_window::metrics::MeasureConfig;
+use tcw_window::policy::ControlPolicy;
+use tcw_window::trace::NoopObserver;
+
+fn run(
+    policy: ControlPolicy,
+    channel: ChannelConfig,
+    voice: VoiceConfig,
+    k: Dur,
+) -> (f64, f64, u64, f64) {
+    let measure = MeasureConfig {
+        start: Time::from_ticks(400_000),
+        end: Time::from_ticks(30_000_000),
+        deadline: k,
+    };
+    let mut engine = Engine::new(
+        EngineConfig {
+            channel,
+            policy,
+            measure,
+            seed: 23,
+        },
+        VoiceSource::new(voice),
+    );
+    engine.run_until(Time::from_ticks(33_000_000), &mut NoopObserver);
+    engine.drain(&mut NoopObserver);
+    let p99 = engine.metrics.true_delay_p99().unwrap_or(0.0) / channel.ticks_per_tau as f64;
+    (
+        engine.metrics.loss_fraction(),
+        engine.metrics.loss_ci95(),
+        engine.metrics.offered(),
+        p99,
+    )
+}
+
+fn main() {
+    let channel = ChannelConfig {
+        ticks_per_tau: 64,
+        message_slots: 25, // one voice packet = 25 tau on the channel
+        guard: false,
+    };
+    let tpt = channel.ticks_per_tau;
+
+    // 24 talkers, ~40% activity, one packet every 400 tau while talking:
+    // offered load rho' = 0.4 * 24 / 400 * M = 0.6.
+    let voice = VoiceConfig {
+        stations: 24,
+        mean_talkspurt: Dur::from_ticks(64_000), // 1000 tau
+        mean_silence: Dur::from_ticks(96_000),   // 1500 tau
+        packet_interval: Dur::from_ticks(400 * tpt),
+    };
+    let lambda_per_tau = voice.aggregate_rate() * tpt as f64;
+    let load = lambda_per_tau * channel.message_slots as f64;
+    let w = Dur::from_ticks((optimal_window(lambda_per_tau) * tpt as f64) as u64);
+
+    println!("packetized voice over the shared channel");
+    println!(
+        "  {} talkers, activity {:.2}, offered load rho' = {:.2}",
+        voice.stations,
+        voice.activity(),
+        load
+    );
+    println!("  (traffic is bursty on/off — a deliberate stress of the Poisson assumption)");
+    println!();
+    println!(
+        "  {:>14} {:>22} {:>22} {:>14}",
+        "deadline K", "controlled loss", "uncontrolled FCFS loss", "ctl p99 delay"
+    );
+    for k_tau in [50u64, 75, 100, 150, 250] {
+        let k = Dur::from_ticks(k_tau * tpt);
+        let (c_loss, c_ci, n, c_p99) = run(ControlPolicy::controlled(k, w), channel, voice, k);
+        let (f_loss, f_ci, _, _) = run(ControlPolicy::fcfs(w), channel, voice, k);
+        println!(
+            "  {:>10} tau {:>15.4} ±{:.4} {:>15.4} ±{:.4} {:>10.0} tau   ({n} packets)",
+            k_tau, c_loss, c_ci, f_loss, f_ci, c_p99
+        );
+    }
+    println!();
+    println!("Interpretation: at voice-like deadlines the controlled protocol");
+    println!("delivers a usable stream where the uncontrolled protocol wastes");
+    println!("channel time on packets that will be discarded at playout.");
+}

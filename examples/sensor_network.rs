@@ -1,0 +1,107 @@
+//! Distributed sensor network over the controlled window protocol — the
+//! paper's second motivating application [DSN 82].
+//!
+//! Physical events trigger near-simultaneous reports from several sensors:
+//! the arrival stream is *clustered*, the worst case for a window protocol
+//! (clustered arrivals collide repeatedly) and a deliberate violation of
+//! the analysis' Poisson assumption. The example measures how much the
+//! burstiness costs relative to Poisson traffic of the same rate, and
+//! shows the controlled protocol still degrades gracefully.
+//!
+//! ```sh
+//! cargo run --release --example sensor_network
+//! ```
+
+use tcw_mac::traffic::{SensorConfig, SensorSource};
+use tcw_mac::{ArrivalSource, ChannelConfig, PoissonArrivals};
+use tcw_sim::time::{Dur, Time};
+use tcw_window::analysis::optimal_window;
+use tcw_window::engine::{Engine, EngineConfig};
+use tcw_window::metrics::MeasureConfig;
+use tcw_window::policy::ControlPolicy;
+use tcw_window::trace::NoopObserver;
+
+fn run<S: ArrivalSource>(source: S, channel: ChannelConfig, k: Dur, w: Dur) -> (f64, f64, u64) {
+    let measure = MeasureConfig {
+        start: Time::from_ticks(400_000),
+        end: Time::from_ticks(40_000_000),
+        deadline: k,
+    };
+    let mut engine = Engine::new(
+        EngineConfig {
+            channel,
+            policy: ControlPolicy::controlled(k, w),
+            measure,
+            seed: 31,
+        },
+        source,
+    );
+    engine.run_until(Time::from_ticks(44_000_000), &mut NoopObserver);
+    engine.drain(&mut NoopObserver);
+    (
+        engine.metrics.loss_fraction(),
+        engine.metrics.loss_ci95(),
+        engine.metrics.offered(),
+    )
+}
+
+fn main() {
+    let channel = ChannelConfig {
+        ticks_per_tau: 64,
+        message_slots: 25,
+        guard: false,
+    };
+    let tpt = channel.ticks_per_tau;
+
+    // Events every 250 tau on average; each detected by ~3 sensors within
+    // a 10-tau detection jitter.
+    let sensors = SensorConfig {
+        stations: 40,
+        mean_event_gap: Dur::from_ticks(250 * tpt),
+        mean_reports: 3.0,
+        jitter: Dur::from_ticks(10 * tpt),
+    };
+    // Aggregate report rate: ~3 reports / 250 tau (slightly lower due to
+    // the distinct-station clamp); measure it empirically for a fair
+    // Poisson control.
+    let lambda_per_tau = {
+        let mut src = SensorSource::new(sensors);
+        let mut rng = tcw_sim::rng::Rng::new(1);
+        let horizon = 50_000_000u64;
+        let mut n = 0u64;
+        while let Some(a) = src.next_arrival(&mut rng) {
+            if a.time.ticks() > horizon {
+                break;
+            }
+            n += 1;
+        }
+        n as f64 * tpt as f64 / horizon as f64
+    };
+    let load = lambda_per_tau * channel.message_slots as f64;
+    let w = Dur::from_ticks((optimal_window(lambda_per_tau) * tpt as f64) as u64);
+
+    println!("distributed sensor network over the shared channel");
+    println!(
+        "  {} sensors, ~{:.2} reports per event, offered load rho' = {:.2}",
+        sensors.stations, sensors.mean_reports, load
+    );
+    println!();
+    println!(
+        "  {:>14} {:>24} {:>24}",
+        "deadline K", "bursty sensor traffic", "Poisson (same rate)"
+    );
+    for k_tau in [50u64, 100, 200, 400] {
+        let k = Dur::from_ticks(k_tau * tpt);
+        let (s_loss, s_ci, n) = run(SensorSource::new(sensors), channel, k, w);
+        let poisson = PoissonArrivals::per_tau(lambda_per_tau, tpt, sensors.stations);
+        let (p_loss, p_ci, _) = run(poisson, channel, k, w);
+        println!(
+            "  {:>10} tau {:>17.4} ±{:.4} {:>17.4} ±{:.4}   ({n} reports)",
+            k_tau, s_loss, s_ci, p_loss, p_ci
+        );
+    }
+    println!();
+    println!("Interpretation: clustered reports collide more, so the bursty");
+    println!("column is worse at tight deadlines; the gap closes as K grows —");
+    println!("the analysis' Poisson assumption is optimistic but not fragile.");
+}

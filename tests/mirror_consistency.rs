@@ -1,0 +1,103 @@
+//! Integration: the distributed-consistency property of the protocol.
+//!
+//! A station model that sees only channel feedback (slot outcomes and
+//! durations) plus the public policy must reproduce *every* window
+//! decision the engine makes — across all disciplines and across traffic
+//! models (Poisson, bursty voice, clustered sensor reports). This is the
+//! paper's premise that "all stations follow this policy, and thus all
+//! stations select the same window".
+
+use tcw_mac::traffic::{SensorConfig, SensorSource, VoiceConfig, VoiceSource};
+use tcw_mac::{ArrivalSource, ChannelConfig};
+use tcw_sim::time::{Dur, Time};
+use tcw_window::engine::{Engine, EngineConfig};
+use tcw_window::metrics::MeasureConfig;
+use tcw_window::mirror::StationMirror;
+use tcw_window::policy::ControlPolicy;
+
+const TPT: u64 = 8;
+
+fn channel() -> ChannelConfig {
+    ChannelConfig {
+        ticks_per_tau: TPT,
+        message_slots: 25,
+        guard: false,
+    }
+}
+
+fn check<S: ArrivalSource>(policy: ControlPolicy, source: S, seed: u64, horizon: u64) {
+    let measure = MeasureConfig {
+        start: Time::ZERO,
+        end: Time::from_ticks(u64::MAX / 2),
+        deadline: Dur::from_ticks(100 * TPT),
+    };
+    let mut mirror = StationMirror::new(policy.clone(), seed);
+    let mut eng = Engine::new(
+        EngineConfig {
+            channel: channel(),
+            policy,
+            measure,
+            seed,
+        },
+        source,
+    );
+    eng.run_until(Time::from_ticks(horizon), &mut mirror);
+    mirror.assert_consistent();
+    assert!(
+        mirror.decisions_checked() > 50,
+        "too few decisions exercised"
+    );
+}
+
+fn poisson() -> tcw_mac::PoissonArrivals {
+    tcw_mac::PoissonArrivals::per_tau(0.03, TPT, 30)
+}
+
+fn voice() -> VoiceSource {
+    VoiceSource::new(VoiceConfig {
+        stations: 20,
+        mean_talkspurt: Dur::from_ticks(8_000),
+        mean_silence: Dur::from_ticks(12_000),
+        packet_interval: Dur::from_ticks(150 * TPT),
+    })
+}
+
+fn sensors() -> SensorSource {
+    SensorSource::new(SensorConfig {
+        stations: 30,
+        mean_event_gap: Dur::from_ticks(120 * TPT),
+        mean_reports: 3.0,
+        jitter: Dur::from_ticks(4 * TPT),
+    })
+}
+
+#[test]
+fn stations_agree_controlled_poisson() {
+    let k = Dur::from_ticks(100 * TPT);
+    let w = Dur::from_ticks(40 * TPT);
+    check(ControlPolicy::controlled(k, w), poisson(), 1, 2_000_000);
+}
+
+#[test]
+fn stations_agree_all_disciplines_poisson() {
+    let w = Dur::from_ticks(40 * TPT);
+    check(ControlPolicy::fcfs(w), poisson(), 2, 1_000_000);
+    check(ControlPolicy::lcfs(w), poisson(), 3, 1_000_000);
+    check(ControlPolicy::random(w), poisson(), 4, 1_000_000);
+}
+
+#[test]
+fn stations_agree_on_bursty_voice() {
+    let k = Dur::from_ticks(100 * TPT);
+    let w = Dur::from_ticks(30 * TPT);
+    check(ControlPolicy::controlled(k, w), voice(), 5, 2_000_000);
+    check(ControlPolicy::lcfs(w), voice(), 6, 1_000_000);
+}
+
+#[test]
+fn stations_agree_on_clustered_sensors() {
+    let k = Dur::from_ticks(150 * TPT);
+    let w = Dur::from_ticks(30 * TPT);
+    check(ControlPolicy::controlled(k, w), sensors(), 7, 2_000_000);
+    check(ControlPolicy::random(w), sensors(), 8, 1_000_000);
+}
