@@ -1,16 +1,15 @@
 //! Ablation benches: protocol engine throughput per discipline and
 //! analytic-model cost per scheduling-time shape.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tcw_bench::bench_settings;
+use tcw_bench::{bench_settings, Bench};
 use tcw_experiments::{simulate_panel, Panel, PolicyKind};
 use tcw_queueing::marching::{controlled_curve, PanelConfig};
 use tcw_queueing::service::SchedulingShape;
 
-fn engine_by_policy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/engine_policy");
-    group.sample_size(10);
+fn main() {
+    let b = Bench::new("ablation");
+
     let panel = Panel {
         rho_prime: 0.75,
         m: 25,
@@ -21,65 +20,47 @@ fn engine_by_policy(c: &mut Criterion) {
         PolicyKind::Lcfs,
         PolicyKind::Random,
     ] {
-        group.bench_function(kind.label(), |b| {
-            let mut seed = 100u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(simulate_panel(panel, kind, 100.0, bench_settings(), seed))
-            });
+        let mut seed = 100u64;
+        b.run(&format!("engine_policy/{}", kind.label()), || {
+            seed += 1;
+            black_box(simulate_panel(panel, kind, 100.0, bench_settings(), seed))
         });
     }
-    group.finish();
-}
 
-fn analytic_by_shape(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/analytic_shape");
-    group.sample_size(10);
     let grid: Vec<f64> = (1..=32).map(|i| i as f64 * 12.5).collect();
     for (name, shape) in [
         ("geometric", SchedulingShape::Geometric),
         ("exact_splitting", SchedulingShape::ExactSplitting),
     ] {
-        group.bench_function(name, |b| {
-            let cfg = PanelConfig {
-                m: 25,
-                rho_prime: 0.75,
-                shape,
-            };
-            b.iter(|| black_box(controlled_curve(cfg, &grid)));
+        let cfg = PanelConfig {
+            m: 25,
+            rho_prime: 0.75,
+            shape,
+        };
+        b.run(&format!("analytic_shape/{name}"), || {
+            black_box(controlled_curve(cfg, &grid))
         });
     }
-    group.finish();
-}
 
-fn guard_slot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/guard");
-    group.sample_size(10);
     let panel = Panel {
         rho_prime: 0.5,
         m: 25,
     };
     for (name, guard) in [("no_guard", false), ("guard", true)] {
-        group.bench_function(name, |b| {
-            let settings = tcw_experiments::SimSettings {
-                guard,
-                ..bench_settings()
-            };
-            let mut seed = 200u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(simulate_panel(
-                    panel,
-                    PolicyKind::Controlled,
-                    100.0,
-                    settings,
-                    seed,
-                ))
-            });
+        let settings = tcw_experiments::SimSettings {
+            guard,
+            ..bench_settings()
+        };
+        let mut seed = 200u64;
+        b.run(&format!("guard/{name}"), || {
+            seed += 1;
+            black_box(simulate_panel(
+                panel,
+                PolicyKind::Controlled,
+                100.0,
+                settings,
+                seed,
+            ))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, engine_by_policy, analytic_by_shape, guard_slot);
-criterion_main!(benches);

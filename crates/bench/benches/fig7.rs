@@ -2,43 +2,35 @@
 //! panel — the analytic controlled curve over the full `K` grid plus one
 //! simulated protocol point at `K = 4 M`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tcw_bench::bench_settings;
+use tcw_bench::{bench_settings, Bench};
 use tcw_experiments::{simulate_panel, PolicyKind, PANELS};
 use tcw_queueing::marching::{controlled_curve, PanelConfig};
 use tcw_queueing::service::SchedulingShape;
 
-fn fig7_panels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
+fn main() {
+    let b = Bench::new("fig7");
     for panel in PANELS {
-        group.bench_function(format!("analytic_{}", panel.id()), |b| {
-            let cfg = PanelConfig {
-                m: panel.m,
-                rho_prime: panel.rho_prime,
-                shape: SchedulingShape::Geometric,
-            };
-            let grid = panel.k_grid();
-            b.iter(|| black_box(controlled_curve(cfg, &grid)));
+        let cfg = PanelConfig {
+            m: panel.m,
+            rho_prime: panel.rho_prime,
+            shape: SchedulingShape::Geometric,
+        };
+        let grid = panel.k_grid();
+        b.run(&format!("analytic_{}", panel.id()), || {
+            black_box(controlled_curve(cfg, &grid))
         });
-        group.bench_function(format!("simulated_{}", panel.id()), |b| {
-            let k = 4.0 * panel.m as f64;
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(simulate_panel(
-                    panel,
-                    PolicyKind::Controlled,
-                    k,
-                    bench_settings(),
-                    seed,
-                ))
-            });
+        let k = 4.0 * panel.m as f64;
+        let mut seed = 0u64;
+        b.run(&format!("simulated_{}", panel.id()), || {
+            seed += 1;
+            black_box(simulate_panel(
+                panel,
+                PolicyKind::Controlled,
+                k,
+                bench_settings(),
+                seed,
+            ))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig7_panels);
-criterion_main!(benches);

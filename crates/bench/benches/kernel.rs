@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the substrate hot paths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tcw_bench::Bench;
 use tcw_mdp::howard::policy_iteration;
 use tcw_mdp::smdp::{Smdp, SmdpConfig};
 use tcw_mdp::splitting::round_distribution;
@@ -11,87 +11,57 @@ use tcw_sim::rng::Rng;
 use tcw_sim::time::Time;
 use tcw_window::analysis::{expected_overhead_slots, overhead_slot_pmf};
 
-fn event_queue(c: &mut Criterion) {
-    c.bench_function("kernel/event_queue_push_pop_1k", |b| {
-        let mut rng = Rng::new(1);
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(Time::from_ticks(rng.next_u64() % 10_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
+fn main() {
+    let b = Bench::new("kernel");
+
+    let mut rng = Rng::new(1);
+    b.run("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(Time::from_ticks(rng.next_u64() % 10_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc)
+    });
+
+    let mut rng = Rng::new(2);
+    b.run("rng_f64_10k", || {
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            acc += rng.f64();
+        }
+        black_box(acc)
+    });
+
+    let d = GridDist::geometric(1.0, 0.01, 1e-12);
+    b.run("griddist_convolve_512", || black_box(d.convolve(&d, 512)));
+
+    let service = GridDist::geometric_from_zero(1.0, 1.5, 1e-12).shift(25);
+    let beta = service.residual();
+    b.run("renewal_series_2k", || {
+        black_box(renewal_series(&beta, 0.8, 2_000))
+    });
+
+    b.run("round_distribution_w64", || {
+        black_box(round_distribution(64, 0.02))
+    });
+    b.run("overhead_pmf_mu126", || {
+        black_box(overhead_slot_pmf(1.26, 1e-10))
+    });
+    b.run("expected_overhead_mu126", || {
+        black_box(expected_overhead_slots(1.26))
+    });
+
+    b.run("mdp/policy_iteration_k50_m10", || {
+        let model = Smdp::new(SmdpConfig {
+            k: 50,
+            m: 10,
+            lambda: 0.1,
         });
+        let start: Vec<usize> = (0..=50).map(|i| i.clamp(1, 12)).collect();
+        black_box(policy_iteration(&model, &start))
     });
 }
-
-fn rng_throughput(c: &mut Criterion) {
-    c.bench_function("kernel/rng_f64_10k", |b| {
-        let mut rng = Rng::new(2);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..10_000 {
-                acc += rng.f64();
-            }
-            black_box(acc)
-        });
-    });
-}
-
-fn convolution(c: &mut Criterion) {
-    c.bench_function("kernel/griddist_convolve_512", |b| {
-        let d = GridDist::geometric(1.0, 0.01, 1e-12);
-        b.iter(|| black_box(d.convolve(&d, 512)));
-    });
-}
-
-fn renewal(c: &mut Criterion) {
-    c.bench_function("kernel/renewal_series_2k", |b| {
-        let service = GridDist::geometric_from_zero(1.0, 1.5, 1e-12).shift(25);
-        let beta = service.residual();
-        b.iter(|| black_box(renewal_series(&beta, 0.8, 2_000)));
-    });
-}
-
-fn splitting(c: &mut Criterion) {
-    c.bench_function("kernel/round_distribution_w64", |b| {
-        b.iter(|| black_box(round_distribution(64, 0.02)));
-    });
-    c.bench_function("kernel/overhead_pmf_mu126", |b| {
-        b.iter(|| black_box(overhead_slot_pmf(1.26, 1e-10)));
-    });
-    c.bench_function("kernel/expected_overhead_mu126", |b| {
-        b.iter(|| black_box(expected_overhead_slots(1.26)));
-    });
-}
-
-fn mdp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel/mdp");
-    group.sample_size(10);
-    group.bench_function("policy_iteration_k50_m10", |b| {
-        b.iter(|| {
-            let model = Smdp::new(SmdpConfig {
-                k: 50,
-                m: 10,
-                lambda: 0.1,
-            });
-            let start: Vec<usize> = (0..=50).map(|i| i.max(1).min(12)).collect();
-            black_box(policy_iteration(&model, &start))
-        });
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    event_queue,
-    rng_throughput,
-    convolution,
-    renewal,
-    splitting,
-    mdp
-);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! # tcw-bench — criterion benchmarks
+//! # tcw-bench — benchmarks on a dependency-free timing harness
 //!
 //! Three suites:
 //!
@@ -11,7 +11,15 @@
 //! * `ablations` — design-choice comparisons (policy disciplines,
 //!   scheduling-time shapes, guard slot) as timed units.
 //!
-//! Run with `cargo bench --workspace`.
+//! Run with `cargo bench --workspace`. The harness is implemented here
+//! (~60 lines) rather than imported: the repository builds with no
+//! external dependencies, and median-of-samples wall-clock timing is all
+//! the suites need.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
 
 /// A reduced simulation size used by the benches so a full `cargo bench`
 /// stays in the minutes range while still exercising every code path.
@@ -21,5 +29,50 @@ pub fn bench_settings() -> tcw_experiments::SimSettings {
         warmup: 200,
         ticks_per_tau: 16,
         ..Default::default()
+    }
+}
+
+/// A minimal wall-clock benchmark runner: runs each closure for a fixed
+/// number of samples and reports min / median / max per-iteration time.
+pub struct Bench {
+    suite: &'static str,
+    samples: usize,
+}
+
+impl Bench {
+    /// Creates a runner for the given suite name.
+    pub fn new(suite: &'static str) -> Self {
+        Bench { suite, samples: 10 }
+    }
+
+    /// Overrides the number of timed samples (default 10).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Times `f` (one sample = one call) and prints a one-line report.
+    /// The closure's return value is consumed via [`std::hint::black_box`]
+    /// so the optimizer cannot discard the measured work.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // One warm-up call outside the timed samples.
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        println!(
+            "{}/{:<40} min {:>12?}  median {:>12?}  max {:>12?}  ({} samples)",
+            self.suite,
+            name,
+            times[0],
+            median,
+            times[times.len() - 1],
+            self.samples
+        );
     }
 }

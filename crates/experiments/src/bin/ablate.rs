@@ -56,7 +56,10 @@ fn run_policy(name: &str, policy: ControlPolicy, settings: SimSettings, seed: u6
         deadline: Dur::from_ticks(K_TAU * tpt),
     };
     let mut eng = poisson_engine(channel, policy, measure, PANEL.rho_prime, 50, seed);
-    eng.run_until(Time::from_ticks(measure_end + measure_end / 10), &mut NoopObserver);
+    eng.run_until(
+        Time::from_ticks(measure_end + measure_end / 10),
+        &mut NoopObserver,
+    );
     eng.drain(&mut NoopObserver);
     Run {
         name: name.to_string(),
@@ -110,7 +113,10 @@ fn main() {
     );
 
     println!("-- element (4): sender discard --");
-    for (name, discard) in [("controlled (discard on)", true), ("no discard (fcfs order)", false)] {
+    for (name, discard) in [
+        ("controlled (discard on)", true),
+        ("no discard (fcfs order)", false),
+    ] {
         let p = controlled_with(
             WindowPosition::Oldest,
             SplitRule::OlderFirst,
@@ -212,7 +218,12 @@ fn main() {
                     tpt,
                 )
             };
-            report(run_policy(&format!("split fraction {frac}"), p, settings, 17));
+            report(run_policy(
+                &format!("split fraction {frac}"),
+                p,
+                settings,
+                17,
+            ));
         }
         let (mu, frac, e) = optimal_mu_and_fraction();
         let mu_half = tcw_window::analysis::optimal_mu();
@@ -232,12 +243,7 @@ fn main() {
             true,
             tpt,
         );
-        report(run_policy(
-            name,
-            p,
-            SimSettings { guard, ..settings },
-            16,
-        ));
+        report(run_policy(name, p, SimSettings { guard, ..settings }, 16));
     }
 
     println!("\n-- finite population: single-buffer stations --");
@@ -262,15 +268,13 @@ fn main() {
             let lambda = PANEL.lambda();
             let ticks_per_msg = tpt as f64 / lambda;
             let warmup_end = (settings.warmup as f64 * ticks_per_msg) as u64;
-            let measure_end =
-                warmup_end + (settings.messages as f64 * ticks_per_msg) as u64;
+            let measure_end = warmup_end + (settings.messages as f64 * ticks_per_msg) as u64;
             let measure = MeasureConfig {
                 start: Time::from_ticks(warmup_end),
                 end: Time::from_ticks(measure_end),
                 deadline: Dur::from_ticks(K_TAU * tpt),
             };
-            let mut eng =
-                poisson_engine(channel, p, measure, PANEL.rho_prime, stations, 18);
+            let mut eng = poisson_engine(channel, p, measure, PANEL.rho_prime, stations, 18);
             eng.set_single_buffer_stations(true);
             eng.run_until(
                 Time::from_ticks(measure_end + measure_end / 10),

@@ -14,7 +14,7 @@
 //! fast smoke pass (fewer messages), or pass a panel id (e.g. `rho50_m25`)
 //! to regenerate a single panel.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
 use tcw_experiments::{simulate_panel, Panel, PolicyKind, SimPoint, SimSettings, PANELS};
 use tcw_queueing::marching::{controlled_curve, fcfs_curve, lcfs_curve, CurvePoint, PanelConfig};
@@ -58,7 +58,7 @@ fn run_panel(panel: Panel, settings: SimSettings, seed: u64) -> PanelResult {
     }
 }
 
-fn emit(result: &PanelResult, out_dir: &PathBuf) {
+fn emit(result: &PanelResult, out_dir: &Path) {
     let p = result.panel;
     // CSV: one row per K of the dense analytic grid; simulation columns
     // are filled on their sparser grid.
@@ -127,7 +127,11 @@ fn emit(result: &PanelResult, out_dir: &PathBuf) {
         Series {
             label: "controlled (sim)".into(),
             glyph: 'o',
-            points: result.sim_controlled.iter().map(|s| (s.k, s.loss)).collect(),
+            points: result
+                .sim_controlled
+                .iter()
+                .map(|s| (s.k, s.loss))
+                .collect(),
         },
         Series {
             label: "fcfs (analytic)".into(),

@@ -31,7 +31,10 @@ fn main() {
     println!("== 1. Lemma 3: one-step pseudo loss, min-slack vs alternatives ==\n");
     let (k, m, lambda) = (60.0, 25u64, 0.03);
     println!("   K = {k} tau, M = {m}, lambda = {lambda}/tau, 200k trials per cell");
-    println!("   {:>6} {:>6} {:>12} {:>12} {:>12}", "i", "w", "min-slack", "newer-split", "newest-pos");
+    println!(
+        "   {:>6} {:>6} {:>12} {:>12} {:>12}",
+        "i", "w", "min-slack", "newer-split", "newest-pos"
+    );
     for &(i, w) in &[
         (60.0, 60.0),
         (60.0, 40.0),
@@ -68,13 +71,24 @@ fn main() {
     let rho_prime = 0.75;
     let k_tau = 100u64;
     let k_ticks = Dur::from_ticks(k_tau * channel.ticks_per_tau);
-    let w_ticks = Dur::from_ticks(
-        (optimal_mu() / (rho_prime / 25.0) * channel.ticks_per_tau as f64) as u64,
-    );
+    let w_ticks =
+        Dur::from_ticks((optimal_mu() / (rho_prime / 25.0) * channel.ticks_per_tau as f64) as u64);
     let variants: [(&str, WindowPosition, SplitRule); 3] = [
-        ("theorem-1 (oldest + older-first)", WindowPosition::Oldest, SplitRule::OlderFirst),
-        ("oldest + newer-first", WindowPosition::Oldest, SplitRule::NewerFirst),
-        ("newest + newer-first", WindowPosition::Newest, SplitRule::NewerFirst),
+        (
+            "theorem-1 (oldest + older-first)",
+            WindowPosition::Oldest,
+            SplitRule::OlderFirst,
+        ),
+        (
+            "oldest + newer-first",
+            WindowPosition::Oldest,
+            SplitRule::NewerFirst,
+        ),
+        (
+            "newest + newer-first",
+            WindowPosition::Newest,
+            SplitRule::NewerFirst,
+        ),
     ];
     let mut losses = Vec::new();
     for (name, pos, split) in variants {
@@ -145,15 +159,17 @@ fn main() {
                 ]
             })
             .collect();
-        let path = std::path::PathBuf::from(format!(
-            "results/mdp_window_k{k_state}_m{m_slots}.csv"
-        ));
+        let path =
+            std::path::PathBuf::from(format!("results/mdp_window_k{k_state}_m{m_slots}.csv"));
         write_csv(&path, &["state_i", "w_optimal", "w_heuristic"], &rows).expect("csv");
         print!("   w*(i) at i = K/4, K/2, 3K/4, K: ");
         for i in [k_state / 4, k_state / 2, 3 * k_state / 4, k_state] {
             print!("{} ", opt.window[i.max(1)]);
         }
-        println!("  (heuristic w* = {w_heuristic}); table: {}", path.display());
+        println!(
+            "  (heuristic w* = {w_heuristic}); table: {}",
+            path.display()
+        );
         println!(
             "   SMDP loss fraction = {:.4} (gain/lambda)",
             opt.loss_fraction(lam)

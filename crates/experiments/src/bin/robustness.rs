@@ -1,0 +1,308 @@
+//! Fault-injection robustness sweep and deterministic failure replay.
+//!
+//! Default mode sweeps fault probability × offered load for the controlled
+//! protocol, comparing loss against the fault-free baseline of the same
+//! seed, then exercises the per-station divergence detector under receive
+//! deafness. Results land in `results/robustness.csv` and
+//! `results/robustness.txt`.
+//!
+//! Every run executes under a panic guard: a panic, a tripped invariant,
+//! or a detected divergence writes a replay artifact under
+//! `results/failures/` containing the seed, the fault plan and the
+//! workload. Re-running with
+//!
+//! ```text
+//! cargo run --release -p tcw-experiments --bin robustness -- --replay <artifact>
+//! ```
+//!
+//! re-executes the identical timeline and must reproduce the identical
+//! failure (the binary exits non-zero if it does not).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use tcw_experiments::plot::{ascii_plot, write_csv, Series};
+use tcw_experiments::replay::FailureRecord;
+use tcw_experiments::runner::{
+    simulate_panel_faulty, simulate_with_detector, FaultSimPoint, PolicyKind, SimSettings,
+};
+use tcw_experiments::Panel;
+use tcw_mac::FaultPlan;
+
+const FAULT_PROBS: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+const LOADS: [f64; 3] = [0.25, 0.50, 0.75];
+const M: u64 = 25;
+const K_TAU: f64 = 100.0;
+const SEED: u64 = 1983;
+
+fn settings() -> SimSettings {
+    SimSettings {
+        ticks_per_tau: 16,
+        messages: 8_000,
+        warmup: 800,
+        ..Default::default()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes the run a record describes and returns the observed
+/// `(kind, detail)` outcome — `("ok", summary)` when nothing failed.
+/// Deterministic: the same record always returns the same pair.
+fn execute(rec: &FailureRecord) -> (String, String) {
+    let run = || -> (String, String) {
+        if rec.plan.deafness > 0.0 {
+            let (point, det) = simulate_with_detector(
+                rec.panel,
+                rec.policy,
+                rec.k_tau,
+                rec.settings,
+                rec.seed,
+                rec.plan,
+            );
+            match det.first_divergence {
+                Some(first) => (
+                    "divergence".to_string(),
+                    format!(
+                        "station 0 diverged {} time(s) ({} slots missed, {} resyncs); first: {first}",
+                        det.divergences, det.dropped_slots, det.resyncs
+                    ),
+                ),
+                None => ("ok".to_string(), format!("loss={:.6}", point.point.loss)),
+            }
+        } else {
+            let p = simulate_panel_faulty(
+                rec.panel,
+                rec.policy,
+                rec.k_tau,
+                rec.settings,
+                rec.seed,
+                rec.plan,
+            );
+            ("ok".to_string(), format!("loss={:.6}", p.point.loss))
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(outcome) => outcome,
+        Err(payload) => ("panic".to_string(), panic_message(payload)),
+    }
+}
+
+/// Runs a configuration; on failure writes a replay artifact and returns
+/// its path.
+fn guarded(rec: &FailureRecord, out_dir: &Path) -> Result<String, PathBuf> {
+    let (kind, detail) = execute(rec);
+    if kind == "ok" {
+        return Ok(detail);
+    }
+    let mut failed = rec.clone();
+    failed.kind = kind.clone();
+    failed.detail = detail;
+    let path = out_dir.join(format!(
+        "failure_{}_seed{}_p{:02}.json",
+        kind,
+        rec.seed,
+        (rec.plan.erasure * 100.0).round() as u32
+    ));
+    failed.save(&path).expect("write replay artifact");
+    Err(path)
+}
+
+fn replay(path: &Path) -> i32 {
+    let rec = match FailureRecord::load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot load artifact: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "replaying {} (kind={:?}, seed={}, plan={:?})",
+        path.display(),
+        rec.kind,
+        rec.seed,
+        rec.plan
+    );
+    let (kind, detail) = execute(&rec);
+    println!("recorded: [{}] {}", rec.kind, rec.detail);
+    println!("replayed: [{kind}] {detail}");
+    if kind == rec.kind && detail == rec.detail {
+        println!("replay reproduced the identical failure");
+        0
+    } else {
+        println!("REPLAY DIVERGED from the recorded failure");
+        1
+    }
+}
+
+fn base_record(rho_prime: f64, plan: FaultPlan) -> FailureRecord {
+    FailureRecord {
+        seed: SEED,
+        plan,
+        panel: Panel { rho_prime, m: M },
+        policy: PolicyKind::Controlled,
+        k_tau: K_TAU,
+        settings: settings(),
+        kind: String::new(),
+        detail: String::new(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 3 && args[1] == "--replay" {
+        std::process::exit(replay(Path::new(&args[2])));
+    }
+
+    let results = Path::new("results");
+    let failures_dir = results.join("failures");
+    let mut report = String::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut series: Vec<Series> = Vec::new();
+    let glyphs = ['o', '+', 'x'];
+
+    println!("fault-injection sweep: controlled protocol, M={M}, K={K_TAU} tau\n");
+    for (li, &rho) in LOADS.iter().enumerate() {
+        let mut points = Vec::new();
+        for &p in &FAULT_PROBS {
+            let rec = base_record(rho, FaultPlan::uniform(p));
+            let fsp: FaultSimPoint = match catch_unwind(AssertUnwindSafe(|| {
+                simulate_panel_faulty(
+                    rec.panel,
+                    rec.policy,
+                    rec.k_tau,
+                    rec.settings,
+                    rec.seed,
+                    rec.plan,
+                )
+            })) {
+                Ok(fsp) => fsp,
+                Err(payload) => {
+                    let mut failed = rec.clone();
+                    failed.kind = "panic".to_string();
+                    failed.detail = panic_message(payload);
+                    let path = failures_dir.join(format!(
+                        "failure_panic_seed{}_rho{:02}_p{:02}.json",
+                        rec.seed,
+                        (rho * 100.0) as u32,
+                        (p * 100.0).round() as u32
+                    ));
+                    failed.save(&path).expect("write replay artifact");
+                    eprintln!(
+                        "run panicked; replay artifact written to {}\n  reproduce: cargo run --release -p tcw-experiments --bin robustness -- --replay {}",
+                        path.display(),
+                        path.display()
+                    );
+                    std::process::exit(1);
+                }
+            };
+            let line = format!(
+                "rho'={rho:.2} p={p:.2}: loss={:.4} util={:.3} corrupted={} erased={} resyncs={} abandoned={} reopened={} fault_losses={}",
+                fsp.point.loss,
+                fsp.point.utilization,
+                fsp.faults.corrupted_slots,
+                fsp.faults.erased_slots,
+                fsp.faults.resyncs,
+                fsp.faults.rounds_abandoned,
+                fsp.faults.reopened,
+                fsp.faults.fault_losses,
+            );
+            println!("  {line}");
+            report.push_str(&line);
+            report.push('\n');
+            rows.push(vec![
+                format!("{rho}"),
+                format!("{p}"),
+                format!("{}", fsp.point.loss),
+                format!("{}", fsp.point.utilization),
+                format!("{}", fsp.faults.corrupted_slots),
+                format!("{}", fsp.faults.erased_slots),
+                format!("{}", fsp.faults.resyncs),
+                format!("{}", fsp.faults.rounds_abandoned),
+                format!("{}", fsp.faults.reopened),
+                format!("{}", fsp.faults.fault_losses),
+            ]);
+            points.push((p, fsp.point.loss));
+        }
+        series.push(Series {
+            label: format!("rho'={rho:.2}"),
+            glyph: glyphs[li % glyphs.len()],
+            points,
+        });
+        println!();
+    }
+
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-3)
+        * 1.2;
+    let chart = ascii_plot(
+        "loss vs fault probability (controlled, M=25, K=100 tau)",
+        &series,
+        72,
+        20,
+        0.0,
+        y_max,
+    );
+    println!("{chart}");
+    report.push('\n');
+    report.push_str(&chart);
+
+    // Divergence detector under receive deafness: the one fault class that
+    // breaks the shared-view invariant. The detector must both catch it
+    // and recover via beacon resync, and the failure must be replayable.
+    println!("\ndivergence detector (deafness faults):\n");
+    let mut deaf_plan = FaultPlan::uniform(0.02);
+    deaf_plan.deafness = 0.002;
+    deaf_plan.deaf_slots = 4;
+    let rec = base_record(0.50, deaf_plan);
+    match guarded(&rec, &failures_dir) {
+        Ok(detail) => {
+            let line = format!("  station 0 never diverged ({detail})");
+            println!("{line}");
+            report.push_str(&line);
+        }
+        Err(path) => {
+            let loaded = FailureRecord::load(&path).expect("reload artifact");
+            let line = format!(
+                "  [{}] {}\n  replay artifact: {}\n  reproduce: cargo run --release -p tcw-experiments --bin robustness -- --replay {}",
+                loaded.kind,
+                loaded.detail,
+                path.display(),
+                path.display()
+            );
+            println!("{line}");
+            report.push_str(&line);
+        }
+    }
+    report.push('\n');
+
+    write_csv(
+        &results.join("robustness.csv"),
+        &[
+            "rho_prime",
+            "fault_prob",
+            "loss",
+            "utilization",
+            "corrupted_slots",
+            "erased_slots",
+            "resyncs",
+            "rounds_abandoned",
+            "reopened",
+            "fault_losses",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    std::fs::write(results.join("robustness.txt"), &report).expect("write report");
+    println!("\nwrote results/robustness.csv and results/robustness.txt");
+}

@@ -11,7 +11,10 @@
 //!   verification of §3 and Appendix A;
 //! * `ablate` — design-choice ablations (discard on/off, split rule,
 //!   window length, scheduling-time shape, guard slot);
-//! * `trace_window` — the figure 1 / figure 4 operation walk-through.
+//! * `trace_window` — the figure 1 / figure 4 operation walk-through;
+//! * `robustness` — fault-injection sweeps (imperfect channel feedback)
+//!   against the fault-free baseline, plus the deterministic
+//!   failure-replay harness (`--replay <artifact>`).
 //!
 //! The library part hosts the simulation runners (so the `tcw-bench`
 //! criterion benches reuse exactly the code that produced EXPERIMENTS.md)
@@ -22,7 +25,12 @@
 
 pub mod panels;
 pub mod plot;
+pub mod replay;
 pub mod runner;
 
 pub use panels::{Panel, PANELS};
-pub use runner::{simulate_panel, PolicyKind, SimPoint, SimSettings};
+pub use replay::FailureRecord;
+pub use runner::{
+    simulate_panel, simulate_panel_faulty, simulate_with_detector, DetectorReport, FaultCounters,
+    FaultSimPoint, PolicyKind, SimPoint, SimSettings,
+};

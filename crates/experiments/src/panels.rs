@@ -17,7 +17,11 @@ impl Panel {
 
     /// A short identifier used in file names, e.g. `rho25_m100`.
     pub fn id(&self) -> String {
-        format!("rho{:02}_m{}", (self.rho_prime * 100.0).round() as u32, self.m)
+        format!(
+            "rho{:02}_m{}",
+            (self.rho_prime * 100.0).round() as u32,
+            self.m
+        )
     }
 
     /// The deadline grid (in `tau`) this panel is evaluated on: up to

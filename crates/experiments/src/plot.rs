@@ -73,11 +73,7 @@ pub fn ascii_plot(
         let y = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
         let _ = writeln!(out, "{y:6.2} |{}|", row.iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "       {}",
-        "-".repeat(width + 2)
-    );
+    let _ = writeln!(out, "       {}", "-".repeat(width + 2));
     let _ = writeln!(out, "       x: {x_min:.0} .. {x_max:.0}");
     for s in series {
         let _ = writeln!(out, "       {} = {}", s.glyph, s.label);

@@ -1,0 +1,318 @@
+//! Deterministic failure-replay artifacts.
+//!
+//! When a fault-injected run panics, trips an invariant, or a divergence
+//! detector fires, the robustness harness serializes everything needed to
+//! reproduce the failure — master seed, [`FaultPlan`], workload and policy
+//! parameters, and the observed failure — into a small flat JSON file
+//! under `results/failures/`. Because every random choice in a run derives
+//! from the master seed, replaying the record re-executes the identical
+//! timeline and must reproduce the identical failure.
+//!
+//! The format is deliberately flat (one JSON object, scalar values only)
+//! so it can be written and parsed without a serialization dependency.
+
+use crate::panels::Panel;
+use crate::runner::{PolicyKind, SimSettings};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+use tcw_mac::FaultPlan;
+
+/// Everything needed to reproduce one failed run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureRecord {
+    /// Master seed of the failing run.
+    pub seed: u64,
+    /// The injected fault plan.
+    pub plan: FaultPlan,
+    /// Workload panel.
+    pub panel: Panel,
+    /// Protocol variant.
+    pub policy: PolicyKind,
+    /// Deadline in units of `tau`.
+    pub k_tau: f64,
+    /// Simulation-size knobs.
+    pub settings: SimSettings,
+    /// Failure class: `"panic"` or `"divergence"`.
+    pub kind: String,
+    /// The failure itself (panic payload or first divergence).
+    pub detail: String,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+impl FailureRecord {
+    /// Serializes the record as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut field = |key: &str, value: String| {
+            out.push_str(&format!("  \"{key}\": {value},\n"));
+        };
+        field("seed", self.seed.to_string());
+        field(
+            "success_to_collision",
+            fmt_f64(self.plan.success_to_collision),
+        );
+        field(
+            "collision_to_success",
+            fmt_f64(self.plan.collision_to_success),
+        );
+        field("collision_to_idle", fmt_f64(self.plan.collision_to_idle));
+        field("idle_to_collision", fmt_f64(self.plan.idle_to_collision));
+        field("erasure", fmt_f64(self.plan.erasure));
+        field("deafness", fmt_f64(self.plan.deafness));
+        field("deaf_slots", self.plan.deaf_slots.to_string());
+        field("rho_prime", fmt_f64(self.panel.rho_prime));
+        field("m", self.panel.m.to_string());
+        field("policy", format!("\"{}\"", self.policy.label()));
+        field("k_tau", fmt_f64(self.k_tau));
+        field("ticks_per_tau", self.settings.ticks_per_tau.to_string());
+        field("messages", self.settings.messages.to_string());
+        field("warmup", self.settings.warmup.to_string());
+        field("stations", self.settings.stations.to_string());
+        field("guard", self.settings.guard.to_string());
+        field("kind", format!("\"{}\"", escape(&self.kind)));
+        field("detail", format!("\"{}\"", escape(&self.detail)));
+        // Trailing comma is invalid JSON; replace with a closing brace.
+        out.truncate(out.len() - 2);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a record previously written by [`FailureRecord::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let fields = parse_flat(text)?;
+        let num = |key: &str| -> Result<f64, String> {
+            fields
+                .get(key)
+                .ok_or_else(|| format!("missing field {key:?}"))?
+                .parse::<f64>()
+                .map_err(|e| format!("field {key:?}: {e}"))
+        };
+        let int = |key: &str| -> Result<u64, String> { Ok(num(key)? as u64) };
+        let string = |key: &str| -> Result<String, String> {
+            Ok(unescape(
+                fields
+                    .get(key)
+                    .ok_or_else(|| format!("missing field {key:?}"))?,
+            ))
+        };
+        let policy = match string("policy")?.as_str() {
+            "controlled" => PolicyKind::Controlled,
+            "fcfs" => PolicyKind::Fcfs,
+            "lcfs" => PolicyKind::Lcfs,
+            "random" => PolicyKind::Random,
+            other => return Err(format!("unknown policy {other:?}")),
+        };
+        Ok(FailureRecord {
+            seed: int("seed")?,
+            plan: FaultPlan {
+                success_to_collision: num("success_to_collision")?,
+                collision_to_success: num("collision_to_success")?,
+                collision_to_idle: num("collision_to_idle")?,
+                idle_to_collision: num("idle_to_collision")?,
+                erasure: num("erasure")?,
+                deafness: num("deafness")?,
+                deaf_slots: int("deaf_slots")?,
+            },
+            panel: Panel {
+                rho_prime: num("rho_prime")?,
+                m: int("m")?,
+            },
+            policy,
+            k_tau: num("k_tau")?,
+            settings: SimSettings {
+                ticks_per_tau: int("ticks_per_tau")?,
+                messages: int("messages")?,
+                warmup: int("warmup")?,
+                stations: int("stations")? as u32,
+                guard: fields.get("guard").map(|v| v == "true").unwrap_or(false),
+            },
+            kind: string("kind")?,
+            detail: string("detail")?,
+        })
+    }
+
+    /// Writes the record to `path`, creating parent directories.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, self.to_json())
+    }
+
+    /// Loads a record from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+/// Formats an `f64` so it round-trips exactly and always contains a `.`
+/// or exponent (so integers and floats stay distinguishable to readers).
+fn fmt_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Parses one flat JSON object into raw (still-escaped) value strings.
+fn parse_flat(text: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.trim_end().strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let bytes = body.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Skip whitespace and separators up to the next key.
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] != b'"' {
+            return Err(format!("expected key at byte {i}"));
+        }
+        i += 1;
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        let key = body[key_start..i].to_string();
+        i += 1; // closing quote
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b':') {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            // String value: scan to the first unescaped quote.
+            i += 1;
+            let val_start = i;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    break;
+                }
+                i += 1;
+            }
+            out.insert(key, body[val_start..i.min(bytes.len())].to_string());
+            i += 1;
+        } else {
+            // Bare scalar: up to the next comma or end.
+            let val_start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            out.insert(key, body[val_start..i].trim().to_string());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FailureRecord {
+        FailureRecord {
+            seed: 42,
+            plan: FaultPlan {
+                success_to_collision: 0.05,
+                collision_to_success: 0.05,
+                collision_to_idle: 0.05,
+                idle_to_collision: 0.05,
+                erasure: 0.05,
+                deafness: 0.01,
+                deaf_slots: 3,
+            },
+            panel: Panel {
+                rho_prime: 0.5,
+                m: 25,
+            },
+            policy: PolicyKind::Controlled,
+            k_tau: 100.0,
+            settings: SimSettings::default(),
+            kind: "panic".to_string(),
+            detail: "assertion \"failed\"\nwith a newline and a \\ backslash".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let r = record();
+        let parsed = FailureRecord::from_json(&r.to_json()).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn roundtrip_survives_save_and_load() {
+        let dir = std::env::temp_dir().join("tcw_replay_test");
+        let path = dir.join("failure.json");
+        let r = record();
+        r.save(&path).expect("save");
+        let loaded = FailureRecord::load(&path).expect("load");
+        assert_eq!(loaded, r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FailureRecord::from_json("not json").is_err());
+        assert!(FailureRecord::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn float_formatting_distinguishes_kinds() {
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(100.0), "100.0");
+    }
+}

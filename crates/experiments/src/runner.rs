@@ -1,11 +1,12 @@
 //! Protocol-simulation runners for the Figure-7 panels.
 
 use crate::panels::Panel;
-use tcw_mac::ChannelConfig;
+use tcw_mac::{ChannelConfig, FaultPlan, PoissonArrivals};
 use tcw_sim::time::{Dur, Time};
 use tcw_window::analysis::optimal_mu;
-use tcw_window::engine::poisson_engine;
+use tcw_window::engine::{poisson_engine, Engine};
 use tcw_window::metrics::MeasureConfig;
+use tcw_window::mirror::DivergenceDetector;
 use tcw_window::policy::ControlPolicy;
 use tcw_window::trace::NoopObserver;
 
@@ -36,7 +37,7 @@ impl PolicyKind {
 }
 
 /// Simulation-size knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimSettings {
     /// Ticks per propagation delay.
     pub ticks_per_tau: u64,
@@ -83,18 +84,42 @@ pub struct SimPoint {
     pub offered: u64,
 }
 
-/// Runs one protocol simulation at deadline `k_tau` (units of `tau`) and
-/// returns the measured point.
-///
-/// The window length follows the §4.1 heuristic at the offered rate:
-/// `w* = mu* / lambda` (same value the analytic marching uses).
-pub fn simulate_panel(
+/// Degradation counters of one fault-injected run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultCounters {
+    /// Slots whose feedback an injected fault corrupted (misdetections).
+    pub corrupted_slots: u64,
+    /// Slots whose feedback was erased.
+    pub erased_slots: u64,
+    /// Backoff/re-probe resynchronizations after detectable corruption.
+    pub resyncs: u64,
+    /// Windowing rounds abandoned after exhausting the retry budget.
+    pub rounds_abandoned: u64,
+    /// Examined intervals reopened for fault-stranded messages.
+    pub reopened: u64,
+    /// Losses attributable to a fault on the message's trajectory.
+    pub fault_losses: u64,
+}
+
+/// A [`SimPoint`] together with the degradation counters of the run.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSimPoint {
+    /// The conventional measurements.
+    pub point: SimPoint,
+    /// Fault/degradation counters.
+    pub faults: FaultCounters,
+}
+
+/// Builds the engine for one panel point; returns it with the run horizon
+/// and the policy (so observers needing the shared policy/seed can be
+/// constructed alongside).
+fn build_engine(
     panel: Panel,
     kind: PolicyKind,
     k_tau: f64,
     settings: SimSettings,
     seed: u64,
-) -> SimPoint {
+) -> (Engine<PoissonArrivals>, Time, ControlPolicy) {
     let channel = ChannelConfig {
         ticks_per_tau: settings.ticks_per_tau,
         message_slots: panel.m,
@@ -102,7 +127,11 @@ pub fn simulate_panel(
     };
     let lambda = panel.lambda(); // per tau
     let w_star_tau = optimal_mu() / lambda;
-    let w = Dur::from_ticks((w_star_tau * settings.ticks_per_tau as f64).round().max(1.0) as u64);
+    let w = Dur::from_ticks(
+        (w_star_tau * settings.ticks_per_tau as f64)
+            .round()
+            .max(1.0) as u64,
+    );
     let k = Dur::from_ticks((k_tau * settings.ticks_per_tau as f64).round() as u64);
 
     let policy = match kind {
@@ -125,15 +154,30 @@ pub fn simulate_panel(
         end: Time::from_ticks(measure_end),
         deadline: k,
     };
-    let mut eng = poisson_engine(channel, policy, measure, panel.rho_prime, settings.stations, seed);
-    eng.run_until(Time::from_ticks(horizon), &mut NoopObserver);
-    eng.drain(&mut NoopObserver);
+    let eng = poisson_engine(
+        channel,
+        policy.clone(),
+        measure,
+        panel.rho_prime,
+        settings.stations,
+        seed,
+    );
+    (eng, Time::from_ticks(horizon), policy)
+}
+
+/// Collects the measured point from a finished engine, asserting the
+/// run-level invariants (full drain, conservation of channel time).
+fn collect_point(eng: &Engine<PoissonArrivals>, k_tau: f64, settings: SimSettings) -> SimPoint {
     assert_eq!(
         eng.metrics.outstanding(),
         0,
         "unresolved messages after drain"
     );
-
+    assert_eq!(
+        eng.channel_stats.total().ticks(),
+        eng.now().ticks(),
+        "channel time not conserved"
+    );
     let offered = eng.metrics.offered();
     SimPoint {
         k: k_tau,
@@ -149,6 +193,99 @@ pub fn simulate_panel(
         utilization: eng.channel_stats.utilization(),
         offered,
     }
+}
+
+fn collect_faults(eng: &Engine<PoissonArrivals>) -> FaultCounters {
+    FaultCounters {
+        corrupted_slots: eng.metrics.corrupted_slots(),
+        erased_slots: eng.metrics.erased_slots(),
+        resyncs: eng.metrics.resyncs(),
+        rounds_abandoned: eng.metrics.rounds_abandoned(),
+        reopened: eng.metrics.reopened(),
+        fault_losses: eng.metrics.fault_losses(),
+    }
+}
+
+/// Runs one protocol simulation at deadline `k_tau` (units of `tau`) and
+/// returns the measured point.
+///
+/// The window length follows the §4.1 heuristic at the offered rate:
+/// `w* = mu* / lambda` (same value the analytic marching uses).
+pub fn simulate_panel(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+) -> SimPoint {
+    // With FaultPlan::none() this is bit-identical to a fault-free build.
+    simulate_panel_faulty(panel, kind, k_tau, settings, seed, FaultPlan::none()).point
+}
+
+/// Runs one panel point with an injected [`FaultPlan`] (the deafness
+/// fields are ignored here — deafness is a per-station receive fault, see
+/// [`simulate_with_detector`]).
+pub fn simulate_panel_faulty(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+    plan: FaultPlan,
+) -> FaultSimPoint {
+    let (mut eng, horizon, _policy) = build_engine(panel, kind, k_tau, settings, seed);
+    eng.set_fault_plan(plan);
+    eng.run_until(horizon, &mut NoopObserver);
+    eng.drain(&mut NoopObserver);
+    FaultSimPoint {
+        point: collect_point(&eng, k_tau, settings),
+        faults: collect_faults(&eng),
+    }
+}
+
+/// Outcome of a run observed through the per-station
+/// [`DivergenceDetector`].
+#[derive(Clone, Debug)]
+pub struct DetectorReport {
+    /// Divergences the detector caught at decision-point beacons.
+    pub divergences: u64,
+    /// Resynchronizations performed.
+    pub resyncs: u64,
+    /// Channel slots the deaf station missed.
+    pub dropped_slots: u64,
+    /// Description of the first divergence, if any.
+    pub first_divergence: Option<String>,
+}
+
+/// Runs one panel point with a fault plan while a deaf listening station
+/// (index 0, deafness parameters taken from `plan`) tracks the run through
+/// a [`DivergenceDetector`].
+pub fn simulate_with_detector(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+    plan: FaultPlan,
+) -> (FaultSimPoint, DetectorReport) {
+    let (mut eng, horizon, policy) = build_engine(panel, kind, k_tau, settings, seed);
+    eng.set_fault_plan(plan);
+    let mut det = DivergenceDetector::new(policy, seed, 0, plan.deafness, plan.deaf_slots);
+    eng.run_until(horizon, &mut det);
+    eng.drain(&mut det);
+    let report = DetectorReport {
+        divergences: det.divergences(),
+        resyncs: det.resyncs(),
+        dropped_slots: det.dropped_slots(),
+        first_divergence: det.first_divergence().map(|s| s.to_string()),
+    };
+    (
+        FaultSimPoint {
+            point: collect_point(&eng, k_tau, settings),
+            faults: collect_faults(&eng),
+        },
+        report,
+    )
 }
 
 /// A replicated estimate: independent seeds, Student-t confidence
@@ -184,7 +321,13 @@ pub fn replicate_panel(
     // batch, so the collector's t-interval is exactly the replication CI.
     let mut bm = tcw_sim::stats::BatchMeans::new(1);
     for r in 0..replications {
-        let p = simulate_panel(panel, kind, k_tau, settings, base_seed ^ (0x9E37 + r as u64));
+        let p = simulate_panel(
+            panel,
+            kind,
+            k_tau,
+            settings,
+            base_seed ^ (0x9E37 + r as u64),
+        );
         bm.record(p.loss);
     }
     Replicated {
@@ -228,26 +371,14 @@ mod tests {
         let k = 100.0;
         let c = simulate_panel(panel, PolicyKind::Controlled, k, quick(), 2);
         let f = simulate_panel(panel, PolicyKind::Fcfs, k, quick(), 2);
-        assert!(
-            c.loss < f.loss,
-            "controlled {} !< fcfs {}",
-            c.loss,
-            f.loss
-        );
+        assert!(c.loss < f.loss, "controlled {} !< fcfs {}", c.loss, f.loss);
     }
 
     #[test]
     fn replication_interval_contains_analytic_value() {
         let panel = PANELS[2]; // rho' = 0.50, M = 25
         let k = 100.0;
-        let rep = crate::runner::replicate_panel(
-            panel,
-            PolicyKind::Controlled,
-            k,
-            quick(),
-            9,
-            4,
-        );
+        let rep = crate::runner::replicate_panel(panel, PolicyKind::Controlled, k, quick(), 9, 4);
         assert_eq!(rep.replications, 4);
         assert!(rep.ci95.is_finite());
         // The analytic value (~0.0046) lies inside the replication CI.

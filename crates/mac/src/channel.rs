@@ -129,12 +129,21 @@ pub struct ChannelStats {
     pub collision: Dur,
     /// Channel time carrying successful transmissions.
     pub success: Dur,
+    /// Channel time whose feedback was erased by an injected fault.
+    pub erased: Dur,
+    /// Channel time spent in quiet resynchronization backoff after a
+    /// detected feedback fault.
+    pub quiet: Dur,
     /// Count of idle probes.
     pub idle_slots: u64,
     /// Count of collision slots.
     pub collision_slots: u64,
     /// Count of successful transmissions.
     pub successes: u64,
+    /// Count of erased slots.
+    pub erased_slots: u64,
+    /// Count of quiet backoff periods.
+    pub quiet_periods: u64,
 }
 
 impl ChannelStats {
@@ -161,9 +170,22 @@ impl ChannelStats {
         }
     }
 
+    /// Records a slot whose feedback was erased by an injected fault.
+    pub fn record_erased(&mut self, dur: Dur) {
+        self.erased += dur;
+        self.erased_slots += 1;
+    }
+
+    /// Records quiet channel time spent backing off after a detected
+    /// feedback fault.
+    pub fn record_quiet(&mut self, dur: Dur) {
+        self.quiet += dur;
+        self.quiet_periods += 1;
+    }
+
     /// Total accounted channel time.
     pub fn total(&self) -> Dur {
-        self.idle + self.collision + self.success
+        self.idle + self.collision + self.success + self.erased + self.quiet
     }
 
     /// Fraction of channel time carrying successful transmissions.
@@ -253,6 +275,18 @@ mod tests {
         assert_eq!(s.total(), Dur::from_ticks(270));
         assert!((s.utilization() - 250.0 / 270.0).abs() < 1e-12);
         assert_eq!(s.overhead_slots_per_success(), 2.0);
+    }
+
+    #[test]
+    fn erased_and_quiet_time_counts_toward_total() {
+        let mut s = ChannelStats::new();
+        s.record(&SlotOutcome::Success(MessageId(1)), Dur::from_ticks(250));
+        s.record_erased(Dur::from_ticks(10));
+        s.record_quiet(Dur::from_ticks(40));
+        assert_eq!(s.erased_slots, 1);
+        assert_eq!(s.quiet_periods, 1);
+        assert_eq!(s.total(), Dur::from_ticks(300));
+        assert!((s.utilization() - 250.0 / 300.0).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`message`] — messages, stations, identifiers;
 //! * [`channel`] — channel configuration, slot outcomes and costs
 //!   ([`channel::Medium::probe`]), utilization accounting;
+//! * [`fault`] — deterministic fault injection: a [`fault::FaultyMedium`]
+//!   wrapper corrupting the ternary feedback per a [`fault::FaultPlan`]
+//!   (misdetections, erasures, per-station deafness parameters);
 //! * [`arrivals`] — arrival processes: aggregate Poisson, deterministic
 //!   traces (for reproducing the paper's Figure 1 walk-through), and
 //!   merged/composite sources;
@@ -25,9 +28,11 @@
 
 pub mod arrivals;
 pub mod channel;
+pub mod fault;
 pub mod message;
 pub mod traffic;
 
 pub use arrivals::{Arrival, ArrivalSource, MergedSource, PoissonArrivals, TraceArrivals};
 pub use channel::{ChannelConfig, ChannelStats, Medium, SlotOutcome};
+pub use fault::{FaultKind, FaultPlan, FaultyMedium, Feedback, ProbeReport};
 pub use message::{Message, MessageId, StationId};

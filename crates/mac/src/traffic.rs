@@ -115,7 +115,8 @@ impl ArrivalSource for VoiceSource {
                         self.events.schedule(next, VoiceEvent::Packet(s, end));
                     } else {
                         let silence = Dur::from_ticks(self.off.sample(rng).max(1.0) as u64);
-                        self.events.schedule(end + silence, VoiceEvent::SpurtStart(s));
+                        self.events
+                            .schedule(end + silence, VoiceEvent::SpurtStart(s));
                     }
                     return Some(Arrival {
                         time: now,
@@ -177,10 +178,7 @@ impl SensorSource {
     fn generate_event(&mut self, rng: &mut Rng) {
         self.next_event += self.gap.sample(rng);
         let base = Time::from_ticks(self.next_event as u64);
-        let n = self
-            .reports
-            .sample(rng)
-            .min(u64::from(self.cfg.stations)) as u32;
+        let n = self.reports.sample(rng).min(u64::from(self.cfg.stations)) as u32;
         // Choose n distinct stations by partial Fisher-Yates over indices.
         let mut chosen: Vec<u32> = Vec::with_capacity(n as usize);
         while chosen.len() < n as usize {

@@ -1,6 +1,9 @@
 //! Property-based tests for the channel substrate.
+//!
+//! Randomized cases are drawn from the deterministic [`Rng`] so every
+//! failure reproduces from its case index (the repository builds offline,
+//! without an external property-testing framework).
 
-use proptest::prelude::*;
 use tcw_mac::arrivals::{ArrivalSource, MergedSource, PoissonArrivals, TraceArrivals};
 use tcw_mac::channel::{ChannelConfig, ChannelStats, Medium, SlotOutcome};
 use tcw_mac::message::MessageId;
@@ -8,11 +11,14 @@ use tcw_mac::traffic::{SensorConfig, SensorSource, VoiceConfig, VoiceSource};
 use tcw_sim::rng::Rng;
 use tcw_sim::time::Dur;
 
-proptest! {
-    /// Every arrival source emits non-decreasing times.
-    #[test]
-    fn sources_are_time_monotone(seed in any::<u64>(), which in 0usize..4) {
-        let mut rng = Rng::new(seed);
+const CASES: u64 = 150;
+
+/// Every arrival source emits non-decreasing times.
+#[test]
+fn sources_are_time_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xACC0_0001 ^ case);
+        let which = rng.below(4) as usize;
         let mut src: Box<dyn ArrivalSource> = match which {
             0 => Box::new(PoissonArrivals::new(0.05, 7)),
             1 => Box::new(VoiceSource::new(VoiceConfig {
@@ -34,48 +40,61 @@ proptest! {
         };
         let mut prev = None;
         for _ in 0..500 {
-            let Some(a) = src.next_arrival(&mut rng) else { break };
+            let Some(a) = src.next_arrival(&mut rng) else {
+                break;
+            };
             if let Some(p) = prev {
-                prop_assert!(a.time >= p, "time went backwards");
+                assert!(a.time >= p, "case {case}: time went backwards");
             }
             prev = Some(a.time);
         }
     }
+}
 
-    /// Trace sources replay exactly their input multiset, sorted.
-    #[test]
-    fn trace_replays_sorted(pairs in proptest::collection::vec((0u64..10_000, 0u32..8), 0..50)) {
+/// Trace sources replay exactly their input multiset, sorted.
+#[test]
+fn trace_replays_sorted() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xACC0_0002 ^ case);
+        let n = rng.below(50) as usize;
+        let pairs: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.below(10_000), rng.below(8) as u32))
+            .collect();
         let mut src = TraceArrivals::from_ticks(&pairs);
-        let mut rng = Rng::new(0);
+        let mut feed = Rng::new(0);
         let mut got = Vec::new();
-        while let Some(a) = src.next_arrival(&mut rng) {
+        while let Some(a) = src.next_arrival(&mut feed) {
             got.push((a.time.ticks(), a.station.0));
         }
-        let mut expect = pairs.clone();
-        expect.sort_by_key(|&(t, _)| t);
-        prop_assert_eq!(got.len(), expect.len());
+        assert_eq!(got.len(), pairs.len());
         let mut got_times: Vec<u64> = got.iter().map(|&(t, _)| t).collect();
-        let expect_times: Vec<u64> = expect.iter().map(|&(t, _)| t).collect();
+        let mut expect_times: Vec<u64> = pairs.iter().map(|&(t, _)| t).collect();
         got_times.sort();
-        let mut sorted_expect = expect_times.clone();
-        sorted_expect.sort();
-        prop_assert_eq!(got_times, sorted_expect);
+        expect_times.sort();
+        assert_eq!(got_times, expect_times, "case {case}");
         // and emission order is sorted
         for w in got.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0, "case {case}: emission not sorted");
         }
     }
+}
 
-    /// Medium outcomes and costs are exhaustively consistent with the
-    /// transmitter count, and stats conserve channel time.
-    #[test]
-    fn medium_and_stats_invariants(
-        counts in proptest::collection::vec(0usize..6, 1..100),
-        m in 1u64..120,
-        tpt in 1u64..128,
-        guard in any::<bool>(),
-    ) {
-        let cfg = ChannelConfig { ticks_per_tau: tpt, message_slots: m, guard };
+/// Medium outcomes and costs are exhaustively consistent with the
+/// transmitter count, and stats conserve channel time.
+#[test]
+fn medium_and_stats_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xACC0_0003 ^ case);
+        let m = 1 + rng.below(119);
+        let tpt = 1 + rng.below(127);
+        let guard = rng.chance(0.5);
+        let steps = 1 + rng.below(99) as usize;
+        let counts: Vec<usize> = (0..steps).map(|_| rng.below(6) as usize).collect();
+        let cfg = ChannelConfig {
+            ticks_per_tau: tpt,
+            message_slots: m,
+            guard,
+        };
         let medium = Medium::new(cfg);
         let mut stats = ChannelStats::new();
         let mut expected_total = 0u64;
@@ -83,22 +102,22 @@ proptest! {
             let ids: Vec<MessageId> = (0..n).map(|j| MessageId((i * 10 + j) as u64)).collect();
             let (outcome, dur) = medium.probe(&ids);
             match n {
-                0 => prop_assert_eq!(outcome, SlotOutcome::Idle),
-                1 => prop_assert!(outcome.is_success()),
-                k => prop_assert_eq!(outcome, SlotOutcome::Collision(k as u32)),
+                0 => assert_eq!(outcome, SlotOutcome::Idle),
+                1 => assert!(outcome.is_success()),
+                k => assert_eq!(outcome, SlotOutcome::Collision(k as u32)),
             }
             let expect_dur = match n {
                 1 => tpt * m + if guard { tpt } else { 0 },
                 _ => tpt,
             };
-            prop_assert_eq!(dur.ticks(), expect_dur);
+            assert_eq!(dur.ticks(), expect_dur, "case {case}");
             stats.record(&outcome, dur);
             expected_total += expect_dur;
         }
-        prop_assert_eq!(stats.total().ticks(), expected_total);
+        assert_eq!(stats.total().ticks(), expected_total, "case {case}");
         let busy = stats.utilization();
-        prop_assert!((0.0..=1.0).contains(&busy));
-        prop_assert_eq!(
+        assert!((0.0..=1.0).contains(&busy));
+        assert_eq!(
             stats.successes as usize,
             counts.iter().filter(|&&n| n == 1).count()
         );

@@ -43,8 +43,8 @@ impl OptimalPolicy {
 pub fn evaluate_policy(model: &Smdp, policy: &[usize]) -> (f64, Vec<f64>) {
     let k = model.config().k;
     let n = k + 1; // states 0..=K
-    // Unknowns: x = [g, h_1, ..., h_K]; h_0 = 0.
-    // Equation for state i: sum_j p_ij h_j - h_i - g tau_i = -cost_i.
+                   // Unknowns: x = [g, h_1, ..., h_K]; h_0 = 0.
+                   // Equation for state i: sum_j p_ij h_j - h_i - g tau_i = -cost_i.
     let mut a = Matrix::zeros(n, n);
     let mut b = vec![0.0; n];
     for i in 0..=k {
@@ -92,11 +92,11 @@ pub fn policy_iteration(model: &Smdp, initial: &[usize]) -> OptimalPolicy {
         iterations += 1;
         let (gain, values) = evaluate_policy(model, &policy);
         let mut changed = false;
-        for i in 1..=k {
-            let mut best_w = policy[i];
+        for (i, slot) in policy.iter_mut().enumerate().skip(1) {
+            let mut best_w = *slot;
             let mut best = test_quantity(model, i, best_w, gain, &values);
             for w in model.actions(i) {
-                if w == policy[i] {
+                if w == *slot {
                     continue;
                 }
                 let t = test_quantity(model, i, w, gain, &values);
@@ -105,8 +105,8 @@ pub fn policy_iteration(model: &Smdp, initial: &[usize]) -> OptimalPolicy {
                     best_w = w;
                 }
             }
-            if best_w != policy[i] {
-                policy[i] = best_w;
+            if best_w != *slot {
+                *slot = best_w;
                 changed = true;
             }
         }
@@ -178,7 +178,11 @@ mod tests {
         let start = full_window_policy(30);
         let (g0, _) = evaluate_policy(&m, &start);
         let opt = policy_iteration(&m, &start);
-        assert!(opt.gain <= g0 + 1e-12, "gain got worse: {g0} -> {}", opt.gain);
+        assert!(
+            opt.gain <= g0 + 1e-12,
+            "gain got worse: {g0} -> {}",
+            opt.gain
+        );
         assert!(opt.iterations < 50);
         // Re-running from the optimum changes nothing.
         let again = policy_iteration(&m, &opt.window);

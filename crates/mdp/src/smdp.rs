@@ -69,6 +69,7 @@ impl Smdp {
     }
 
     /// The admissible window lengths in state `i`.
+    #[allow(clippy::reversed_empty_ranges)] // state 0 is forced: no choices
     pub fn actions(&self, i: usize) -> std::ops::RangeInclusive<usize> {
         if i == 0 {
             1..=0 // empty range: state 0 is forced

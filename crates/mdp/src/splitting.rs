@@ -129,8 +129,8 @@ fn cluster_slots(n: usize) -> Vec<f64> {
             let k64 = k as u64;
             let p_stay = binomial_pmf(0, k64, 0.5) + binomial_pmf(k64, k64, 0.5);
             let mut val = p_stay * d[k][s - 1];
-            for j in 2..k {
-                val += binomial_pmf(j as u64, k64, 0.5) * d[j][s - 1];
+            for (j, dj) in d.iter().enumerate().take(k).skip(2) {
+                val += binomial_pmf(j as u64, k64, 0.5) * dj[s - 1];
             }
             d[k].push(val);
         }
@@ -310,7 +310,7 @@ mod tests {
         assert!((body.mass() - 1.0).abs() < 1e-9);
         // cluster of 2: D_2(s) = (1/2)^{s+1}
         assert!((body.get(0, 1) - 0.25 * 0.5).abs() < 1e-12);
-        assert!((body.get(1, 2 + 0) - 0.25 * 0.5).abs() < 1e-12);
+        assert!((body.get(1, 2) - 0.25 * 0.5).abs() < 1e-12);
     }
 
     /// Monte Carlo of the same protocol semantics, entirely independent of

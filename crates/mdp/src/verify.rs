@@ -76,7 +76,7 @@ fn resolve(positions: &[f64], older_first: bool, rng: &mut Rng) -> (u64, usize) 
             1 => return (slots, first[0]),
             0 => {
                 slots += 1; // idle probe of the preferred half
-                // the other half holds everyone, known >= 2: split again
+                            // the other half holds everyone, known >= 2: split again
                 if older_first {
                     lo = mid;
                 } else {
@@ -124,6 +124,7 @@ fn resolve(positions: &[f64], older_first: bool, rng: &mut Rng) -> (u64, usize) 
 ///
 /// # Panics
 /// Panics if the geometry is inconsistent (`w > i` or `i > k`).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameterization
 pub fn one_step_pseudo_loss(
     discipline: Discipline,
     i: f64,

@@ -1,57 +1,78 @@
 //! Property-based tests for the semi-Markov decision model.
+//!
+//! Randomized cases are drawn from the deterministic `tcw_sim` [`Rng`] so
+//! every failure reproduces from its case index (the repository builds
+//! offline, without an external property-testing framework).
 
-use proptest::prelude::*;
 use tcw_mdp::howard::{evaluate_policy, policy_iteration, test_quantity};
 use tcw_mdp::smdp::{Smdp, SmdpConfig};
 use tcw_mdp::splitting::round_distribution;
+use tcw_sim::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// A round's law accounts for all probability, never consumes more
-    /// than the window, and wider windows never raise the empty-round
-    /// probability.
-    #[test]
-    fn round_law_invariants(w in 1usize..24, lam in 0.02f64..0.6) {
+/// A round's law accounts for all probability, never consumes more
+/// than the window, and wider windows never raise the empty-round
+/// probability.
+#[test]
+fn round_law_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3D70_0001 ^ case);
+        let w = 1 + rng.below(23) as usize;
+        let lam = 0.02 + rng.f64() * 0.58;
         let law = round_distribution(w, lam);
         let total = law.p_empty + law.success.mass();
-        prop_assert!((total - 1.0).abs() < 1e-8, "mass {total}");
+        assert!((total - 1.0).abs() < 1e-8, "case {case}: mass {total}");
         for (c, _, p) in law.success.iter() {
-            prop_assert!(c <= w || p == 0.0);
+            assert!(c <= w || p == 0.0, "case {case}");
         }
         if w >= 2 {
             let narrower = round_distribution(w - 1, lam);
-            prop_assert!(law.p_empty <= narrower.p_empty + 1e-12);
+            assert!(law.p_empty <= narrower.p_empty + 1e-12, "case {case}");
         }
     }
+}
 
-    /// Transition rows are stochastic, holding times at least one slot,
-    /// losses non-negative, for every (state, action).
-    #[test]
-    fn smdp_rows_are_stochastic(k in 4usize..24, m in 1u64..12, lam in 0.05f64..0.5) {
+/// Transition rows are stochastic, holding times at least one slot,
+/// losses non-negative, for every (state, action).
+#[test]
+fn smdp_rows_are_stochastic() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3D70_0002 ^ case);
+        let k = 4 + rng.below(20) as usize;
+        let m = 1 + rng.below(11);
+        let lam = 0.05 + rng.f64() * 0.45;
         let model = Smdp::new(SmdpConfig { k, m, lambda: lam });
         for i in 1..=k {
             for w in model.actions(i) {
                 let law = model.action_law(i, w);
                 let total: f64 = law.p.iter().sum();
-                prop_assert!((total - 1.0).abs() < 1e-9);
-                prop_assert!(law.tau >= 1.0 - 1e-9);
-                prop_assert!(law.loss >= 0.0);
+                assert!((total - 1.0).abs() < 1e-9, "case {case}");
+                assert!(law.tau >= 1.0 - 1e-9, "case {case}");
+                assert!(law.loss >= 0.0, "case {case}");
             }
         }
     }
+}
 
-    /// Value determination solves eq. A1 exactly for random policies.
-    #[test]
-    fn value_determination_residuals(
-        k in 4usize..20,
-        m in 1u64..8,
-        lam in 0.05f64..0.5,
-        picks in proptest::collection::vec(1usize..100, 20),
-    ) {
+/// Value determination solves eq. A1 exactly for random policies.
+#[test]
+fn value_determination_residuals() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3D70_0003 ^ case);
+        let k = 4 + rng.below(16) as usize;
+        let m = 1 + rng.below(7);
+        let lam = 0.05 + rng.f64() * 0.45;
+        let picks: Vec<usize> = (0..20).map(|_| 1 + rng.below(99) as usize).collect();
         let model = Smdp::new(SmdpConfig { k, m, lambda: lam });
         let policy: Vec<usize> = (0..=k)
-            .map(|i| if i == 0 { 0 } else { picks[i % picks.len()].clamp(1, i) })
+            .map(|i| {
+                if i == 0 {
+                    0
+                } else {
+                    picks[i % picks.len()].clamp(1, i)
+                }
+            })
             .collect();
         let (gain, values) = evaluate_policy(&model, &policy);
         for i in 0..=k {
@@ -64,34 +85,36 @@ proptest! {
             for (j, &p) in law.p.iter().enumerate() {
                 rhs += p * values[j];
             }
-            prop_assert!((values[i] - rhs).abs() < 1e-7, "state {i}");
+            assert!((values[i] - rhs).abs() < 1e-7, "case {case}, state {i}");
         }
-        prop_assert!(gain >= -1e-12);
+        assert!(gain >= -1e-12, "case {case}");
     }
+}
 
-    /// Policy iteration never worsens the gain and is a fixed point at
-    /// its own output; the optimum satisfies the eq. A2 optimality test
-    /// in every state.
-    #[test]
-    fn policy_iteration_optimality(
-        k in 4usize..16,
-        m in 1u64..8,
-        lam in 0.05f64..0.5,
-        start_w in 1usize..12,
-    ) {
+/// Policy iteration never worsens the gain and is a fixed point at
+/// its own output; the optimum satisfies the eq. A2 optimality test
+/// in every state.
+#[test]
+fn policy_iteration_optimality() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3D70_0004 ^ case);
+        let k = 4 + rng.below(12) as usize;
+        let m = 1 + rng.below(7);
+        let lam = 0.05 + rng.f64() * 0.45;
+        let start_w = 1 + rng.below(11) as usize;
         let model = Smdp::new(SmdpConfig { k, m, lambda: lam });
         let start: Vec<usize> = (0..=k).map(|i| start_w.clamp(1, i.max(1))).collect();
         let (g0, _) = evaluate_policy(&model, &start);
         let opt = policy_iteration(&model, &start);
-        prop_assert!(opt.gain <= g0 + 1e-12);
+        assert!(opt.gain <= g0 + 1e-12, "case {case}");
         // eq. A2: no action strictly improves the test quantity.
         for i in 1..=k {
             let incumbent = test_quantity(&model, i, opt.window[i], opt.gain, &opt.values);
             for w in model.actions(i) {
                 let t = test_quantity(&model, i, w, opt.gain, &opt.values);
-                prop_assert!(
+                assert!(
                     t >= incumbent - 1e-8,
-                    "state {i}: action {w} improves ({t} < {incumbent})"
+                    "case {case}, state {i}: action {w} improves ({t} < {incumbent})"
                 );
             }
         }

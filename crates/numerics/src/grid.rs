@@ -419,11 +419,7 @@ mod tests {
         let b = GridDist::geometric(1.0, 0.25, 1e-15);
         let c = a.convolve(&b, usize::MAX);
         assert!(close(c.mean(), a.mean() + b.mean(), 1e-6));
-        assert!(close(
-            c.variance(),
-            a.variance() + b.variance(),
-            1e-6
-        ));
+        assert!(close(c.variance(), a.variance() + b.variance(), 1e-6));
     }
 
     #[test]
@@ -471,7 +467,11 @@ mod tests {
     fn residual_mass_is_one_up_to_truncation() {
         let d = GridDist::geometric(1.0, 0.2, 1e-13);
         let r = d.residual();
-        assert!(close(r.total_mass(), 1.0, 1e-9), "mass = {}", r.total_mass());
+        assert!(
+            close(r.total_mass(), 1.0, 1e-9),
+            "mass = {}",
+            r.total_mass()
+        );
     }
 
     #[test]
@@ -516,12 +516,12 @@ mod tests {
                 }
             }
         }
-        for j in 0..n {
+        for (j, &e) in expect.iter().enumerate().take(n) {
             assert!(
-                close(s.values()[j], expect[j], 1e-9),
+                close(s.values()[j], e, 1e-9),
                 "j={j}: {} vs {}",
                 s.values()[j],
-                expect[j]
+                e
             );
         }
     }

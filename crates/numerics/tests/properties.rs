@@ -1,92 +1,122 @@
 //! Property-based tests for the numeric substrate.
+//!
+//! Randomized cases are drawn from the deterministic `tcw_sim` [`Rng`] so
+//! every failure reproduces from its case index (the repository builds
+//! offline, without an external property-testing framework).
 
-use proptest::prelude::*;
 use tcw_numerics::grid::{renewal_series, GridDist};
 use tcw_numerics::linalg::{residual_inf, solve, Matrix};
 use tcw_numerics::special::{binomial_pmf, poisson_pmf};
+use tcw_sim::rng::Rng;
 
-/// Strategy: a small random sub-stochastic pmf vector.
-fn pmf_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..1.0, 1..max_len).prop_map(|mut v| {
-        let total: f64 = v.iter().sum();
-        if total > 0.0 {
-            for x in &mut v {
-                *x /= total * 1.001; // keep strictly sub-stochastic
-            }
+const CASES: u64 = 150;
+
+/// A small random strictly sub-stochastic pmf vector.
+fn pmf(rng: &mut Rng, max_len: u64) -> Vec<f64> {
+    let n = 1 + rng.below(max_len - 1) as usize;
+    let mut v: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+    let total: f64 = v.iter().sum();
+    if total > 0.0 {
+        for x in &mut v {
+            *x /= total * 1.001; // keep strictly sub-stochastic
         }
-        v
-    })
+    }
+    v
 }
 
-proptest! {
-    /// Convolution preserves total mass (product of the factor masses) when
-    /// not truncated.
-    #[test]
-    fn convolution_mass_is_product(a in pmf_strategy(20), b in pmf_strategy(20)) {
-        let da = GridDist::from_pmf(1.0, a);
-        let db = GridDist::from_pmf(1.0, b);
+/// Convolution preserves total mass (product of the factor masses) when
+/// not truncated.
+#[test]
+fn convolution_mass_is_product() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0001 ^ case);
+        let da = GridDist::from_pmf(1.0, pmf(&mut rng, 20));
+        let db = GridDist::from_pmf(1.0, pmf(&mut rng, 20));
         let c = da.convolve(&db, usize::MAX);
         let expect = da.total_mass() * db.total_mass();
-        prop_assert!((c.total_mass() - expect).abs() < 1e-10);
+        assert!((c.total_mass() - expect).abs() < 1e-10, "case {case}");
     }
+}
 
-    /// Convolution means add (scaled by the factor masses).
-    #[test]
-    fn convolution_mean_adds(a in pmf_strategy(20), b in pmf_strategy(20)) {
-        let da = GridDist::from_pmf(1.0, a).normalized();
-        let db = GridDist::from_pmf(1.0, b).normalized();
+/// Convolution means add (scaled by the factor masses).
+#[test]
+fn convolution_mean_adds() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0002 ^ case);
+        let da = GridDist::from_pmf(1.0, pmf(&mut rng, 20)).normalized();
+        let db = GridDist::from_pmf(1.0, pmf(&mut rng, 20)).normalized();
         let c = da.convolve(&db, usize::MAX);
-        prop_assert!((c.mean() - (da.mean() + db.mean())).abs() < 1e-8);
+        assert!(
+            (c.mean() - (da.mean() + db.mean())).abs() < 1e-8,
+            "case {case}"
+        );
     }
+}
 
-    /// Convolution is commutative.
-    #[test]
-    fn convolution_commutes(a in pmf_strategy(15), b in pmf_strategy(15)) {
-        let da = GridDist::from_pmf(1.0, a);
-        let db = GridDist::from_pmf(1.0, b);
+/// Convolution is commutative.
+#[test]
+fn convolution_commutes() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0003 ^ case);
+        let da = GridDist::from_pmf(1.0, pmf(&mut rng, 15));
+        let db = GridDist::from_pmf(1.0, pmf(&mut rng, 15));
         let ab = da.convolve(&db, usize::MAX);
         let ba = db.convolve(&da, usize::MAX);
-        prop_assert_eq!(ab.len(), ba.len());
+        assert_eq!(ab.len(), ba.len());
         for (x, y) in ab.pmf().iter().zip(ba.pmf()) {
-            prop_assert!((x - y).abs() < 1e-12);
+            assert!((x - y).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    /// CDF of any GridDist is monotone, 0 below support, total mass at top.
-    #[test]
-    fn cdf_monotone_bounded(a in pmf_strategy(30)) {
-        let d = GridDist::from_pmf(1.0, a);
+/// CDF of any GridDist is monotone, 0 below support, total mass at top.
+#[test]
+fn cdf_monotone_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0004 ^ case);
+        let d = GridDist::from_pmf(1.0, pmf(&mut rng, 30));
         let mut prev = 0.0;
         for j in 0..d.len() + 3 {
             let c = d.cdf(j as f64);
-            prop_assert!(c + 1e-12 >= prev);
+            assert!(c + 1e-12 >= prev, "case {case}");
             prev = c;
         }
-        prop_assert!((prev - d.total_mass()).abs() < 1e-12);
-        prop_assert_eq!(d.cdf(-1.0), 0.0);
+        assert!((prev - d.total_mass()).abs() < 1e-12, "case {case}");
+        assert_eq!(d.cdf(-1.0), 0.0);
     }
+}
 
-    /// Residual distribution: total mass equals one for a proper
-    /// distribution, no atom at zero (right-edge convention), and the
-    /// residual mean follows the lattice excess formula
-    /// E[R] = E[X^2]/(2E[X]) + h/2.
-    #[test]
-    fn residual_mass_and_mean(a in pmf_strategy(25)) {
-        let d = GridDist::from_pmf(1.0, a).normalized();
-        prop_assume!(d.mean() > 1e-9);
+/// Residual distribution: total mass equals one for a proper
+/// distribution, no atom at zero (right-edge convention), and the
+/// residual mean follows the lattice excess formula
+/// E[R] = E[X^2]/(2E[X]) + h/2.
+#[test]
+fn residual_mass_and_mean() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0005 ^ case);
+        let d = GridDist::from_pmf(1.0, pmf(&mut rng, 25)).normalized();
+        if d.mean() <= 1e-9 {
+            continue;
+        }
         let r = d.residual();
-        prop_assert!((r.total_mass() - 1.0).abs() < 1e-9);
-        prop_assert_eq!(r.pmf()[0], 0.0);
+        assert!((r.total_mass() - 1.0).abs() < 1e-9, "case {case}");
+        assert_eq!(r.pmf()[0], 0.0);
         let expect = d.second_moment() / (2.0 * d.mean()) + 0.5;
-        prop_assert!((r.mean() - expect).abs() < 1e-8);
+        assert!((r.mean() - expect).abs() < 1e-8, "case {case}");
     }
+}
 
-    /// The renewal series solves its defining equation
-    /// u = delta_0 + rho * beta ⊛ u on the computed range.
-    #[test]
-    fn renewal_series_satisfies_equation(a in pmf_strategy(12), rho in 0.05f64..0.95) {
-        let beta = GridDist::from_pmf(1.0, a).normalized();
-        prop_assume!(rho * beta.pmf()[0] < 0.99);
+/// The renewal series solves its defining equation
+/// u = delta_0 + rho * beta ⊛ u on the computed range.
+#[test]
+fn renewal_series_satisfies_equation() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0006 ^ case);
+        let beta = GridDist::from_pmf(1.0, pmf(&mut rng, 12)).normalized();
+        let rho = 0.05 + rng.f64() * 0.9;
+        if rho * beta.pmf()[0] >= 0.99 {
+            continue;
+        }
         let n = 50;
         let s = renewal_series(&beta, rho, n);
         let u = s.values();
@@ -96,51 +126,62 @@ proptest! {
                 conv += beta.pmf()[j] * u[k - j];
             }
             let expect = if k == 0 { 1.0 } else { 0.0 } + rho * conv;
-            prop_assert!((u[k] - expect).abs() < 1e-9, "k={k}: {} vs {}", u[k], expect);
+            assert!(
+                (u[k] - expect).abs() < 1e-9,
+                "case {case}, k={k}: {} vs {}",
+                u[k],
+                expect
+            );
         }
     }
+}
 
-    /// Gaussian elimination solutions have tiny residuals on diagonally
-    /// dominant systems.
-    #[test]
-    fn solver_residual_small(
-        seed in any::<u64>(),
-        n in 2usize..20,
-    ) {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
+/// Gaussian elimination solutions have tiny residuals on diagonally
+/// dominant systems.
+#[test]
+fn solver_residual_small() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0007 ^ case);
+        let n = 2 + rng.below(18) as usize;
+        let next = |rng: &mut Rng| rng.f64() * 2.0 - 1.0;
         let mut a = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                a[(i, j)] = next();
+                a[(i, j)] = next(&mut rng);
             }
             a[(i, i)] += n as f64; // ensure well-conditioned
         }
-        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next(&mut rng)).collect();
         let x = solve(&a, &b).unwrap();
-        prop_assert!(residual_inf(&a, &x, &b) < 1e-8);
+        assert!(residual_inf(&a, &x, &b) < 1e-8, "case {case}");
     }
+}
 
-    /// Poisson pmf values are probabilities and decay past the mean.
-    #[test]
-    fn poisson_pmf_is_probability(k in 0u64..200, mu in 0.0f64..50.0) {
+/// Poisson pmf values are probabilities.
+#[test]
+fn poisson_pmf_is_probability() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0008 ^ case);
+        let k = rng.below(200);
+        let mu = rng.f64() * 50.0;
         let p = poisson_pmf(k, mu);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p), "case {case}: p={p}");
     }
+}
 
-    /// A binomial split of a binomial is binomial:
-    /// thinning Bin(n, 1/2) by 1/2 gives Bin(n, 1/4).
-    #[test]
-    fn binomial_thinning(n in 1u64..30, k in 0u64..30) {
-        prop_assume!(k <= n);
+/// A binomial split of a binomial is binomial:
+/// thinning Bin(n, 1/2) by 1/2 gives Bin(n, 1/4).
+#[test]
+fn binomial_thinning() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40E0_0009 ^ case);
+        let n = 1 + rng.below(29);
+        let k = rng.below(n + 1);
         let direct = binomial_pmf(k, n, 0.25);
         let mut via_split = 0.0;
         for m in k..=n {
             via_split += binomial_pmf(m, n, 0.5) * binomial_pmf(k, m, 0.5);
         }
-        prop_assert!((direct - via_split).abs() < 1e-10);
+        assert!((direct - via_split).abs() < 1e-10, "case {case}");
     }
 }

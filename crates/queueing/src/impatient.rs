@@ -154,7 +154,7 @@ mod tests {
     fn p_idle_limits() {
         let s = det_service(25);
         let lambda = 0.02; // rho = 0.5
-        // K = 0: p_accept = 1/(1+rho), P(0) = 1 - rho/(1+rho) = 1/(1+rho)
+                           // K = 0: p_accept = 1/(1+rho), P(0) = 1 - rho/(1+rho) = 1/(1+rho)
         let p0 = p_idle(lambda, &s, 0.0);
         assert!((p0 - 1.0 / 1.5).abs() < 1e-9, "P(0) = {p0}");
         // K -> inf: P(0) = 1 - rho

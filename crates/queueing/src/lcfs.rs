@@ -192,7 +192,7 @@ mod tests {
     fn zero_wait_probability_is_one_minus_rho_plus_substep() {
         let s = det_service(20);
         let (p0, _) = lcfs_wait_pmf(0.03, &s, 50); // rho = 0.6
-        // 1 - rho plus the sub-step residual atom rho * h/(2 E[S]).
+                                                   // 1 - rho plus the sub-step residual atom rho * h/(2 E[S]).
         let expect = 0.4 + 0.6 * (1.0 / 40.0);
         assert!((p0 - expect).abs() < 1e-12, "p0 = {p0}, want {expect}");
     }
@@ -224,10 +224,7 @@ mod tests {
         // positive-wait mass = rho * (1 - r_0) where r_0 = h/(2 E[S]) is
         // the sub-step atom folded into p_zero.
         assert!(mass > 0.4 * (1.0 - 0.05) - 1e-3, "served mass {mass}");
-        assert!(
-            (mean - pk).abs() < 0.03 * pk,
-            "LCFS mean {mean} vs PK {pk}"
-        );
+        assert!((mean - pk).abs() < 0.03 * pk, "LCFS mean {mean} vs PK {pk}");
     }
 
     #[test]

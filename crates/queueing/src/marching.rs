@@ -404,8 +404,7 @@ mod tests {
         // Without the own-sched component, P(W > 0) = rho - sub-step atom.
         let cfg = panel(0.5, 25);
         let c = lcfs_curve(cfg, &[0.5], false);
-        let rho = cfg.lambda()
-            * crate::service::service_mean(optimal_mu(), cfg.m);
+        let rho = cfg.lambda() * crate::service::service_mean(optimal_mu(), cfg.m);
         assert!(
             (c[0].loss - rho).abs() < 0.05,
             "loss at K->0 {:.4} vs rho {:.4}",

@@ -119,8 +119,8 @@ mod tests {
         let step = 0.02;
         let service = exp_service(1.0, step, 1e-13);
         let lambda = 0.6;
-        for &t in &[0.5, 1.0, 2.0, 5.0] {
-            let expect = 0.6 * (-(1.0 - 0.6) * t as f64).exp();
+        for &t in &[0.5f64, 1.0, 2.0, 5.0] {
+            let expect = 0.6 * (-(1.0 - 0.6) * t).exp();
             let got = fcfs_tail(lambda, &service, t);
             assert!(
                 (got - expect).abs() < 0.02,

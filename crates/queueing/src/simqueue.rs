@@ -66,10 +66,7 @@ impl DistSampler {
     /// Draws one value (a lattice point).
     pub fn sample(&self, rng: &mut Rng) -> f64 {
         let u = rng.f64();
-        let idx = self
-            .cdf
-            .partition_point(|&c| c < u)
-            .min(self.cdf.len() - 1);
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
         idx as f64 * self.step
     }
 }

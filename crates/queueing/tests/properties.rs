@@ -1,130 +1,162 @@
 //! Property-based tests for the analytic queueing models.
+//!
+//! Randomized cases are drawn from the deterministic `tcw_sim` [`Rng`] so
+//! every failure reproduces from its case index (the repository builds
+//! offline, without an external property-testing framework).
 
-use proptest::prelude::*;
 use tcw_numerics::grid::GridDist;
 use tcw_queueing::impatient::{loss_probability, p_idle, z_series};
 use tcw_queueing::lcfs::{lcfs_tail, step_work_pmf};
 use tcw_queueing::mg1::{fcfs_tail, rho, waiting_time_cdf};
 use tcw_queueing::service::{service_dist, service_mean, SchedulingShape};
+use tcw_sim::rng::Rng;
 
-/// Strategy: a proper service distribution with no mass at zero.
-fn service_strategy() -> impl Strategy<Value = GridDist> {
-    proptest::collection::vec(0.0f64..1.0, 1..15).prop_map(|mut v| {
-        let total: f64 = v.iter().sum();
-        if total <= 0.0 {
-            v[0] = 1.0;
-        }
-        let total: f64 = v.iter().sum();
-        for x in &mut v {
-            *x /= total;
-        }
-        let mut pmf = vec![0.0];
-        pmf.extend(v);
-        GridDist::from_pmf(1.0, pmf)
-    })
+const CASES: u64 = 100;
+
+/// A proper service distribution with no mass at zero.
+fn service(rng: &mut Rng) -> GridDist {
+    let n = 1 + rng.below(13) as usize;
+    let mut v: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+    let total: f64 = v.iter().sum();
+    if total <= 0.0 {
+        v[0] = 1.0;
+    }
+    let total: f64 = v.iter().sum();
+    for x in &mut v {
+        *x /= total;
+    }
+    let mut pmf = vec![0.0];
+    pmf.extend(v);
+    GridDist::from_pmf(1.0, pmf)
 }
 
-proptest! {
-    /// Eq. 4.7 is a probability, monotone non-increasing in K, anchored at
-    /// rho/(1+rho) at K = 0.
-    #[test]
-    fn loss_probability_properties(
-        service in service_strategy(),
-        lambda_scale in 0.05f64..1.8,
-    ) {
-        let lambda = lambda_scale / service.mean();
+/// Eq. 4.7 is a probability, monotone non-increasing in K, anchored at
+/// rho/(1+rho) at K = 0.
+#[test]
+fn loss_probability_properties() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0_1 ^ (case << 8));
+        let service = service(&mut rng);
+        let lambda = (0.05 + rng.f64() * 1.75) / service.mean();
         let anchor = loss_probability(lambda, &service, 0.0);
         let r = lambda * service.mean();
-        prop_assert!((anchor - r / (1.0 + r)).abs() < 1e-9);
+        assert!((anchor - r / (1.0 + r)).abs() < 1e-9, "case {case}");
         let mut prev = anchor;
         for k in [1.0, 2.0, 5.0, 10.0, 25.0, 60.0, 150.0] {
             let p = loss_probability(lambda, &service, k);
-            prop_assert!((0.0..=1.0).contains(&p));
-            prop_assert!(p <= prev + 1e-12, "loss increased at K={k}");
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p <= prev + 1e-12, "case {case}: loss increased at K={k}");
             prev = p;
         }
     }
+}
 
-    /// Flow conservation (eq. 4.6) holds identically: P(0) derived from
-    /// the loss is a probability, decreasing in K (busier server at
-    /// looser deadlines).
-    #[test]
-    fn p_idle_properties(service in service_strategy(), lambda_scale in 0.05f64..0.9) {
-        let lambda = lambda_scale / service.mean();
+/// Flow conservation (eq. 4.6) holds identically: P(0) derived from
+/// the loss is a probability, decreasing in K (busier server at
+/// looser deadlines).
+#[test]
+fn p_idle_properties() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0_2 ^ (case << 8));
+        let service = service(&mut rng);
+        let lambda = (0.05 + rng.f64() * 0.85) / service.mean();
         let mut prev = 1.0;
         for k in [0.0, 2.0, 8.0, 30.0, 100.0] {
             let p0 = p_idle(lambda, &service, k);
-            prop_assert!((0.0..=1.0).contains(&p0));
-            prop_assert!(p0 <= prev + 1e-12);
+            assert!((0.0..=1.0).contains(&p0), "case {case}");
+            assert!(p0 <= prev + 1e-12, "case {case}");
             prev = p0;
         }
     }
+}
 
-    /// z(K) is non-decreasing in K and bounded by the geometric sum.
-    #[test]
-    fn z_series_monotone(service in service_strategy(), lambda_scale in 0.05f64..0.9) {
-        let lambda = lambda_scale / service.mean();
+/// z(K) is non-decreasing in K and bounded by the geometric sum.
+#[test]
+fn z_series_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0_3 ^ (case << 8));
+        let service = service(&mut rng);
+        let lambda = (0.05 + rng.f64() * 0.85) / service.mean();
         let r = rho(lambda, &service);
         let mut prev = 0.0;
         for k in [0.0, 1.0, 4.0, 16.0, 64.0] {
             let z = z_series(lambda, &service, k);
-            prop_assert!(z + 1e-12 >= prev);
-            prop_assert!(z <= 1.0 / (1.0 - r) + 1e-9);
+            assert!(z + 1e-12 >= prev, "case {case}");
+            assert!(z <= 1.0 / (1.0 - r) + 1e-9, "case {case}");
             prev = z;
         }
     }
+}
 
-    /// FCFS waiting CDF: starts at 1 - rho, monotone, reaches ~1.
-    #[test]
-    fn fcfs_waiting_cdf_properties(service in service_strategy(), lambda_scale in 0.05f64..0.9) {
+/// FCFS waiting CDF: starts at 1 - rho, monotone, reaches ~1.
+#[test]
+fn fcfs_waiting_cdf_properties() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0_4 ^ (case << 8));
+        let service = service(&mut rng);
+        let lambda_scale = 0.05 + rng.f64() * 0.85;
         let lambda = lambda_scale / service.mean();
         let cdf = waiting_time_cdf(lambda, &service, 3_000);
-        prop_assert!((cdf[0] - (1.0 - lambda_scale)).abs() < 1e-9);
+        assert!((cdf[0] - (1.0 - lambda_scale)).abs() < 1e-9, "case {case}");
         for w in cdf.windows(2) {
-            prop_assert!(w[1] + 1e-12 >= w[0]);
+            assert!(w[1] + 1e-12 >= w[0], "case {case}");
         }
-        prop_assert!(cdf.last().unwrap() > &0.98);
+        assert!(cdf.last().unwrap() > &0.98, "case {case}");
     }
+}
 
-    /// LCFS and FCFS share P(W = 0) and the ordering flips between small
-    /// and large K cannot make either tail negative or above one.
-    #[test]
-    fn lcfs_tail_is_probability(service in service_strategy(), lambda_scale in 0.1f64..0.9) {
-        let lambda = lambda_scale / service.mean();
+/// LCFS and FCFS share P(W = 0) and the ordering flips between small
+/// and large K cannot make either tail negative or above one.
+#[test]
+fn lcfs_tail_is_probability() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0_5 ^ (case << 8));
+        let service = service(&mut rng);
+        let lambda = (0.1 + rng.f64() * 0.8) / service.mean();
         let mut prev = 1.0;
         for k in [0.0, 3.0, 10.0, 40.0, 120.0] {
             let t = lcfs_tail(lambda, &service, k);
-            prop_assert!((0.0..=1.0).contains(&t));
-            prop_assert!(t <= prev + 1e-12);
+            assert!((0.0..=1.0).contains(&t), "case {case}");
+            assert!(t <= prev + 1e-12, "case {case}");
             prev = t;
         }
         // Far tails: LCFS >= FCFS (heavier tail, same mean).
         let t_l = lcfs_tail(lambda, &service, 400.0);
         let t_f = fcfs_tail(lambda, &service, 400.0);
-        prop_assert!(t_l + 1e-9 >= t_f, "lcfs {t_l} < fcfs {t_f}");
+        assert!(t_l + 1e-9 >= t_f, "case {case}: lcfs {t_l} < fcfs {t_f}");
     }
+}
 
-    /// The compound-Poisson step-work pmf has the right mean and mass.
-    #[test]
-    fn step_work_properties(service in service_strategy(), lam in 0.01f64..0.5) {
+/// The compound-Poisson step-work pmf has the right mean and mass.
+#[test]
+fn step_work_properties() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0_6 ^ (case << 8));
+        let service = service(&mut rng);
+        let lam = 0.01 + rng.f64() * 0.49;
         let j = step_work_pmf(lam, &service, 2_000);
         let total: f64 = j.iter().sum();
-        prop_assert!(total > 0.999 && total <= 1.0 + 1e-9);
+        assert!(total > 0.999 && total <= 1.0 + 1e-9, "case {case}");
         let mean: f64 = j.iter().enumerate().map(|(n, &p)| n as f64 * p).sum();
-        prop_assert!((mean - lam * service.mean()).abs() < 1e-6);
+        assert!((mean - lam * service.mean()).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// Service-model invariants: both shapes share the mean, which equals
-    /// overhead + M; masses are complete.
-    #[test]
-    fn service_model_invariants(mu in 0.05f64..3.0, m in 1u64..60) {
+/// Service-model invariants: both shapes share the mean, which equals
+/// overhead + M; masses are complete.
+#[test]
+fn service_model_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0_7 ^ (case << 8));
+        let mu = 0.05 + rng.f64() * 2.95;
+        let m = 1 + rng.below(59);
         let exact = service_dist(SchedulingShape::ExactSplitting, mu, m);
         let geo = service_dist(SchedulingShape::Geometric, mu, m);
         let want = service_mean(mu, m);
-        prop_assert!((exact.mean() - want).abs() < 1e-5);
-        prop_assert!((geo.mean() - want).abs() < 1e-5);
-        prop_assert!(exact.cdf((m - 1) as f64) == 0.0);
-        prop_assert!((exact.total_mass() - 1.0).abs() < 1e-7);
-        prop_assert!((geo.total_mass() - 1.0).abs() < 1e-7);
+        assert!((exact.mean() - want).abs() < 1e-5, "case {case}");
+        assert!((geo.mean() - want).abs() < 1e-5, "case {case}");
+        assert!(exact.cdf((m - 1) as f64) == 0.0, "case {case}");
+        assert!((exact.total_mass() - 1.0).abs() < 1e-7, "case {case}");
+        assert!((geo.total_mass() - 1.0).abs() < 1e-7, "case {case}");
     }
 }

@@ -61,14 +61,26 @@ impl Rng {
         Rng::new(h ^ self.next_u64())
     }
 
+    /// Derives an independent substream for the `index`-th instance of
+    /// component `label` (e.g. one stream per station).
+    ///
+    /// Equivalent to [`Rng::fork`] with a label that also encodes `index`,
+    /// so streams for different indices are statistically independent.
+    pub fn fork_indexed(&mut self, label: &str, index: u64) -> Rng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Rng::new(h ^ self.next_u64())
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -164,6 +176,21 @@ mod tests {
         let mut a = root.fork("arrivals");
         let mut s = root.fork("service");
         assert_ne!(a.next_u64(), s.next_u64());
+    }
+
+    #[test]
+    fn fork_indexed_is_reproducible_and_distinct() {
+        let mut root1 = Rng::new(42);
+        let mut root2 = Rng::new(42);
+        let mut a = root1.fork_indexed("deaf", 3);
+        let mut b = root2.fork_indexed("deaf", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+
+        let mut root = Rng::new(42);
+        let mut x = root.fork_indexed("deaf", 0);
+        let mut root = Rng::new(42);
+        let mut y = root.fork_indexed("deaf", 1);
+        assert_ne!(x.next_u64(), y.next_u64());
     }
 
     #[test]

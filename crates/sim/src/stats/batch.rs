@@ -56,7 +56,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_n += 1;
         if self.current_n == self.batch_size {
-            self.batches.record(self.current_sum / self.batch_size as f64);
+            self.batches
+                .record(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_n = 0;
         }

@@ -88,7 +88,7 @@ mod tests {
         let mut w = TimeWeighted::new(t(0), 0.0);
         w.set(t(10), 1.0); // 0 for 10 ticks
         w.set(t(30), 0.0); // 1 for 20 ticks
-        // average over [0, 40] = 20/40
+                           // average over [0, 40] = 20/40
         assert!((w.average(t(40)) - 0.5).abs() < 1e-12);
     }
 

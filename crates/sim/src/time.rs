@@ -285,10 +285,7 @@ mod tests {
         let a = Time::from_ticks(3);
         assert_eq!(a.saturating_sub(Dur::from_ticks(10)), Time::ZERO);
         assert_eq!(a.checked_sub(Dur::from_ticks(10)), None);
-        assert_eq!(
-            a.checked_sub(Dur::from_ticks(3)),
-            Some(Time::ZERO)
-        );
+        assert_eq!(a.checked_sub(Dur::from_ticks(3)), Some(Time::ZERO));
         assert_eq!(
             Dur::from_ticks(3).saturating_sub(Dur::from_ticks(5)),
             Dur::ZERO
@@ -310,8 +307,14 @@ mod tests {
         let b = Time::from_ticks(2);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
-        assert_eq!(Dur::from_ticks(1).max(Dur::from_ticks(2)), Dur::from_ticks(2));
-        assert_eq!(Dur::from_ticks(1).min(Dur::from_ticks(2)), Dur::from_ticks(1));
+        assert_eq!(
+            Dur::from_ticks(1).max(Dur::from_ticks(2)),
+            Dur::from_ticks(2)
+        );
+        assert_eq!(
+            Dur::from_ticks(1).min(Dur::from_ticks(2)),
+            Dur::from_ticks(1)
+        );
     }
 
     #[test]

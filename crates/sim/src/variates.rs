@@ -261,10 +261,7 @@ impl EmpiricalDiscrete {
     /// weight.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.f64();
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) => i + 1, // u equal to a cdf point belongs to the next bin
             Err(i) => i,
         }
@@ -371,7 +368,10 @@ mod tests {
         let h = HyperExponential::new(0.3, 1.0, 0.1);
         let expect = h.mean();
         let m = mean_of(200_000, || h.sample(&mut rng));
-        assert!((m - expect).abs() / expect < 0.03, "mean = {m}, expect {expect}");
+        assert!(
+            (m - expect).abs() / expect < 0.03,
+            "mean = {m}, expect {expect}"
+        );
     }
 
     #[test]

@@ -1,62 +1,88 @@
 //! Property-based tests for the simulation kernel.
+//!
+//! Properties are checked over many randomized cases drawn from the
+//! crate's own deterministic [`Rng`] (the repository builds offline, so no
+//! external property-testing framework is used; the loop-over-seeds style
+//! keeps every failure reproducible from the case index).
 
-use proptest::prelude::*;
 use tcw_sim::events::EventQueue;
 use tcw_sim::rng::Rng;
 use tcw_sim::stats::{Histogram, Tally};
 use tcw_sim::time::{Dur, Time};
 
-proptest! {
-    /// Popping the event queue yields times in non-decreasing order, and
-    /// events with equal times come out in insertion order.
-    #[test]
-    fn event_queue_is_ordered_and_stable(times in proptest::collection::vec(0u64..50, 1..200)) {
+const CASES: u64 = 200;
+
+/// Popping the event queue yields times in non-decreasing order, and
+/// events with equal times come out in insertion order.
+#[test]
+fn event_queue_is_ordered_and_stable() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0001 ^ case);
+        let n = 1 + rng.below(199) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(Time::from_ticks(t), i);
+        for i in 0..n {
+            q.schedule(Time::from_ticks(rng.below(50)), i);
         }
         let mut prev: Option<(Time, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((pt, pi)) = prev {
-                prop_assert!(t >= pt);
+                assert!(t >= pt, "case {case}: time went backwards");
                 if t == pt {
-                    prop_assert!(i > pi, "equal-time events out of insertion order");
+                    assert!(
+                        i > pi,
+                        "case {case}: equal-time events out of insertion order"
+                    );
                 }
             }
             prev = Some((t, i));
         }
     }
+}
 
-    /// Every scheduled event is delivered exactly once.
-    #[test]
-    fn event_queue_conserves_events(times in proptest::collection::vec(0u64..1000, 0..300)) {
+/// Every scheduled event is delivered exactly once.
+#[test]
+fn event_queue_conserves_events() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0002 ^ case);
+        let n = rng.below(300) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(Time::from_ticks(t), i);
+        for i in 0..n {
+            q.schedule(Time::from_ticks(rng.below(1000)), i);
         }
-        let mut seen = vec![false; times.len()];
+        let mut seen = vec![false; n];
         while let Some((_, i)) = q.pop() {
-            prop_assert!(!seen[i], "event delivered twice");
+            assert!(!seen[i], "case {case}: event delivered twice");
             seen[i] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}: event lost");
     }
+}
 
-    /// Time affine algebra: (a + d) - a == d for all representable pairs.
-    #[test]
-    fn time_affine_roundtrip(a in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 2) {
+/// Time affine algebra: (a + d) - a == d for all representable pairs.
+#[test]
+fn time_affine_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0003 ^ case);
+        let a = rng.below(u64::MAX / 2);
+        let d = rng.below(u64::MAX / 2);
         let t = Time::from_ticks(a);
         let dur = Dur::from_ticks(d);
-        prop_assert_eq!((t + dur) - t, dur);
-        prop_assert_eq!((t + dur) - dur, t);
+        assert_eq!((t + dur) - t, dur);
+        assert_eq!((t + dur) - dur, t);
     }
+}
 
-    /// Tally::merge is equivalent to recording the concatenation.
-    #[test]
-    fn tally_merge_associative(
-        xs in proptest::collection::vec(-1e6f64..1e6, 0..50),
-        ys in proptest::collection::vec(-1e6f64..1e6, 0..50),
-    ) {
+/// Tally::merge is equivalent to recording the concatenation.
+#[test]
+fn tally_merge_associative() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0004 ^ case);
+        let draw = |rng: &mut Rng| -> Vec<f64> {
+            let n = rng.below(50) as usize;
+            (0..n).map(|_| (rng.f64() - 0.5) * 2e6).collect()
+        };
+        let xs = draw(&mut rng);
+        let ys = draw(&mut rng);
         let mut whole = Tally::new();
         for &x in xs.iter().chain(ys.iter()) {
             whole.record(x);
@@ -70,47 +96,65 @@ proptest! {
             b.record(y);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
+        assert_eq!(a.count(), whole.count());
         if whole.count() > 0 {
-            prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
-            prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance().abs()));
+            assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+            assert!(
+                (a.variance() - whole.variance()).abs() <= 1e-4 * (1.0 + whole.variance().abs())
+            );
         }
     }
+}
 
-    /// The RNG's bounded sampler stays in range for arbitrary bounds.
-    #[test]
-    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+/// The RNG's bounded sampler stays in range for arbitrary bounds.
+#[test]
+fn rng_below_in_range() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0005 ^ case);
+        let seed = rng.next_u64();
+        let bound = 1 + rng.below(u64::MAX - 1);
         let mut r = Rng::new(seed);
         for _ in 0..64 {
-            prop_assert!(r.below(bound) < bound);
+            assert!(r.below(bound) < bound, "case {case}: out of range");
         }
     }
+}
 
-    /// Histogram CDF is monotone non-decreasing and bounded by [0,1].
-    #[test]
-    fn histogram_cdf_monotone(xs in proptest::collection::vec(-2.0f64..12.0, 1..200)) {
+/// Histogram CDF is monotone non-decreasing and bounded by [0,1].
+#[test]
+fn histogram_cdf_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0006 ^ case);
+        let n = 1 + rng.below(199) as usize;
         let mut h = Histogram::new(0.0, 10.0, 17);
-        for &x in &xs {
-            h.record(x);
+        for _ in 0..n {
+            h.record(-2.0 + rng.f64() * 14.0);
         }
         let mut prev = 0.0;
         for i in 0..=120 {
             let q = -1.0 + i as f64 * 0.1;
             let c = h.cdf(q);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
-            prop_assert!(c + 1e-12 >= prev, "cdf decreased at {q}: {c} < {prev}");
+            assert!((0.0..=1.0 + 1e-12).contains(&c));
+            assert!(
+                c + 1e-12 >= prev,
+                "case {case}: cdf decreased at {q}: {c} < {prev}"
+            );
             prev = c;
         }
     }
+}
 
-    /// Histogram conserves its observation count across buckets.
-    #[test]
-    fn histogram_conserves_count(xs in proptest::collection::vec(-5.0f64..15.0, 0..300)) {
+/// Histogram conserves its observation count across buckets.
+#[test]
+fn histogram_conserves_count() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0007 ^ case);
+        let n = rng.below(300) as usize;
         let mut h = Histogram::new(0.0, 10.0, 13);
-        for &x in &xs {
-            h.record(x);
+        for _ in 0..n {
+            h.record(-5.0 + rng.f64() * 20.0);
         }
         let binned: u64 = (0..h.bins()).map(|i| h.bin_count(i)).sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+        assert_eq!(binned + h.underflow() + h.overflow(), n as u64);
     }
 }

@@ -75,9 +75,9 @@ pub fn collision_resolution_expectations_biased(kmax: usize, frac: f64) -> Vec<f
         let k64 = k as u64;
         let p_stay = binomial_pmf(0, k64, frac) + binomial_pmf(k64, k64, frac);
         let mut constant = p_stay;
-        for j in 2..k {
+        for (j, rj) in r.iter().enumerate().take(k).skip(2) {
             let pj = binomial_pmf(j as u64, k64, frac);
-            constant += pj * (1.0 + r[j]);
+            constant += pj * (1.0 + rj);
         }
         r[k] = constant / (1.0 - p_stay);
     }
@@ -95,8 +95,8 @@ pub fn expected_overhead_slots(mu: f64) -> f64 {
     let r = collision_resolution_expectations(kmax);
     let q0 = poisson_pmf(0, mu);
     let mut collided = 0.0;
-    for n in 2..=kmax {
-        collided += poisson_pmf(n as u64, mu) * (1.0 + r[n]);
+    for (n, rn) in r.iter().enumerate().skip(2) {
+        collided += poisson_pmf(n as u64, mu) * (1.0 + rn);
     }
     (q0 + collided) / (1.0 - q0)
 }
@@ -132,8 +132,8 @@ pub fn overhead_slot_pmf(mu: f64, tail_tol: f64) -> Vec<f64> {
             let k64 = k as u64;
             let p_stay = binomial_pmf(0, k64, 0.5) + binomial_pmf(k64, k64, 0.5);
             let mut val = p_stay * d[k][s - 1];
-            for j in 2..k {
-                val += binomial_pmf(j as u64, k64, 0.5) * d[j][s - 1];
+            for (j, dj) in d.iter().enumerate().take(k).skip(2) {
+                val += binomial_pmf(j as u64, k64, 0.5) * dj[s - 1];
             }
             d[k].push(val);
         }
@@ -160,8 +160,8 @@ pub fn expected_overhead_slots_biased(mu: f64, frac: f64) -> f64 {
     let r = collision_resolution_expectations_biased(kmax, frac);
     let q0 = poisson_pmf(0, mu);
     let mut collided = 0.0;
-    for n in 2..=kmax {
-        collided += poisson_pmf(n as u64, mu) * (1.0 + r[n]);
+    for (n, rn) in r.iter().enumerate().skip(2) {
+        collided += poisson_pmf(n as u64, mu) * (1.0 + rn);
     }
     (q0 + collided) / (1.0 - q0)
 }

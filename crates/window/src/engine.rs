@@ -29,6 +29,29 @@
 //! splitting the (uniform) sub-tick arrival instants in half — until one
 //! message is isolated. The tick is *not* marked examined in that case,
 //! because unexamined sub-tick arrivals may remain.
+//!
+//! ## Fault injection and graceful degradation
+//!
+//! The engine probes through a [`tcw_mac::FaultyMedium`], which under a
+//! nonzero [`FaultPlan`] corrupts the ternary feedback (see
+//! `tcw_mac::fault`). The engine models the consensus reaction of the
+//! station population:
+//!
+//! * **detectable corruption** (erased feedback, or a collision misread as
+//!   idle — which the transmitters flag) triggers a bounded
+//!   re-probe/backoff of the same window per [`ResyncPolicy`]; once the
+//!   retry budget is exhausted the round is abandoned and the protocol
+//!   resumes from the unexamined backlog (`t_past`) at the next decision
+//!   point;
+//! * **undetectable misdetections** fool every station identically, so
+//!   consensus survives: a phantom collision wastes splitting work, a
+//!   success misread as a collision aborts the transmission (the message
+//!   stays pending), and a collision misread as a success strands the
+//!   colliding messages in examined time — the engine reopens their
+//!   arrival intervals ([`Timeline::reopen`]) at the next decision point.
+//!
+//! With [`FaultPlan::none`] (the default) every code path, random stream
+//! and metric is bit-identical to a fault-free build.
 
 use crate::interval::Interval;
 use crate::metrics::{MeasureConfig, Metrics};
@@ -38,7 +61,8 @@ use crate::timeline::Timeline;
 use crate::trace::EngineObserver;
 use std::collections::{BTreeMap, HashSet};
 use tcw_mac::{
-    Arrival, ArrivalSource, ChannelConfig, ChannelStats, Medium, Message, MessageId, SlotOutcome,
+    Arrival, ArrivalSource, ChannelConfig, ChannelStats, FaultPlan, FaultyMedium, Feedback, Medium,
+    Message, MessageId, SlotOutcome,
 };
 use tcw_sim::rng::Rng;
 use tcw_sim::time::{Dur, Time};
@@ -58,9 +82,41 @@ pub struct EngineConfig {
     pub seed: u64,
 }
 
+/// Bounded retry behaviour after a detectably corrupted slot.
+#[derive(Clone, Copy, Debug)]
+pub struct ResyncPolicy {
+    /// How many times a window whose feedback was detectably corrupted is
+    /// re-probed before the round is abandoned.
+    pub max_retries: u32,
+    /// Cap (in `tau` slots) on the exponential quiet backoff held before
+    /// each re-probe (1, 2, 4, ... slots, clamped here).
+    pub backoff_cap_slots: u64,
+}
+
+impl Default for ResyncPolicy {
+    fn default() -> Self {
+        ResyncPolicy {
+            max_retries: 4,
+            backoff_cap_slots: 8,
+        }
+    }
+}
+
+/// How a sub-tick cluster resolution ended.
+enum ClusterEnd {
+    /// One message was isolated and delivered.
+    Winner(Message),
+    /// A collision was misread as a success: stations believe the cluster
+    /// resolved, nothing was delivered; the tick stays unexamined so the
+    /// messages remain reachable.
+    PhantomSuccess,
+    /// Resolution was abandoned (only reachable under fault injection).
+    Abandoned,
+}
+
 /// The protocol engine; generic over the arrival process.
 pub struct Engine<S: ArrivalSource> {
-    medium: Medium,
+    medium: FaultyMedium,
     policy: ControlPolicy,
     timeline: Timeline,
     /// Pending (arrived, untransmitted, undiscarded) messages ordered by
@@ -80,6 +136,14 @@ pub struct Engine<S: ArrivalSource> {
     /// one message; arrivals at a busy station are blocked (lost).
     single_buffer: bool,
     busy_stations: HashSet<tcw_mac::StationId>,
+    /// Retry/backoff budget for detectably corrupted slots.
+    resync: ResyncPolicy,
+    /// Messages stranded in examined time by a misread slot; their arrival
+    /// intervals are reopened at the next decision point.
+    orphans: Vec<(Time, MessageId)>,
+    /// Messages whose trajectory was touched by an injected fault, for
+    /// attributing subsequent losses to the faults.
+    fault_touched: HashSet<MessageId>,
     /// Loss/delay accounting.
     pub metrics: Metrics,
     /// Channel-time accounting.
@@ -90,8 +154,16 @@ impl<S: ArrivalSource> Engine<S> {
     /// Creates an engine over the given arrival source.
     pub fn new(cfg: EngineConfig, source: S) -> Self {
         let mut master = Rng::new(cfg.seed);
+        // Fork order is part of the determinism contract: "policy",
+        // "coins", "source" predate fault injection, and "faults" comes
+        // last, so the first three streams are bit-identical whether or
+        // not a fault plan is ever installed.
+        let rng_policy = master.fork("policy");
+        let rng_coins = master.fork("coins");
+        let rng_source = master.fork("source");
+        let rng_faults = master.fork("faults");
         Engine {
-            medium: Medium::new(cfg.channel),
+            medium: FaultyMedium::new(Medium::new(cfg.channel), FaultPlan::none(), rng_faults),
             policy: cfg.policy,
             timeline: Timeline::new(),
             pending: BTreeMap::new(),
@@ -100,15 +172,34 @@ impl<S: ArrivalSource> Engine<S> {
             source_done: false,
             arrival_cutoff: Time::MAX,
             next_id: 0,
-            rng_policy: master.fork("policy"),
-            rng_coins: master.fork("coins"),
-            rng_source: master.fork("source"),
+            rng_policy,
+            rng_coins,
+            rng_source,
             last_tx_end: Time::ZERO,
             single_buffer: false,
             busy_stations: HashSet::new(),
+            resync: ResyncPolicy::default(),
+            orphans: Vec::new(),
+            fault_touched: HashSet::new(),
             metrics: Metrics::new(cfg.measure),
             channel_stats: ChannelStats::new(),
         }
+    }
+
+    /// Installs a fault plan; [`FaultPlan::none`] (the default) leaves the
+    /// run bit-identical to a fault-free build.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.medium.set_plan(plan);
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.medium.plan()
+    }
+
+    /// Overrides the retry/backoff budget for detectably corrupted slots.
+    pub fn set_resync_policy(&mut self, resync: ResyncPolicy) {
+        self.resync = resync;
     }
 
     /// Enables the finite-population sensitivity model: each station can
@@ -202,24 +293,45 @@ impl<S: ArrivalSource> Engine<S> {
         let now = self.timeline.now();
         self.ingest(now);
 
+        // Fault recovery: reopen the arrival intervals of messages
+        // stranded in examined time by a misread slot so the windowing
+        // process can reach them again. Running the sweep before the
+        // window choice preserves FCFS under Oldest-first policies: the
+        // reopened (oldest) intervals are served before younger backlog.
+        if !self.orphans.is_empty() {
+            let tick = Dur::from_ticks(1);
+            for (arrival, id) in std::mem::take(&mut self.orphans) {
+                if self.pending.contains_key(&(arrival, id)) {
+                    let iv = Interval::new(arrival, arrival + tick);
+                    self.timeline.reopen(iv);
+                    self.metrics.on_reopen();
+                    obs.on_reopen(iv);
+                }
+            }
+        }
+
         // Policy element (4): discard over-age messages by marking their
         // arrival intervals examined.
         if let Some(k) = self.policy.discard_after {
             let cutoff = now.saturating_sub(k);
-            loop {
-                let Some((&key, _)) = self.pending.iter().next() else {
-                    break;
-                };
+            while let Some((&key, _)) = self.pending.iter().next() {
                 if key.0 >= cutoff {
                     break;
                 }
                 let msg = self.pending.remove(&key).expect("key just observed");
                 self.busy_stations.remove(&msg.station);
+                let fault_loss =
+                    self.fault_touched.remove(&msg.id) && self.metrics.config().counts(msg.arrival);
+                if fault_loss {
+                    self.metrics.on_fault_loss();
+                }
                 self.metrics.on_sender_discard(msg.arrival);
                 obs.on_sender_discard(&msg, now);
             }
             self.timeline.discard_before(cutoff);
         }
+
+        obs.on_beacon(now, &self.timeline);
 
         let pm = PseudoMap::new(&self.timeline);
         let window = self
@@ -230,10 +342,25 @@ impl<S: ArrivalSource> Engine<S> {
                 obs.on_decision(now, None);
                 // Nothing unexamined: the channel idles one probe slot
                 // while fresh time accumulates.
-                let (outcome, dur) = self.medium.probe(&[]);
-                self.channel_stats.record(&outcome, dur);
-                obs.on_probe(now, &[], &outcome, dur);
-                self.timeline.advance(now + dur);
+                let report = self.medium.probe(&[]);
+                match report.observed {
+                    Feedback::Erased => {
+                        self.metrics.on_erased_slot();
+                        self.channel_stats.record_erased(report.dur);
+                        obs.on_corrupted_slot(now, report.dur);
+                    }
+                    Feedback::Observed(outcome) => {
+                        // A phantom collision outside a round carries no
+                        // protocol state to repair; all stations observe
+                        // it identically and ignore it.
+                        if report.fault.is_some() {
+                            self.metrics.on_corrupted_slot();
+                        }
+                        self.channel_stats.record(&outcome, report.dur);
+                        obs.on_probe(now, &[], &outcome, report.dur);
+                    }
+                }
+                self.timeline.advance(now + report.dur);
             }
             Some(w) => {
                 let segments = pm.preimage(w);
@@ -273,16 +400,61 @@ impl<S: ArrivalSource> Engine<S> {
         // `Some(s)` means: current ∪ s is known to contain >= 2 arrivals,
         // so if current is empty then s contains >= 2.
         let mut sibling: Option<PseudoInterval> = None;
+        // Consecutive detectably-corrupted probes of the current window.
+        let mut retries: u32 = 0;
 
         loop {
             let now = self.timeline.now();
             let segments = pm.preimage(current);
             let txs = self.in_segments(&segments);
             let ids: Vec<MessageId> = txs.iter().map(|m| m.id).collect();
-            let (outcome, dur) = self.medium.probe(&ids);
-            self.channel_stats.record(&outcome, dur);
-            obs.on_probe(now, &segments, &outcome, dur);
-            self.timeline.advance(now + dur);
+            let report = self.medium.probe(&ids);
+            if report.fault.is_some() {
+                for m in &txs {
+                    self.fault_touched.insert(m.id);
+                }
+            }
+
+            let outcome = match report.observed {
+                Feedback::Erased => {
+                    // Every station knows this slot's feedback was lost:
+                    // back off and re-probe the same window.
+                    self.metrics.on_erased_slot();
+                    self.channel_stats.record_erased(report.dur);
+                    obs.on_corrupted_slot(now, report.dur);
+                    self.timeline.advance(now + report.dur);
+                    overhead += 1;
+                    if self.backoff_or_abandon(&mut retries, obs) {
+                        continue;
+                    }
+                    return;
+                }
+                Feedback::Observed(o) => o,
+            };
+
+            // A collision misread as idle is detectable: the transmitters
+            // know they transmitted and flag the slot, so all stations
+            // treat it as corrupted and retry instead of wrongly marking
+            // the window empty.
+            if matches!(outcome, SlotOutcome::Idle) && txs.len() >= 2 {
+                self.metrics.on_corrupted_slot();
+                self.channel_stats.record(&outcome, report.dur);
+                obs.on_corrupted_slot(now, report.dur);
+                self.timeline.advance(now + report.dur);
+                overhead += 1;
+                if self.backoff_or_abandon(&mut retries, obs) {
+                    continue;
+                }
+                return;
+            }
+
+            if report.fault.is_some() {
+                self.metrics.on_corrupted_slot();
+            }
+            retries = 0;
+            self.channel_stats.record(&outcome, report.dur);
+            obs.on_probe(now, &segments, &outcome, report.dur);
+            self.timeline.advance(now + report.dur);
 
             match outcome {
                 SlotOutcome::Idle => {
@@ -296,13 +468,12 @@ impl<S: ArrivalSource> Engine<S> {
                             // sib is known to hold >= 2 arrivals.
                             match sib.split() {
                                 Some((older, younger)) => {
-                                    obs.on_immediate_split(
-                                        self.timeline.now(),
-                                        &pm.preimage(sib),
+                                    obs.on_immediate_split(self.timeline.now(), &pm.preimage(sib));
+                                    let (first, second) = self.policy.order_halves(
+                                        older,
+                                        younger,
+                                        &mut self.rng_policy,
                                     );
-                                    let (first, second) = self
-                                        .policy
-                                        .order_halves(older, younger, &mut self.rng_policy);
                                     current = first;
                                     sibling = Some(second);
                                 }
@@ -318,11 +489,22 @@ impl<S: ArrivalSource> Engine<S> {
                     }
                 }
                 SlotOutcome::Success(_) => {
-                    debug_assert_eq!(txs.len(), 1);
                     for s in &segments {
                         self.timeline.mark_examined(*s);
                     }
-                    self.complete_transmission(txs[0], now, round_start, overhead, obs);
+                    if report.delivered().is_some() {
+                        debug_assert_eq!(txs.len(), 1);
+                        self.complete_transmission(txs[0], now, round_start, overhead, obs);
+                    } else {
+                        // Phantom success (collision misread): all
+                        // stations believe the window resolved, nothing
+                        // was delivered. The colliding messages are
+                        // stranded in examined time; the next decision
+                        // point reopens their arrival intervals.
+                        for m in &txs {
+                            self.orphans.push((m.arrival, m.id));
+                        }
+                    }
                     return;
                 }
                 SlotOutcome::Collision(_) => {
@@ -337,21 +519,33 @@ impl<S: ArrivalSource> Engine<S> {
                         }
                         None => {
                             // Sub-tick cluster: resolve by fair coins.
-                            let winner = self.resolve_cluster(txs, &mut overhead, obs);
-                            let tx_start = self.timeline.now()
-                                - self.medium.config().message_duration()
-                                - if self.medium.config().guard {
-                                    self.medium.config().tau()
-                                } else {
-                                    Dur::ZERO
-                                };
-                            self.complete_transmission(
-                                winner,
-                                tx_start,
-                                round_start,
-                                overhead,
-                                obs,
-                            );
+                            match self.resolve_cluster(txs, &mut overhead, obs) {
+                                ClusterEnd::Winner(winner) => {
+                                    let tx_start = self.timeline.now()
+                                        - self.medium.config().message_duration()
+                                        - if self.medium.config().guard {
+                                            self.medium.config().tau()
+                                        } else {
+                                            Dur::ZERO
+                                        };
+                                    self.complete_transmission(
+                                        winner,
+                                        tx_start,
+                                        round_start,
+                                        overhead,
+                                        obs,
+                                    );
+                                }
+                                ClusterEnd::PhantomSuccess => {
+                                    // Stations saw a success; the tick is
+                                    // not marked examined, so the cluster
+                                    // stays reachable at the next round.
+                                }
+                                ClusterEnd::Abandoned => {
+                                    self.metrics.on_round_abandoned();
+                                    obs.on_round_abandoned(self.timeline.now());
+                                }
+                            }
                             return;
                         }
                     }
@@ -360,17 +554,51 @@ impl<S: ArrivalSource> Engine<S> {
         }
     }
 
+    /// Holds a capped-exponential quiet backoff before re-probing a window
+    /// whose feedback was detectably corrupted. Returns `true` to retry;
+    /// `false` when the retry budget is exhausted and the round must be
+    /// abandoned (the abandonment itself is recorded here).
+    fn backoff_or_abandon(&mut self, retries: &mut u32, obs: &mut dyn EngineObserver) -> bool {
+        *retries += 1;
+        if *retries > self.resync.max_retries {
+            self.metrics.on_round_abandoned();
+            obs.on_round_abandoned(self.timeline.now());
+            return false;
+        }
+        self.metrics.on_resync();
+        let slots = 1u64
+            .checked_shl(*retries - 1)
+            .unwrap_or(u64::MAX)
+            .min(self.resync.backoff_cap_slots);
+        let dur = Dur::from_ticks(slots * self.medium.config().ticks_per_tau);
+        let now = self.timeline.now();
+        self.channel_stats.record_quiet(dur);
+        obs.on_backoff(now, dur);
+        self.timeline.advance(now + dur);
+        true
+    }
+
     /// Resolves a same-tick collision cluster with per-message fair coins
-    /// until exactly one message transmits; returns the winner. The
-    /// surviving probe (the success) is executed inside.
+    /// until exactly one message transmits. The surviving probe (the
+    /// success) is executed inside. Under fault injection the resolution
+    /// can also end in a phantom success or be abandoned once too many
+    /// fault-wasted slots accumulate.
     fn resolve_cluster(
         &mut self,
         cluster: Vec<Message>,
         overhead: &mut u64,
         obs: &mut dyn EngineObserver,
-    ) -> Message {
+    ) -> ClusterEnd {
         let mut active = cluster;
+        // Slots wasted by injected faults during this resolution. Bounded
+        // so a hostile fault plan cannot trap the engine here forever;
+        // never incremented on clean slots, so fault-free behaviour is
+        // untouched.
+        let mut futile: u32 = 0;
         loop {
+            if active.is_empty() || futile > 64 {
+                return ClusterEnd::Abandoned;
+            }
             // Split the active set as the continuous protocol would split
             // the (uniform) sub-tick arrival instants.
             let older: Vec<Message> = active
@@ -380,10 +608,42 @@ impl<S: ArrivalSource> Engine<S> {
                 .collect();
             let now = self.timeline.now();
             let ids: Vec<MessageId> = older.iter().map(|m| m.id).collect();
-            let (outcome, dur) = self.medium.probe(&ids);
-            self.channel_stats.record(&outcome, dur);
-            obs.on_probe(now, &[], &outcome, dur);
-            self.timeline.advance(now + dur);
+            let report = self.medium.probe(&ids);
+            if report.fault.is_some() {
+                for m in &active {
+                    self.fault_touched.insert(m.id);
+                }
+            }
+            let outcome = match report.observed {
+                Feedback::Erased => {
+                    self.metrics.on_erased_slot();
+                    self.channel_stats.record_erased(report.dur);
+                    obs.on_corrupted_slot(now, report.dur);
+                    self.timeline.advance(now + report.dur);
+                    *overhead += 1;
+                    futile += 1;
+                    continue;
+                }
+                Feedback::Observed(o) => o,
+            };
+            // Collision misread as idle: flagged by the transmitters,
+            // consumed and retried like an erasure.
+            if matches!(outcome, SlotOutcome::Idle) && older.len() >= 2 {
+                self.metrics.on_corrupted_slot();
+                self.channel_stats.record(&outcome, report.dur);
+                obs.on_corrupted_slot(now, report.dur);
+                self.timeline.advance(now + report.dur);
+                *overhead += 1;
+                futile += 1;
+                continue;
+            }
+            if report.fault.is_some() {
+                self.metrics.on_corrupted_slot();
+                futile += 1;
+            }
+            self.channel_stats.record(&outcome, report.dur);
+            obs.on_probe(now, &[], &outcome, report.dur);
+            self.timeline.advance(now + report.dur);
             match outcome {
                 SlotOutcome::Idle => {
                     // The entire cluster is in the "younger" part, which is
@@ -391,7 +651,13 @@ impl<S: ArrivalSource> Engine<S> {
                     *overhead += 1;
                 }
                 SlotOutcome::Success(_) => {
-                    return older[0];
+                    if report.delivered().is_some() {
+                        return ClusterEnd::Winner(older[0]);
+                    }
+                    // Phantom success: every station believes the cluster
+                    // resolved; nothing was delivered and the tick stays
+                    // unexamined, so the messages remain reachable.
+                    return ClusterEnd::PhantomSuccess;
                 }
                 SlotOutcome::Collision(_) => {
                     *overhead += 1;
@@ -419,7 +685,16 @@ impl<S: ArrivalSource> Engine<S> {
         let sched_start = self.last_tx_end.max(msg.arrival);
         let sched_time = tx_start - sched_start.min(tx_start);
         self.last_tx_end = self.timeline.now();
-        self.metrics.on_transmit(msg.arrival, paper_delay, true_delay);
+        // A delivery past the deadline (receiver loss) by a message whose
+        // trajectory a fault disturbed is attributed to the faults.
+        let fault_loss = self.fault_touched.remove(&msg.id)
+            && self.metrics.config().counts(msg.arrival)
+            && true_delay > self.metrics.config().deadline;
+        if fault_loss {
+            self.metrics.on_fault_loss();
+        }
+        self.metrics
+            .on_transmit(msg.arrival, paper_delay, true_delay);
         self.metrics.on_round(overhead);
         self.metrics.on_sched_time(sched_time);
         obs.on_transmit(&msg, tx_start, paper_delay, true_delay);
@@ -658,7 +933,11 @@ mod tests {
         assert_eq!(eng.metrics.outstanding(), 0);
         // Arrivals after the drain cutoff were dropped unadmitted; those
         // before it are all accounted for.
-        assert!(eng.metrics.offered() >= 15, "offered = {}", eng.metrics.offered());
+        assert!(
+            eng.metrics.offered() >= 15,
+            "offered = {}",
+            eng.metrics.offered()
+        );
         assert_eq!(eng.metrics.loss_fraction(), 0.0);
     }
 

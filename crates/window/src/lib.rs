@@ -67,8 +67,9 @@ pub mod pseudo;
 pub mod timeline;
 pub mod trace;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, ResyncPolicy};
 pub use interval::Interval;
 pub use metrics::Metrics;
+pub use mirror::{DivergenceDetector, StationMirror};
 pub use policy::{ControlPolicy, SplitRule, WindowLength, WindowPosition};
 pub use timeline::Timeline;

@@ -69,6 +69,13 @@ pub struct Metrics {
     true_delay_p95: P2Quantile,
     true_delay_p99: P2Quantile,
     outstanding: u64,
+    /// Degradation counters under fault injection (all zero on clean runs).
+    corrupted_slots: u64,
+    erased_slots: u64,
+    resyncs: u64,
+    rounds_abandoned: u64,
+    reopened: u64,
+    fault_losses: u64,
 }
 
 impl Metrics {
@@ -84,14 +91,16 @@ impl Metrics {
             paper_delay: Tally::new(),
             sched_slots: Tally::new(),
             sched_time: Tally::new(),
-            paper_delay_hist: Histogram::new(
-                0.0,
-                (2 * cfg.deadline.ticks()).max(2) as f64,
-                256,
-            ),
+            paper_delay_hist: Histogram::new(0.0, (2 * cfg.deadline.ticks()).max(2) as f64, 256),
             true_delay_p95: P2Quantile::new(0.95),
             true_delay_p99: P2Quantile::new(0.99),
             outstanding: 0,
+            corrupted_slots: 0,
+            erased_slots: 0,
+            resyncs: 0,
+            rounds_abandoned: 0,
+            reopened: 0,
+            fault_losses: 0,
         }
     }
 
@@ -156,6 +165,71 @@ impl Metrics {
     /// service time (in ticks).
     pub fn on_sched_time(&mut self, t: Dur) {
         self.sched_time.record(t.as_f64());
+    }
+
+    /// Records a slot whose feedback was corrupted by an injected
+    /// misdetection fault.
+    pub fn on_corrupted_slot(&mut self) {
+        self.corrupted_slots += 1;
+    }
+
+    /// Records a slot whose feedback was erased by an injected fault.
+    pub fn on_erased_slot(&mut self) {
+        self.erased_slots += 1;
+    }
+
+    /// Records one resynchronization attempt (backoff + re-probe of a
+    /// window whose feedback was detectably corrupted).
+    pub fn on_resync(&mut self) {
+        self.resyncs += 1;
+    }
+
+    /// Records a windowing round abandoned after the retry budget was
+    /// exhausted.
+    pub fn on_round_abandoned(&mut self) {
+        self.rounds_abandoned += 1;
+    }
+
+    /// Records an examined interval reopened to recover arrivals stranded
+    /// by a feedback fault.
+    pub fn on_reopen(&mut self) {
+        self.reopened += 1;
+    }
+
+    /// Records a counted message lost after its trajectory was touched by
+    /// an injected fault (the fault-attributed component of the loss).
+    pub fn on_fault_loss(&mut self) {
+        self.fault_losses += 1;
+    }
+
+    /// Slots with misdetected feedback observed by the protocol.
+    pub fn corrupted_slots(&self) -> u64 {
+        self.corrupted_slots
+    }
+
+    /// Slots with erased feedback observed by the protocol.
+    pub fn erased_slots(&self) -> u64 {
+        self.erased_slots
+    }
+
+    /// Resynchronization attempts (backoff + re-probe) performed.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Windowing rounds abandoned after exhausting the retry budget.
+    pub fn rounds_abandoned(&self) -> u64 {
+        self.rounds_abandoned
+    }
+
+    /// Examined intervals reopened to recover fault-stranded arrivals.
+    pub fn reopened(&self) -> u64 {
+        self.reopened
+    }
+
+    /// Counted messages lost whose trajectory was touched by a fault.
+    pub fn fault_losses(&self) -> u64 {
+        self.fault_losses
     }
 
     /// Counted messages that have not yet been resolved (must be zero after
@@ -264,7 +338,11 @@ mod tests {
     fn late_delivery_is_receiver_loss() {
         let mut m = Metrics::new(cfg());
         m.on_offered(Time::from_ticks(200));
-        m.on_transmit(Time::from_ticks(200), Dur::from_ticks(40), Dur::from_ticks(51));
+        m.on_transmit(
+            Time::from_ticks(200),
+            Dur::from_ticks(40),
+            Dur::from_ticks(51),
+        );
         assert_eq!(m.receiver_lost(), 1);
         assert_eq!(m.loss_fraction(), 1.0);
     }
@@ -273,7 +351,11 @@ mod tests {
     fn deadline_is_inclusive() {
         let mut m = Metrics::new(cfg());
         m.on_offered(Time::from_ticks(200));
-        m.on_transmit(Time::from_ticks(200), Dur::from_ticks(50), Dur::from_ticks(50));
+        m.on_transmit(
+            Time::from_ticks(200),
+            Dur::from_ticks(50),
+            Dur::from_ticks(50),
+        );
         assert_eq!(m.receiver_lost(), 0);
         assert_eq!(m.loss_fraction(), 0.0);
     }
@@ -297,7 +379,11 @@ mod tests {
         m.on_transmit(Time::from_ticks(50), Dur::from_ticks(1), Dur::from_ticks(2));
         assert_eq!(m.true_delay().count(), 0);
         m.on_offered(Time::from_ticks(150));
-        m.on_transmit(Time::from_ticks(150), Dur::from_ticks(3), Dur::from_ticks(4));
+        m.on_transmit(
+            Time::from_ticks(150),
+            Dur::from_ticks(3),
+            Dur::from_ticks(4),
+        );
         assert_eq!(m.true_delay().count(), 1);
         assert_eq!(m.true_delay().mean(), 4.0);
         assert_eq!(m.paper_delay().mean(), 3.0);

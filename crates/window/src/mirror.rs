@@ -12,6 +12,16 @@
 //! Any divergence would mean the protocol requires information a real
 //! station could not have; the integration tests run every policy preset
 //! through the mirror and assert zero mismatches.
+//!
+//! Fault injection extends the claim: as long as every station hears the
+//! same (possibly corrupted) feedback, consensus survives — the mirror
+//! consumes the fault events ([`EngineObserver::on_corrupted_slot`],
+//! `on_backoff`, `on_round_abandoned`, `on_reopen`) and must still match.
+//! What consensus cannot survive is a station *missing* slots entirely
+//! (deafness). [`DivergenceDetector`] models that failure: it drops slots
+//! from a deaf station's view, detects the resulting divergence at the
+//! next decision-point beacon, and resynchronizes from the beaconed
+//! consensus timeline.
 
 use crate::interval::Interval;
 use crate::policy::ControlPolicy;
@@ -36,6 +46,7 @@ pub struct StationMirror {
     rng_policy: Rng,
     round: Option<RoundState>,
     mismatches: Vec<String>,
+    mismatch_count: u64,
     decisions: u64,
     probes: u64,
 }
@@ -51,14 +62,30 @@ impl StationMirror {
             rng_policy: Rng::new(seed).fork("policy"),
             round: None,
             mismatches: Vec::new(),
+            mismatch_count: 0,
             decisions: 0,
             probes: 0,
         }
     }
 
     /// Mismatch descriptions collected so far (empty = fully consistent).
+    /// Capped at 32 entries; [`StationMirror::mismatch_count`] keeps the
+    /// true total.
     pub fn mismatches(&self) -> &[String] {
         &self.mismatches
+    }
+
+    /// Total mismatches observed (uncapped).
+    pub fn mismatch_count(&self) -> u64 {
+        self.mismatch_count
+    }
+
+    /// Abandons the station's own state and adopts the beaconed consensus
+    /// `timeline` (used by [`DivergenceDetector`] after a detected
+    /// divergence; a faithful station model never calls this).
+    pub fn resync_from(&mut self, _now: Time, timeline: &Timeline) {
+        self.timeline = timeline.clone();
+        self.round = None;
     }
 
     /// Decisions checked.
@@ -83,6 +110,7 @@ impl StationMirror {
     }
 
     fn note(&mut self, msg: String) {
+        self.mismatch_count += 1;
         if self.mismatches.len() < 32 {
             self.mismatches.push(msg);
         }
@@ -140,7 +168,10 @@ impl EngineObserver for StationMirror {
 
         let Some(mut round) = self.round.take() else {
             // No round in progress: this must be the no-window idle slot.
-            if !matches!(outcome, SlotOutcome::Idle) {
+            // Under fault injection it may also be observed as a phantom
+            // collision (idle misread); only a success — which requires a
+            // transmitter — is impossible here.
+            if matches!(outcome, SlotOutcome::Success(_)) {
                 self.note(format!("t={start}: unexpected {outcome:?} outside a round"));
             }
             return;
@@ -167,7 +198,8 @@ impl EngineObserver for StationMirror {
                         match sib.split() {
                             Some((older, younger)) => {
                                 let (first, second) =
-                                    self.policy.order_halves(older, younger, &mut self.rng_policy);
+                                    self.policy
+                                        .order_halves(older, younger, &mut self.rng_policy);
                                 round.current = first;
                                 round.sibling = Some(second);
                             }
@@ -190,7 +222,8 @@ impl EngineObserver for StationMirror {
                 match round.current.split() {
                     Some((older, younger)) => {
                         let (first, second) =
-                            self.policy.order_halves(older, younger, &mut self.rng_policy);
+                            self.policy
+                                .order_halves(older, younger, &mut self.rng_policy);
                         round.current = first;
                         round.sibling = Some(second);
                     }
@@ -205,6 +238,197 @@ impl EngineObserver for StationMirror {
 
     fn on_transmit(&mut self, _msg: &Message, _start: Time, _paper: Dur, _true_delay: Dur) {}
     fn on_sender_discard(&mut self, _msg: &Message, _now: Time) {}
+
+    fn on_corrupted_slot(&mut self, now: Time, dur: Dur) {
+        // Detectably corrupted feedback: every station consumes the slot
+        // without learning anything about the window; the round state is
+        // unchanged.
+        if self.timeline.now() != now {
+            self.note(format!(
+                "t={now}: corrupted slot but mirror clock is at {}",
+                self.timeline.now()
+            ));
+        }
+        self.timeline.advance(now + dur);
+    }
+
+    fn on_backoff(&mut self, now: Time, dur: Dur) {
+        if self.timeline.now() != now {
+            self.note(format!(
+                "t={now}: backoff but mirror clock is at {}",
+                self.timeline.now()
+            ));
+        }
+        self.timeline.advance(now + dur);
+    }
+
+    fn on_round_abandoned(&mut self, _now: Time) {
+        // The retry budget is public; every station abandons in lockstep
+        // and resumes from the unexamined backlog at the next decision.
+        self.round = None;
+    }
+
+    fn on_reopen(&mut self, iv: Interval) {
+        // The reopened interval is inferable from shared state: every
+        // station saw the misread success and knows no delivery followed.
+        self.timeline.reopen(iv);
+    }
+}
+
+/// A [`StationMirror`] augmented with a *deafness* fault model and a
+/// beacon-driven resynchronization loop: the runtime divergence detector.
+///
+/// While deaf, the station misses channel slots entirely — the one fault
+/// class that genuinely breaks the shared-view invariant. The wrapped
+/// mirror then accumulates mismatches; at every decision-point beacon the
+/// detector compares the mismatch count against the last synchronized
+/// value, records a divergence, and re-adopts the beaconed consensus
+/// timeline.
+pub struct DivergenceDetector {
+    mirror: StationMirror,
+    deafness: f64,
+    deaf_slots: u64,
+    rng: Rng,
+    deaf_remaining: u64,
+    seen: u64,
+    divergences: u64,
+    resyncs: u64,
+    dropped_slots: u64,
+    first_divergence: Option<String>,
+}
+
+impl DivergenceDetector {
+    /// Creates a detector for station index `station` of an engine built
+    /// with the same `policy` and master `seed`. Each heard slot turns the
+    /// station deaf with probability `deafness` for `deaf_slots` slots
+    /// (deterministic per `(seed, station)`).
+    pub fn new(
+        policy: ControlPolicy,
+        seed: u64,
+        station: u64,
+        deafness: f64,
+        deaf_slots: u64,
+    ) -> Self {
+        DivergenceDetector {
+            mirror: StationMirror::new(policy, seed),
+            deafness,
+            deaf_slots: deaf_slots.max(1),
+            rng: Rng::new(seed).fork_indexed("deaf", station),
+            deaf_remaining: 0,
+            seen: 0,
+            divergences: 0,
+            resyncs: 0,
+            dropped_slots: 0,
+            first_divergence: None,
+        }
+    }
+
+    /// The wrapped station mirror.
+    pub fn mirror(&self) -> &StationMirror {
+        &self.mirror
+    }
+
+    /// Divergences detected at beacons.
+    pub fn divergences(&self) -> u64 {
+        self.divergences
+    }
+
+    /// Resynchronizations performed (one per detected divergence).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Channel slots this station failed to hear.
+    pub fn dropped_slots(&self) -> u64 {
+        self.dropped_slots
+    }
+
+    /// The first recorded mismatch, if any divergence was ever detected.
+    pub fn first_divergence(&self) -> Option<&str> {
+        self.first_divergence.as_deref()
+    }
+
+    /// Whether the station hears the current slot; advances the deafness
+    /// process one slot either way.
+    fn hears(&mut self) -> bool {
+        if self.deaf_remaining > 0 {
+            self.deaf_remaining -= 1;
+            self.dropped_slots += 1;
+            return false;
+        }
+        if self.deafness > 0.0 && self.rng.chance(self.deafness) {
+            self.deaf_remaining = self.deaf_slots - 1;
+            self.dropped_slots += 1;
+            return false;
+        }
+        true
+    }
+}
+
+impl EngineObserver for DivergenceDetector {
+    fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
+        self.mirror.on_decision(now, segments);
+    }
+
+    fn on_probe(&mut self, start: Time, segments: &[Interval], outcome: &SlotOutcome, dur: Dur) {
+        if self.hears() {
+            self.mirror.on_probe(start, segments, outcome, dur);
+        }
+    }
+
+    fn on_immediate_split(&mut self, now: Time, segments: &[Interval]) {
+        self.mirror.on_immediate_split(now, segments);
+    }
+
+    fn on_transmit(&mut self, msg: &Message, start: Time, paper_delay: Dur, true_delay: Dur) {
+        self.mirror.on_transmit(msg, start, paper_delay, true_delay);
+    }
+
+    fn on_sender_discard(&mut self, msg: &Message, now: Time) {
+        self.mirror.on_sender_discard(msg, now);
+    }
+
+    fn on_corrupted_slot(&mut self, now: Time, dur: Dur) {
+        if self.hears() {
+            self.mirror.on_corrupted_slot(now, dur);
+        }
+    }
+
+    fn on_backoff(&mut self, now: Time, dur: Dur) {
+        if self.hears() {
+            self.mirror.on_backoff(now, dur);
+        }
+    }
+
+    fn on_round_abandoned(&mut self, now: Time) {
+        // Not a slot of its own: announced within slots already counted.
+        if self.deaf_remaining == 0 {
+            self.mirror.on_round_abandoned(now);
+        }
+    }
+
+    fn on_reopen(&mut self, iv: Interval) {
+        if self.deaf_remaining == 0 {
+            self.mirror.on_reopen(iv);
+        }
+    }
+
+    fn on_beacon(&mut self, now: Time, timeline: &Timeline) {
+        if self.mirror.mismatch_count() > self.seen {
+            self.divergences += 1;
+            if self.first_divergence.is_none() {
+                self.first_divergence = self
+                    .mirror
+                    .mismatches()
+                    .get(self.seen as usize)
+                    .or_else(|| self.mirror.mismatches().last())
+                    .cloned();
+            }
+            self.seen = self.mirror.mismatch_count();
+            self.mirror.resync_from(now, timeline);
+            self.resyncs += 1;
+        }
+    }
 }
 
 #[cfg(test)]

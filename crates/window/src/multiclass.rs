@@ -26,8 +26,9 @@ use crate::metrics::{MeasureConfig, Metrics};
 use crate::pseudo::{PseudoInterval, PseudoMap};
 use crate::timeline::Timeline;
 use std::collections::BTreeMap;
-use tcw_mac::{Arrival, ArrivalSource, ChannelConfig, ChannelStats, Medium, Message, MessageId,
-    SlotOutcome};
+use tcw_mac::{
+    Arrival, ArrivalSource, ChannelConfig, ChannelStats, Medium, Message, MessageId, SlotOutcome,
+};
 use tcw_sim::rng::Rng;
 use tcw_sim::time::{Dur, Time};
 
@@ -166,8 +167,7 @@ impl MulticlassEngine {
     pub fn drain(&mut self) {
         self.arrival_cutoff = self.now;
         self.ingest_all();
-        while self.classes.iter().any(|c| !c.pending.is_empty())
-            || self.has_admissible_lookahead()
+        while self.classes.iter().any(|c| !c.pending.is_empty()) || self.has_admissible_lookahead()
         {
             self.cycle();
         }
@@ -222,10 +222,7 @@ impl MulticlassEngine {
         // Element (4), per class.
         for state in &mut self.classes {
             let cutoff = now.saturating_sub(state.deadline);
-            loop {
-                let Some((&key, _)) = state.pending.iter().next() else {
-                    break;
-                };
+            while let Some((&key, _)) = state.pending.iter().next() {
                 if key.0 >= cutoff {
                     break;
                 }
@@ -388,7 +385,14 @@ impl MulticlassEngine {
         }
     }
 
-    fn complete(&mut self, c: usize, msg: Message, tx_start: Time, round_start: Time, overhead: u64) {
+    fn complete(
+        &mut self,
+        c: usize,
+        msg: Message,
+        tx_start: Time,
+        round_start: Time,
+        overhead: u64,
+    ) {
         let state = &mut self.classes[c];
         state
             .pending
@@ -396,7 +400,9 @@ impl MulticlassEngine {
             .expect("transmitted message was pending");
         let paper_delay = round_start - msg.arrival;
         let true_delay = tx_start - msg.arrival;
-        state.metrics.on_transmit(msg.arrival, paper_delay, true_delay);
+        state
+            .metrics
+            .on_transmit(msg.arrival, paper_delay, true_delay);
         state.metrics.on_round(overhead);
     }
 }

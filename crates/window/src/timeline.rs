@@ -82,12 +82,41 @@ impl Timeline {
         }
     }
 
+    /// Removes `iv` from the examined set, returning that stretch of past
+    /// time to the unexamined pool (splitting stored fragments as needed).
+    ///
+    /// This is the resynchronization primitive for fault recovery: when a
+    /// feedback fault stranded untransmitted arrivals inside examined time
+    /// (e.g. a collision misread as a success), the protocol reopens their
+    /// arrival intervals so the windowing process can reach them again.
+    ///
+    /// # Panics
+    /// Debug-panics if `iv` extends beyond `now`.
+    pub fn reopen(&mut self, iv: Interval) {
+        debug_assert!(iv.hi <= self.now, "cannot reopen the future: {iv:?}");
+        if iv.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.examined.len() + 1);
+        for e in &self.examined {
+            if e.hi <= iv.lo || e.lo >= iv.hi {
+                out.push(*e);
+                continue;
+            }
+            if e.lo < iv.lo {
+                out.push(Interval::new(e.lo, iv.lo));
+            }
+            if e.hi > iv.hi {
+                out.push(Interval::new(iv.hi, e.hi));
+            }
+        }
+        self.examined = out;
+    }
+
     /// Whether instant `t` is inside an examined interval.
     pub fn is_examined(&self, t: Time) -> bool {
         let idx = self.examined.partition_point(|e| e.hi <= t);
-        self.examined
-            .get(idx)
-            .is_some_and(|e| e.contains(t))
+        self.examined.get(idx).is_some_and(|e| e.contains(t))
     }
 
     /// The unexamined gaps within `[0, now)`, oldest first.
@@ -268,6 +297,39 @@ mod tests {
         tl.advance(t(10));
         tl.discard_before(t(0));
         assert_eq!(tl.unexamined(), vec![Interval::from_ticks(0, 10)]);
+    }
+
+    #[test]
+    fn reopen_splits_and_removes_fragments() {
+        let mut tl = Timeline::new();
+        tl.advance(t(100));
+        tl.mark_examined(Interval::from_ticks(10, 60));
+        tl.reopen(Interval::from_ticks(20, 30));
+        assert_eq!(
+            tl.unexamined(),
+            vec![
+                Interval::from_ticks(0, 10),
+                Interval::from_ticks(20, 30),
+                Interval::from_ticks(60, 100)
+            ]
+        );
+        assert_eq!(tl.examined_fragments(), 2);
+        // Reopening across several fragments removes them all.
+        tl.reopen(Interval::from_ticks(0, 100));
+        assert_eq!(tl.unexamined(), vec![Interval::from_ticks(0, 100)]);
+        assert_eq!(tl.examined_fragments(), 0);
+    }
+
+    #[test]
+    fn reopen_then_mark_roundtrips() {
+        let mut tl = Timeline::new();
+        tl.advance(t(50));
+        tl.mark_examined(Interval::from_ticks(0, 50));
+        tl.reopen(Interval::from_ticks(12, 13));
+        assert_eq!(tl.t_past(), Some(t(12)));
+        tl.mark_examined(Interval::from_ticks(12, 13));
+        assert_eq!(tl.t_past(), None);
+        assert_eq!(tl.examined_fragments(), 1);
     }
 
     #[test]

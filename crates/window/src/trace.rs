@@ -23,7 +23,13 @@ pub trait EngineObserver {
     /// A probe step completed. `segments` is the probed window
     /// (materialized), empty during sub-tick (coin-flip) resolution and
     /// for the no-window idle slot.
-    fn on_probe(&mut self, _start: Time, _segments: &[Interval], _outcome: &SlotOutcome, _dur: Dur) {
+    fn on_probe(
+        &mut self,
+        _start: Time,
+        _segments: &[Interval],
+        _outcome: &SlotOutcome,
+        _dur: Dur,
+    ) {
     }
 
     /// A window known to hold two or more arrivals was split without a
@@ -35,6 +41,29 @@ pub trait EngineObserver {
 
     /// A message was discarded at the sender (policy element 4).
     fn on_sender_discard(&mut self, _msg: &Message, _now: Time) {}
+
+    /// A slot's feedback was detectably corrupted (erased, or flagged by
+    /// the transmitters); all stations consume the slot and retry.
+    fn on_corrupted_slot(&mut self, _now: Time, _dur: Dur) {}
+
+    /// Stations hold a quiet backoff period before re-probing a window
+    /// whose feedback was corrupted.
+    fn on_backoff(&mut self, _now: Time, _dur: Dur) {}
+
+    /// The current windowing round was abandoned after repeated feedback
+    /// corruption; the protocol resumes from the unexamined backlog at the
+    /// next decision point.
+    fn on_round_abandoned(&mut self, _now: Time) {}
+
+    /// A previously examined interval was reopened because a feedback
+    /// fault stranded untransmitted arrivals inside it.
+    fn on_reopen(&mut self, _iv: Interval) {}
+
+    /// A state beacon emitted at every decision point: the consensus
+    /// timeline all correctly-tracking stations share. Resynchronizing
+    /// observers (the divergence detector) may copy it; faithful station
+    /// models must ignore it.
+    fn on_beacon(&mut self, _now: Time, _timeline: &crate::timeline::Timeline) {}
 }
 
 /// The do-nothing observer.
@@ -130,6 +159,26 @@ impl EngineObserver for TraceRecorder {
             msg.id
         ));
     }
+
+    fn on_corrupted_slot(&mut self, now: Time, dur: Dur) {
+        self.push(format!(
+            "t={now}: feedback corrupted — slot wasted [+{dur}]"
+        ));
+    }
+
+    fn on_backoff(&mut self, now: Time, dur: Dur) {
+        self.push(format!("t={now}: quiet backoff before re-probe [+{dur}]"));
+    }
+
+    fn on_round_abandoned(&mut self, now: Time) {
+        self.push(format!(
+            "t={now}: round abandoned after repeated corruption"
+        ));
+    }
+
+    fn on_reopen(&mut self, iv: Interval) {
+        self.push(format!("reopened {iv} (arrivals stranded by fault)"));
+    }
 }
 
 /// Fans one event stream out to two observers (e.g. a mirror plus a trace).
@@ -161,6 +210,26 @@ impl<'a, A: EngineObserver + ?Sized, B: EngineObserver + ?Sized> EngineObserver 
         self.a.on_sender_discard(msg, now);
         self.b.on_sender_discard(msg, now);
     }
+    fn on_corrupted_slot(&mut self, now: Time, dur: Dur) {
+        self.a.on_corrupted_slot(now, dur);
+        self.b.on_corrupted_slot(now, dur);
+    }
+    fn on_backoff(&mut self, now: Time, dur: Dur) {
+        self.a.on_backoff(now, dur);
+        self.b.on_backoff(now, dur);
+    }
+    fn on_round_abandoned(&mut self, now: Time) {
+        self.a.on_round_abandoned(now);
+        self.b.on_round_abandoned(now);
+    }
+    fn on_reopen(&mut self, iv: Interval) {
+        self.a.on_reopen(iv);
+        self.b.on_reopen(iv);
+    }
+    fn on_beacon(&mut self, now: Time, timeline: &crate::timeline::Timeline) {
+        self.a.on_beacon(now, timeline);
+        self.b.on_beacon(now, timeline);
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +249,12 @@ mod tests {
             Dur::from_ticks(1),
         );
         let msg = Message::new(MessageId(3), StationId(1), Time::from_ticks(2));
-        r.on_transmit(&msg, Time::from_ticks(5), Dur::from_ticks(3), Dur::from_ticks(3));
+        r.on_transmit(
+            &msg,
+            Time::from_ticks(5),
+            Dur::from_ticks(3),
+            Dur::from_ticks(3),
+        );
         assert_eq!(r.lines().len(), 3);
         assert!(r.text().contains("collision among 2"));
         assert!(r.text().contains("m3"));

@@ -1,0 +1,331 @@
+//! Fault-injection property tests.
+//!
+//! Three claims anchor the robustness subsystem:
+//!
+//! 1. **Identity** — installing [`FaultPlan::none`] leaves a run
+//!    bit-identical (trace, metrics, channel accounting, random streams)
+//!    to never touching the fault API at all;
+//! 2. **Invariant preservation** — the Theorem-1 FCFS order invariant and
+//!    the element-(4) age-discard bound survive nonzero fault rates;
+//! 3. **Consensus** — shared-feedback faults (which every station hears
+//!    identically) never break the mirror's shared-view property; only
+//!    per-station deafness does, and the divergence detector catches and
+//!    repairs exactly that case.
+//!
+//! Randomized cases draw from the deterministic `tcw_sim` [`Rng`] so every
+//! failure reproduces from its case index (the repository builds offline,
+//! without an external property-testing framework).
+
+use tcw_mac::{ChannelConfig, FaultPlan, Message};
+use tcw_sim::rng::Rng;
+use tcw_sim::time::{Dur, Time};
+use tcw_window::engine::{poisson_engine, Engine};
+use tcw_window::metrics::MeasureConfig;
+use tcw_window::mirror::{DivergenceDetector, StationMirror};
+use tcw_window::policy::ControlPolicy;
+use tcw_window::trace::{EngineObserver, NoopObserver, Tee, TraceRecorder};
+
+fn channel() -> ChannelConfig {
+    ChannelConfig {
+        ticks_per_tau: 4,
+        message_slots: 5,
+        guard: false,
+    }
+}
+
+fn measure(deadline_ticks: u64) -> MeasureConfig {
+    MeasureConfig {
+        start: Time::ZERO,
+        end: Time::from_ticks(u64::MAX / 2),
+        deadline: Dur::from_ticks(deadline_ticks),
+    }
+}
+
+/// A small random-but-reproducible fault plan with all classes active.
+fn random_plan(rng: &mut Rng) -> FaultPlan {
+    let p = 0.01 + rng.f64() * 0.07;
+    let mut plan = FaultPlan::uniform(p);
+    // Perturb the classes independently so cases differ in shape too.
+    plan.erasure = 0.01 + rng.f64() * 0.07;
+    plan.collision_to_success = 0.01 + rng.f64() * 0.05;
+    plan
+}
+
+/// Collects the delivery order (arrival instants of transmitted messages).
+#[derive(Default)]
+struct DeliveryOrder {
+    arrivals: Vec<Time>,
+}
+
+impl EngineObserver for DeliveryOrder {
+    fn on_transmit(&mut self, msg: &Message, _start: Time, _paper: Dur, _true_delay: Dur) {
+        self.arrivals.push(msg.arrival);
+    }
+}
+
+fn run_summary(eng: &Engine<tcw_mac::PoissonArrivals>) -> String {
+    format!(
+        "offered={} loss={} sender={} receiver={} paper_mean={} paper_max={} true_mean={} \
+         sched_mean={} idle={} coll={} succ={} erased={} quiet={} corrupted={} resyncs={} \
+         abandoned={} reopened={} fault_losses={} now={}",
+        eng.metrics.offered(),
+        eng.metrics.loss_fraction(),
+        eng.metrics.sender_lost(),
+        eng.metrics.receiver_lost(),
+        eng.metrics.paper_delay().mean(),
+        eng.metrics.paper_delay().max(),
+        eng.metrics.true_delay().mean(),
+        eng.metrics.sched_time().mean(),
+        eng.channel_stats.idle_slots,
+        eng.channel_stats.collision_slots,
+        eng.channel_stats.successes,
+        eng.channel_stats.erased_slots,
+        eng.channel_stats.quiet_periods,
+        eng.metrics.corrupted_slots(),
+        eng.metrics.resyncs(),
+        eng.metrics.rounds_abandoned(),
+        eng.metrics.reopened(),
+        eng.metrics.fault_losses(),
+        eng.now(),
+    )
+}
+
+/// 1. Installing `FaultPlan::none()` is byte-for-byte unobservable: the
+///    full event trace (every probe time, outcome, duration, delivery and
+///    per-message wait) and every metric match a run that never touched the
+///    fault API.
+#[test]
+fn none_plan_is_bit_identical() {
+    for case in 0..8u64 {
+        let seed = 0xFA01 ^ case;
+        let build = || {
+            poisson_engine(
+                channel(),
+                ControlPolicy::controlled(Dur::from_ticks(200), Dur::from_ticks(12)),
+                measure(200),
+                0.6,
+                20,
+                seed,
+            )
+        };
+        let mut base = build();
+        let mut base_trace = TraceRecorder::new(100_000);
+        base.run_until(Time::from_ticks(60_000), &mut base_trace);
+        base.drain(&mut base_trace);
+
+        let mut with_none = build();
+        with_none.set_fault_plan(FaultPlan::none());
+        let mut none_trace = TraceRecorder::new(100_000);
+        with_none.run_until(Time::from_ticks(60_000), &mut none_trace);
+        with_none.drain(&mut none_trace);
+
+        assert_eq!(
+            base_trace.text(),
+            none_trace.text(),
+            "trace diverged, case {case}"
+        );
+        assert_eq!(run_summary(&base), run_summary(&with_none), "case {case}");
+    }
+}
+
+/// 2a. Theorem-1 invariant: the FCFS (oldest-first) policy delivers in
+/// arrival order even when faults strand, reopen and retry messages.
+#[test]
+fn fcfs_order_survives_faults() {
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0xFA02 ^ case);
+        let plan = random_plan(&mut rng);
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::fcfs(Dur::from_ticks(12)),
+            measure(1_000_000),
+            0.5,
+            20,
+            0xBEEF ^ case,
+        );
+        eng.set_fault_plan(plan);
+        let mut order = DeliveryOrder::default();
+        eng.run_until(Time::from_ticks(60_000), &mut order);
+        eng.drain(&mut order);
+        assert!(order.arrivals.len() > 50, "case {case}: too few deliveries");
+        for w in order.arrivals.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "case {case}: FCFS order violated ({} delivered after {})",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// 2b. Element-(4) invariant: under the controlled policy no message is
+/// scheduled with waiting time beyond `K` plus bounded slack, no matter
+/// the fault rate. The slack allows one decision cycle of ageing; under
+/// faults a cycle additionally contains at most `max_retries` capped
+/// backoffs, which the bound absorbs.
+#[test]
+fn age_discard_survives_faults() {
+    let k = 200u64;
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0xFA03 ^ case);
+        let plan = random_plan(&mut rng);
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::controlled(Dur::from_ticks(k), Dur::from_ticks(12)),
+            measure(k),
+            0.7,
+            20,
+            0xCAFE ^ case,
+        );
+        eng.set_fault_plan(plan);
+        eng.run_until(Time::from_ticks(120_000), &mut NoopObserver);
+        eng.drain(&mut NoopObserver);
+        let ch = channel();
+        // One message slot (+ guard) per cycle, plus the worst-case quiet
+        // backoff ladder (1 + 2 + 4 + 8 capped slots with the default
+        // ResyncPolicy) and the corrupted slots that trigger it.
+        let slack = (ch.message_slots + 1 + 15 + 5) * ch.ticks_per_tau;
+        let max_paper = eng.metrics.paper_delay().max();
+        assert!(
+            max_paper <= (k + slack) as f64,
+            "case {case}: paper delay {max_paper} exceeds K + slack {}",
+            k + slack
+        );
+    }
+}
+
+/// 2c. Accounting stays conservative under faults: the run drains fully
+/// and every tick of channel time is attributed to exactly one category
+/// (idle, collision, success, erased or quiet backoff).
+#[test]
+fn conservation_and_drain_survive_faults() {
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0xFA04 ^ case);
+        let plan = random_plan(&mut rng);
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
+            measure(300),
+            0.6,
+            20,
+            0xD00D ^ case,
+        );
+        eng.set_fault_plan(plan);
+        eng.run_until(Time::from_ticks(60_000), &mut NoopObserver);
+        eng.drain(&mut NoopObserver);
+        assert_eq!(
+            eng.metrics.outstanding(),
+            0,
+            "case {case}: drain left messages"
+        );
+        assert_eq!(
+            eng.channel_stats.total().ticks(),
+            eng.now().ticks(),
+            "case {case}: channel time not conserved"
+        );
+        // The plan is nonzero: degradation must actually have happened.
+        assert!(
+            eng.metrics.corrupted_slots() + eng.metrics.erased_slots() > 0,
+            "case {case}: no faults materialized"
+        );
+        assert!(eng.metrics.resyncs() > 0, "case {case}: no resyncs");
+    }
+}
+
+/// 3a. Consensus survives shared-feedback faults: a listening station that
+/// hears every (possibly corrupted) slot tracks the engine with zero
+/// mismatches at any fault rate.
+#[test]
+fn mirror_consistent_under_shared_faults() {
+    for case in 0..8u64 {
+        let mut rng = Rng::new(0xFA05 ^ case);
+        let plan = random_plan(&mut rng);
+        let seed = 0xF00D ^ case;
+        let policy = ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12));
+        let mut mirror = StationMirror::new(policy.clone(), seed);
+        let mut eng = poisson_engine(channel(), policy, measure(300), 0.6, 20, seed);
+        eng.set_fault_plan(plan);
+        let mut noop = NoopObserver;
+        let mut tee = Tee {
+            a: &mut mirror,
+            b: &mut noop,
+        };
+        eng.run_until(Time::from_ticks(60_000), &mut tee);
+        mirror.assert_consistent();
+        assert!(mirror.decisions_checked() > 100, "case {case}");
+    }
+}
+
+/// 3b. Deafness breaks consensus, and the divergence detector both
+/// notices (at the next beacon) and repairs (by adopting the beaconed
+/// consensus timeline). A deaf-free detector never fires.
+#[test]
+fn detector_catches_and_repairs_deafness() {
+    let seed = 0xFADE;
+    let policy = ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12));
+    let mut plan = FaultPlan::uniform(0.02);
+    plan.deafness = 0.005;
+    plan.deaf_slots = 3;
+
+    let mut deaf = DivergenceDetector::new(policy.clone(), seed, 0, plan.deafness, plan.deaf_slots);
+    let mut eng = poisson_engine(channel(), policy.clone(), measure(300), 0.6, 20, seed);
+    eng.set_fault_plan(plan);
+    eng.run_until(Time::from_ticks(60_000), &mut deaf);
+    assert!(deaf.dropped_slots() > 0, "deafness never materialized");
+    assert!(deaf.divergences() > 0, "detector missed the divergence");
+    assert_eq!(
+        deaf.resyncs(),
+        deaf.divergences(),
+        "each divergence resyncs once"
+    );
+    assert!(deaf.first_divergence().is_some());
+    // Resync works: the mirror keeps tracking between deaf episodes, so
+    // mismatches stay far below the probe count.
+    assert!(
+        deaf.mirror().mismatch_count() < deaf.mirror().probes_observed() / 2,
+        "resync failed to restore tracking: {} mismatches over {} probes",
+        deaf.mirror().mismatch_count(),
+        deaf.mirror().probes_observed()
+    );
+
+    // Same configuration, hearing station: the detector stays silent.
+    let mut healthy = DivergenceDetector::new(policy.clone(), seed, 1, 0.0, 1);
+    let mut plan2 = FaultPlan::uniform(0.02);
+    plan2.deafness = 0.0;
+    let mut eng2 = poisson_engine(channel(), policy, measure(300), 0.6, 20, seed);
+    eng2.set_fault_plan(plan2);
+    eng2.run_until(Time::from_ticks(60_000), &mut healthy);
+    assert_eq!(
+        healthy.divergences(),
+        0,
+        "healthy station flagged a divergence"
+    );
+    assert_eq!(healthy.dropped_slots(), 0);
+}
+
+/// Fault runs are reproducible: the same seed and plan give identical
+/// results; different fault streams (same seed, different plan) differ.
+#[test]
+fn fault_runs_are_deterministic() {
+    let run = |plan: FaultPlan| {
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
+            measure(300),
+            0.6,
+            20,
+            99,
+        );
+        eng.set_fault_plan(plan);
+        let mut trace = TraceRecorder::new(50_000);
+        eng.run_until(Time::from_ticks(40_000), &mut trace);
+        eng.drain(&mut trace);
+        (run_summary(&eng), trace.text())
+    };
+    let a = run(FaultPlan::uniform(0.05));
+    let b = run(FaultPlan::uniform(0.05));
+    assert_eq!(a, b, "same plan, same seed must be identical");
+    let c = run(FaultPlan::uniform(0.02));
+    assert_ne!(a.0, c.0, "different plans should measurably differ");
+}

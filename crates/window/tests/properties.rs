@@ -1,6 +1,9 @@
 //! Property-based tests for the window-protocol crate.
+//!
+//! Randomized cases are drawn from the deterministic `tcw_sim` [`Rng`] so
+//! every failure reproduces from its case index (the repository builds
+//! offline, without an external property-testing framework).
 
-use proptest::prelude::*;
 use tcw_mac::{ChannelConfig, TraceArrivals};
 use tcw_sim::rng::Rng;
 use tcw_sim::time::{Dur, Time};
@@ -12,27 +15,29 @@ use tcw_window::pseudo::{PseudoInterval, PseudoMap};
 use tcw_window::timeline::Timeline;
 use tcw_window::trace::NoopObserver;
 
-/// Strategy: a set of disjoint marks inside [0, now).
-fn marks_strategy() -> impl Strategy<Value = (u64, Vec<(u64, u64)>)> {
-    (50u64..500).prop_flat_map(|now| {
-        let marks = proptest::collection::vec((0u64..500, 1u64..60), 0..12).prop_map(
-            move |raw| {
-                raw.into_iter()
-                    .filter_map(|(lo, len)| {
-                        let hi = (lo + len).min(now);
-                        (lo < hi).then_some((lo, hi))
-                    })
-                    .collect::<Vec<_>>()
-            },
-        );
-        (Just(now), marks)
-    })
+const CASES: u64 = 120;
+
+/// A clock value plus a set of random marks inside [0, now).
+fn marks(rng: &mut Rng) -> (u64, Vec<(u64, u64)>) {
+    let now = 50 + rng.below(450);
+    let n = rng.below(12) as usize;
+    let marks = (0..n)
+        .filter_map(|_| {
+            let lo = rng.below(500);
+            let len = 1 + rng.below(59);
+            let hi = (lo + len).min(now);
+            (lo < hi).then_some((lo, hi))
+        })
+        .collect();
+    (now, marks)
 }
 
-proptest! {
-    /// Examined and unexamined regions always partition [0, now).
-    #[test]
-    fn timeline_partitions_time((now, marks) in marks_strategy()) {
+/// Examined and unexamined regions always partition [0, now).
+#[test]
+fn timeline_partitions_time() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x71AE_0001 ^ case);
+        let (now, marks) = marks(&mut rng);
         let mut tl = Timeline::new();
         tl.advance(Time::from_ticks(now));
         for (lo, hi) in marks {
@@ -41,25 +46,29 @@ proptest! {
         let gaps = tl.unexamined();
         // gaps are sorted, disjoint, inside [0, now)
         for w in gaps.windows(2) {
-            prop_assert!(w[0].hi <= w[1].lo);
+            assert!(w[0].hi <= w[1].lo, "case {case}");
         }
         for g in &gaps {
-            prop_assert!(g.hi <= Time::from_ticks(now));
-            prop_assert!(!g.is_empty());
+            assert!(g.hi <= Time::from_ticks(now));
+            assert!(!g.is_empty());
         }
         // every instant is in exactly one side of the partition
         for t in 0..now {
             let t = Time::from_ticks(t);
             let in_gap = gaps.iter().any(|g| g.contains(t));
-            prop_assert_eq!(in_gap, !tl.is_examined(t));
+            assert_eq!(in_gap, !tl.is_examined(t), "case {case}");
         }
     }
+}
 
-    /// The pseudo map is a monotone contraction: pseudo_of is
-    /// non-decreasing and never maps a later instant earlier; pseudo
-    /// delay never exceeds actual delay (Lemma 1's engine).
-    #[test]
-    fn pseudo_map_is_monotone_contraction((now, marks) in marks_strategy()) {
+/// The pseudo map is a monotone contraction: pseudo_of is
+/// non-decreasing and never maps a later instant earlier; pseudo
+/// delay never exceeds actual delay (Lemma 1's engine).
+#[test]
+fn pseudo_map_is_monotone_contraction() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x71AE_0002 ^ case);
+        let (now, marks) = marks(&mut rng);
         let mut tl = Timeline::new();
         tl.advance(Time::from_ticks(now));
         for (lo, hi) in marks {
@@ -70,18 +79,24 @@ proptest! {
         for t in 0..=now {
             let t = Time::from_ticks(t);
             let p = pm.pseudo_of(t);
-            prop_assert!(p >= prev);
-            prop_assert!(p <= t.since_origin());
-            prop_assert!(pm.pseudo_delay(t) <= pm.actual_delay(t));
+            assert!(p >= prev, "case {case}");
+            assert!(p <= t.since_origin(), "case {case}");
+            assert!(pm.pseudo_delay(t) <= pm.actual_delay(t), "case {case}");
             prev = p;
         }
-        prop_assert_eq!(pm.backlog(), tl.unexamined_total());
+        assert_eq!(pm.backlog(), tl.unexamined_total(), "case {case}");
     }
+}
 
-    /// preimage() of any pseudo interval returns disjoint segments whose
-    /// total width equals the (clamped) pseudo width, all unexamined.
-    #[test]
-    fn preimage_is_exact((now, marks) in marks_strategy(), lo in 0u64..400, len in 1u64..100) {
+/// preimage() of any pseudo interval returns disjoint segments whose
+/// total width equals the (clamped) pseudo width, all unexamined.
+#[test]
+fn preimage_is_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x71AE_0003 ^ case);
+        let (now, marks) = marks(&mut rng);
+        let lo = rng.below(400);
+        let len = 1 + rng.below(99);
         let mut tl = Timeline::new();
         tl.advance(Time::from_ticks(now));
         for (a, b) in marks {
@@ -92,48 +107,69 @@ proptest! {
         let p = PseudoInterval::new(lo.min(backlog), (lo + len).min(backlog));
         let segs = pm.preimage(p);
         let total: u64 = segs.iter().map(|s| s.width().ticks()).sum();
-        prop_assert_eq!(total, p.width().min(backlog.saturating_sub(p.lo)));
+        assert_eq!(
+            total,
+            p.width().min(backlog.saturating_sub(p.lo)),
+            "case {case}"
+        );
         for w in segs.windows(2) {
-            prop_assert!(w[0].hi <= w[1].lo);
+            assert!(w[0].hi <= w[1].lo, "case {case}");
         }
         for s in &segs {
             for t in s.lo.ticks()..s.hi.ticks() {
-                prop_assert!(!tl.is_examined(Time::from_ticks(t)));
+                assert!(!tl.is_examined(Time::from_ticks(t)), "case {case}");
             }
         }
     }
+}
 
-    /// PseudoInterval::split covers the interval exactly.
-    #[test]
-    fn pseudo_split_partitions(lo in 0u64..1000, len in 2u64..1000) {
+/// PseudoInterval::split covers the interval exactly.
+#[test]
+fn pseudo_split_partitions() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x71AE_0004 ^ case);
+        let lo = rng.below(1000);
+        let len = 2 + rng.below(998);
         let p = PseudoInterval::new(lo, lo + len);
         let (a, b) = p.split().unwrap();
-        prop_assert_eq!(a.lo, p.lo);
-        prop_assert_eq!(b.hi, p.hi);
-        prop_assert_eq!(a.hi, b.lo);
-        prop_assert!(a.width() >= 1 && b.width() >= 1);
-        prop_assert!(a.width() <= b.width());
+        assert_eq!(a.lo, p.lo);
+        assert_eq!(b.hi, p.hi);
+        assert_eq!(a.hi, b.lo);
+        assert!(a.width() >= 1 && b.width() >= 1);
+        assert!(a.width() <= b.width());
     }
+}
 
-    /// Engine conservation: offered = transmitted + sender-discarded +
-    /// still-pending, for arbitrary arrival traces under every preset
-    /// discipline; after draining nothing is pending.
-    #[test]
-    fn engine_conserves_messages(
-        arrivals in proptest::collection::vec((0u64..4000, 0u32..8), 1..60),
-        policy_idx in 0usize..4,
-        seed in 0u64..1000,
-    ) {
+fn preset(idx: usize, k: Dur, w: Dur) -> ControlPolicy {
+    match idx {
+        0 => ControlPolicy::controlled(k, w),
+        1 => ControlPolicy::fcfs(w),
+        2 => ControlPolicy::lcfs(w),
+        _ => ControlPolicy::random(w),
+    }
+}
+
+/// Engine conservation: offered = transmitted + sender-discarded +
+/// still-pending, for arbitrary arrival traces under every preset
+/// discipline; after draining nothing is pending.
+#[test]
+fn engine_conserves_messages() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x71AE_0005 ^ case);
+        let n = 1 + rng.below(59) as usize;
+        let arrivals: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.below(4000), rng.below(8) as u32))
+            .collect();
+        let policy_idx = rng.below(4) as usize;
+        let seed = rng.below(1000);
         let k = Dur::from_ticks(400);
         let w = Dur::from_ticks(50);
-        let policy = match policy_idx {
-            0 => ControlPolicy::controlled(k, w),
-            1 => ControlPolicy::fcfs(w),
-            2 => ControlPolicy::lcfs(w),
-            _ => ControlPolicy::random(w),
+        let policy = preset(policy_idx, k, w);
+        let channel = ChannelConfig {
+            ticks_per_tau: 4,
+            message_slots: 5,
+            guard: false,
         };
-        let n = arrivals.len() as u64;
-        let channel = ChannelConfig { ticks_per_tau: 4, message_slots: 5, guard: false };
         let cfg = EngineConfig {
             channel,
             policy,
@@ -147,24 +183,33 @@ proptest! {
         let mut eng = Engine::new(cfg, TraceArrivals::from_ticks(&arrivals));
         eng.run_until(Time::from_ticks(5000), &mut NoopObserver);
         eng.drain(&mut NoopObserver);
-        prop_assert_eq!(eng.pending_count(), 0);
-        prop_assert_eq!(eng.metrics.outstanding(), 0);
-        prop_assert_eq!(eng.metrics.offered(), n);
+        assert_eq!(eng.pending_count(), 0, "case {case}");
+        assert_eq!(eng.metrics.outstanding(), 0, "case {case}");
+        assert_eq!(eng.metrics.offered(), n as u64, "case {case}");
         let resolved = eng.channel_stats.successes + eng.metrics.sender_lost();
-        prop_assert_eq!(resolved, n);
+        assert_eq!(resolved, n as u64, "case {case}");
     }
+}
 
-    /// Under the controlled policy the unexamined region is always one
-    /// contiguous interval (Theorem 1 / Lemma 2 corollary), for random
-    /// arrival traces.
-    #[test]
-    fn controlled_timeline_contiguous(
-        arrivals in proptest::collection::vec((0u64..3000, 0u32..6), 1..50),
-        seed in 0u64..100,
-    ) {
+/// Under the controlled policy the unexamined region is always one
+/// contiguous interval (Theorem 1 / Lemma 2 corollary), for random
+/// arrival traces.
+#[test]
+fn controlled_timeline_contiguous() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x71AE_0006 ^ case);
+        let n = 1 + rng.below(49) as usize;
+        let arrivals: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.below(3000), rng.below(6) as u32))
+            .collect();
+        let seed = rng.below(100);
         let k = Dur::from_ticks(300);
         let w = Dur::from_ticks(40);
-        let channel = ChannelConfig { ticks_per_tau: 4, message_slots: 5, guard: false };
+        let channel = ChannelConfig {
+            ticks_per_tau: 4,
+            message_slots: 5,
+            guard: false,
+        };
         let cfg = EngineConfig {
             channel,
             policy: ControlPolicy::controlled(k, w),
@@ -178,31 +223,30 @@ proptest! {
         let mut eng = Engine::new(cfg, TraceArrivals::from_ticks(&arrivals));
         for _ in 0..400 {
             eng.step(&mut NoopObserver);
-            prop_assert!(eng.timeline().is_contiguous());
+            assert!(eng.timeline().is_contiguous(), "case {case}");
         }
     }
+}
 
-    /// choose_window never exceeds the backlog and respects the length
-    /// rule, for all presets.
-    #[test]
-    fn window_choice_respects_bounds(
-        backlog in 1u64..5000,
-        w_len in 1u64..600,
-        policy_idx in 0usize..4,
-        seed in 0u64..50,
-    ) {
+/// choose_window never exceeds the backlog and respects the length
+/// rule, for all presets.
+#[test]
+fn window_choice_respects_bounds() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x71AE_0007 ^ case);
+        let backlog = 1 + rng.below(4999);
+        let w_len = 1 + rng.below(599);
+        let policy_idx = rng.below(4) as usize;
+        let seed = rng.below(50);
         let w = Dur::from_ticks(w_len);
         let k = Dur::from_ticks(10_000);
-        let policy = match policy_idx {
-            0 => ControlPolicy::controlled(k, w),
-            1 => ControlPolicy::fcfs(w),
-            2 => ControlPolicy::lcfs(w),
-            _ => ControlPolicy::random(w),
-        };
-        let mut rng = Rng::new(seed);
-        let win = policy.choose_window(Dur::from_ticks(backlog), &mut rng).unwrap();
-        prop_assert!(win.hi <= backlog);
-        prop_assert!(win.width() >= 1);
-        prop_assert!(win.width() <= w_len.max(1));
+        let policy = preset(policy_idx, k, w);
+        let mut prng = Rng::new(seed);
+        let win = policy
+            .choose_window(Dur::from_ticks(backlog), &mut prng)
+            .unwrap();
+        assert!(win.hi <= backlog, "case {case}");
+        assert!(win.width() >= 1, "case {case}");
+        assert!(win.width() <= w_len.max(1), "case {case}");
     }
 }
