@@ -1,0 +1,101 @@
+//! Engine-throughput snapshot under fault and churn injection.
+//!
+//! Measures protocol-engine probe slots per second at zero and nonzero
+//! fault/churn rates — the robustness subsystems promise bit-identity
+//! when disabled and bounded overhead when enabled, and this snapshot
+//! makes both costs visible. Besides the console report, the median
+//! rates are written to `BENCH_robustness.json` (flat JSON, no
+//! serialization dependency) so CI can archive the snapshot.
+
+use std::time::Instant;
+use tcw_mac::{ChannelConfig, ChurnPlan, FaultPlan, PoissonArrivals};
+use tcw_sim::time::{Dur, Time};
+use tcw_window::engine::{poisson_engine, Engine};
+use tcw_window::metrics::MeasureConfig;
+use tcw_window::policy::ControlPolicy;
+use tcw_window::trace::NoopObserver;
+
+const HORIZON_TICKS: u64 = 200_000;
+const SAMPLES: usize = 7;
+const STATIONS: u32 = 20;
+
+fn build() -> Engine<PoissonArrivals> {
+    let channel = ChannelConfig {
+        ticks_per_tau: 4,
+        message_slots: 5,
+        guard: false,
+    };
+    let measure = MeasureConfig {
+        start: Time::ZERO,
+        end: Time::from_ticks(u64::MAX / 2),
+        deadline: Dur::from_ticks(300),
+    };
+    poisson_engine(
+        channel,
+        ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
+        measure,
+        0.6,
+        STATIONS,
+        1983,
+    )
+}
+
+/// Runs one configuration to the horizon and returns the median probe
+/// slots per second across samples.
+fn steps_per_sec(plan: FaultPlan, churn: ChurnPlan) -> f64 {
+    let mut rates: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut eng = build();
+            eng.set_fault_plan(plan);
+            eng.set_churn_plan(churn, STATIONS);
+            let t0 = Instant::now();
+            eng.run_until(Time::from_ticks(HORIZON_TICKS), &mut NoopObserver);
+            eng.drain(&mut NoopObserver);
+            let elapsed = t0.elapsed().as_secs_f64();
+            let slots = eng.channel_stats.idle_slots
+                + eng.channel_stats.collision_slots
+                + eng.channel_stats.successes
+                + eng.channel_stats.erased_slots;
+            std::hint::black_box(eng.metrics.offered());
+            slots as f64 / elapsed
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
+
+fn main() {
+    let configs: [(&str, FaultPlan, ChurnPlan); 4] = [
+        ("clean", FaultPlan::none(), ChurnPlan::none()),
+        ("faults_p02", FaultPlan::uniform(0.02), ChurnPlan::none()),
+        (
+            "churn_c002",
+            FaultPlan::none(),
+            ChurnPlan::crash_restart(0.002, 40, 100),
+        ),
+        (
+            "faults_p02_churn_c002",
+            FaultPlan::uniform(0.02),
+            ChurnPlan::crash_restart(0.002, 40, 100),
+        ),
+    ];
+
+    let mut json = String::from("{\n");
+    for (i, (name, plan, churn)) in configs.iter().enumerate() {
+        let rate = steps_per_sec(*plan, *churn);
+        println!(
+            "robustness/engine_steps_per_sec_{name:<24} {rate:>14.0} slots/s ({SAMPLES} samples)"
+        );
+        json.push_str(&format!(
+            "  \"engine_steps_per_sec_{name}\": {:.0}{}\n",
+            rate,
+            if i + 1 == configs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("}\n");
+    // Cargo runs benches with the package directory as cwd; anchor the
+    // snapshot at the workspace root where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robustness.json");
+    std::fs::write(path, &json).expect("write BENCH_robustness.json");
+    println!("wrote BENCH_robustness.json");
+}

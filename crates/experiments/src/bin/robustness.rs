@@ -21,12 +21,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
-use tcw_experiments::replay::FailureRecord;
-use tcw_experiments::runner::{
-    simulate_panel_faulty, simulate_with_detector, FaultSimPoint, PolicyKind, SimSettings,
-};
+use tcw_experiments::replay::{execute, panic_message, replay, FailureRecord};
+use tcw_experiments::runner::{simulate_panel_faulty, FaultSimPoint, PolicyKind, SimSettings};
 use tcw_experiments::Panel;
-use tcw_mac::FaultPlan;
+use tcw_mac::{ChurnPlan, FaultPlan};
 
 const FAULT_PROBS: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
 const LOADS: [f64; 3] = [0.25, 0.50, 0.75];
@@ -40,58 +38,6 @@ fn settings() -> SimSettings {
         messages: 8_000,
         warmup: 800,
         ..Default::default()
-    }
-}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Executes the run a record describes and returns the observed
-/// `(kind, detail)` outcome — `("ok", summary)` when nothing failed.
-/// Deterministic: the same record always returns the same pair.
-fn execute(rec: &FailureRecord) -> (String, String) {
-    let run = || -> (String, String) {
-        if rec.plan.deafness > 0.0 {
-            let (point, det) = simulate_with_detector(
-                rec.panel,
-                rec.policy,
-                rec.k_tau,
-                rec.settings,
-                rec.seed,
-                rec.plan,
-            );
-            match det.first_divergence {
-                Some(first) => (
-                    "divergence".to_string(),
-                    format!(
-                        "station 0 diverged {} time(s) ({} slots missed, {} resyncs); first: {first}",
-                        det.divergences, det.dropped_slots, det.resyncs
-                    ),
-                ),
-                None => ("ok".to_string(), format!("loss={:.6}", point.point.loss)),
-            }
-        } else {
-            let p = simulate_panel_faulty(
-                rec.panel,
-                rec.policy,
-                rec.k_tau,
-                rec.settings,
-                rec.seed,
-                rec.plan,
-            );
-            ("ok".to_string(), format!("loss={:.6}", p.point.loss))
-        }
-    };
-    match catch_unwind(AssertUnwindSafe(run)) {
-        Ok(outcome) => outcome,
-        Err(payload) => ("panic".to_string(), panic_message(payload)),
     }
 }
 
@@ -115,37 +61,11 @@ fn guarded(rec: &FailureRecord, out_dir: &Path) -> Result<String, PathBuf> {
     Err(path)
 }
 
-fn replay(path: &Path) -> i32 {
-    let rec = match FailureRecord::load(path) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cannot load artifact: {e}");
-            return 2;
-        }
-    };
-    println!(
-        "replaying {} (kind={:?}, seed={}, plan={:?})",
-        path.display(),
-        rec.kind,
-        rec.seed,
-        rec.plan
-    );
-    let (kind, detail) = execute(&rec);
-    println!("recorded: [{}] {}", rec.kind, rec.detail);
-    println!("replayed: [{kind}] {detail}");
-    if kind == rec.kind && detail == rec.detail {
-        println!("replay reproduced the identical failure");
-        0
-    } else {
-        println!("REPLAY DIVERGED from the recorded failure");
-        1
-    }
-}
-
 fn base_record(rho_prime: f64, plan: FaultPlan) -> FailureRecord {
     FailureRecord {
         seed: SEED,
         plan,
+        churn: ChurnPlan::none(),
         panel: Panel { rho_prime, m: M },
         policy: PolicyKind::Controlled,
         k_tau: K_TAU,

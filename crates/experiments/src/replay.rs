@@ -1,23 +1,32 @@
 //! Deterministic failure-replay artifacts.
 //!
-//! When a fault-injected run panics, trips an invariant, or a divergence
-//! detector fires, the robustness harness serializes everything needed to
-//! reproduce the failure — master seed, [`FaultPlan`], workload and policy
-//! parameters, and the observed failure — into a small flat JSON file
-//! under `results/failures/`. Because every random choice in a run derives
-//! from the master seed, replaying the record re-executes the identical
-//! timeline and must reproduce the identical failure.
+//! When a fault- or churn-injected run panics, trips an invariant, or a
+//! divergence detector fires, the robustness harness serializes everything
+//! needed to reproduce the failure — master seed, [`FaultPlan`],
+//! [`ChurnPlan`], workload and policy parameters, and the observed failure
+//! — into a small flat JSON file under `results/failures/`. Because every
+//! random choice in a run derives from the master seed, replaying the
+//! record re-executes the identical timeline and must reproduce the
+//! identical failure.
 //!
 //! The format is deliberately flat (one JSON object, scalar values only)
 //! so it can be written and parsed without a serialization dependency.
+//! Each artifact is stamped with the workspace version that wrote it;
+//! loading a stale or corrupted artifact returns an error (the replay
+//! binaries exit with code 2) instead of silently replaying a different
+//! timeline.
 
 use crate::panels::Panel;
-use crate::runner::{PolicyKind, SimSettings};
+use crate::runner::{simulate_churn, simulate_churn_with_detector, PolicyKind, SimSettings};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use tcw_mac::FaultPlan;
+use tcw_mac::{ChurnPlan, FaultPlan};
+
+/// The workspace version stamped into every artifact.
+pub const ARTIFACT_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Everything needed to reproduce one failed run.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,6 +35,8 @@ pub struct FailureRecord {
     pub seed: u64,
     /// The injected fault plan.
     pub plan: FaultPlan,
+    /// The injected churn plan (membership dynamics).
+    pub churn: ChurnPlan,
     /// Workload panel.
     pub panel: Panel,
     /// Protocol variant.
@@ -88,6 +99,7 @@ impl FailureRecord {
         let mut field = |key: &str, value: String| {
             out.push_str(&format!("  \"{key}\": {value},\n"));
         };
+        field("version", format!("\"{ARTIFACT_VERSION}\""));
         field("seed", self.seed.to_string());
         field(
             "success_to_collision",
@@ -102,6 +114,18 @@ impl FailureRecord {
         field("erasure", fmt_f64(self.plan.erasure));
         field("deafness", fmt_f64(self.plan.deafness));
         field("deaf_slots", self.plan.deaf_slots.to_string());
+        field("crash", fmt_f64(self.churn.crash));
+        field("down_slots", self.churn.down_slots.to_string());
+        field("late_join_frac", fmt_f64(self.churn.late_join_frac));
+        field("join_slot", self.churn.join_slot.to_string());
+        field("leave_frac", fmt_f64(self.churn.leave_frac));
+        field("leave_slot", self.churn.leave_slot.to_string());
+        field("catch_up_slots", self.churn.catch_up_slots.to_string());
+        field(
+            "outage_start_slot",
+            self.churn.outage_start_slot.to_string(),
+        );
+        field("outage_slots", self.churn.outage_slots.to_string());
         field("rho_prime", fmt_f64(self.panel.rho_prime));
         field("m", self.panel.m.to_string());
         field("policy", format!("\"{}\"", self.policy.label()));
@@ -120,6 +144,11 @@ impl FailureRecord {
     }
 
     /// Parses a record previously written by [`FailureRecord::to_json`].
+    ///
+    /// Rejects artifacts missing a version stamp, stamped by a different
+    /// workspace version, or carrying out-of-range plan parameters — a
+    /// stale or corrupted artifact would replay a *different* timeline and
+    /// report a spurious divergence.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let fields = parse_flat(text)?;
         let num = |key: &str| -> Result<f64, String> {
@@ -137,6 +166,21 @@ impl FailureRecord {
                     .ok_or_else(|| format!("missing field {key:?}"))?,
             ))
         };
+        match fields.get("version").map(String::as_str) {
+            None => {
+                return Err(format!(
+                    "artifact has no version stamp (predates {ARTIFACT_VERSION}); \
+                     regenerate it with the current binaries"
+                ))
+            }
+            Some(v) if v != ARTIFACT_VERSION => {
+                return Err(format!(
+                    "artifact was written by version {v}, this binary is \
+                     {ARTIFACT_VERSION}; regenerate it with the current binaries"
+                ))
+            }
+            Some(_) => {}
+        }
         let policy = match string("policy")?.as_str() {
             "controlled" => PolicyKind::Controlled,
             "fcfs" => PolicyKind::Fcfs,
@@ -144,17 +188,35 @@ impl FailureRecord {
             "random" => PolicyKind::Random,
             other => return Err(format!("unknown policy {other:?}")),
         };
+        let plan = FaultPlan {
+            success_to_collision: num("success_to_collision")?,
+            collision_to_success: num("collision_to_success")?,
+            collision_to_idle: num("collision_to_idle")?,
+            idle_to_collision: num("idle_to_collision")?,
+            erasure: num("erasure")?,
+            deafness: num("deafness")?,
+            deaf_slots: int("deaf_slots")?,
+        };
+        plan.check()
+            .map_err(|e| format!("corrupted fault plan: {e}"))?;
+        let churn = ChurnPlan {
+            crash: num("crash")?,
+            down_slots: int("down_slots")?,
+            late_join_frac: num("late_join_frac")?,
+            join_slot: int("join_slot")?,
+            leave_frac: num("leave_frac")?,
+            leave_slot: int("leave_slot")?,
+            catch_up_slots: int("catch_up_slots")?,
+            outage_start_slot: int("outage_start_slot")?,
+            outage_slots: int("outage_slots")?,
+        };
+        churn
+            .check()
+            .map_err(|e| format!("corrupted churn plan: {e}"))?;
         Ok(FailureRecord {
             seed: int("seed")?,
-            plan: FaultPlan {
-                success_to_collision: num("success_to_collision")?,
-                collision_to_success: num("collision_to_success")?,
-                collision_to_idle: num("collision_to_idle")?,
-                idle_to_collision: num("idle_to_collision")?,
-                erasure: num("erasure")?,
-                deafness: num("deafness")?,
-                deaf_slots: int("deaf_slots")?,
-            },
+            plan,
+            churn,
             panel: Panel {
                 rho_prime: num("rho_prime")?,
                 m: int("m")?,
@@ -185,6 +247,97 @@ impl FailureRecord {
     pub fn load(path: &Path) -> Result<Self, String> {
         let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::from_json(&text)
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes the run a record describes and returns the observed
+/// `(kind, detail)` outcome — `("ok", summary)` when nothing failed.
+/// Deterministic: the same record always returns the same pair.
+///
+/// A per-station divergence detector rides along whenever the record
+/// injects receive deafness or a churn listener outage; a detected
+/// divergence is itself a reportable failure.
+pub fn execute(rec: &FailureRecord) -> (String, String) {
+    let run = || -> (String, String) {
+        if rec.plan.deafness > 0.0 || rec.churn.outage_slots > 0 {
+            let (point, det) = simulate_churn_with_detector(
+                rec.panel,
+                rec.policy,
+                rec.k_tau,
+                rec.settings,
+                rec.seed,
+                rec.plan,
+                rec.churn,
+            );
+            match det.first_divergence {
+                Some(first) => (
+                    "divergence".to_string(),
+                    format!(
+                        "station 0 diverged {} time(s) ({} slots missed, {} resyncs, {} churn repair(s)); first: {first}",
+                        det.divergences, det.dropped_slots, det.resyncs, det.churn_repairs
+                    ),
+                ),
+                None => ("ok".to_string(), format!("loss={:.6}", point.point.loss)),
+            }
+        } else {
+            let p = simulate_churn(
+                rec.panel,
+                rec.policy,
+                rec.k_tau,
+                rec.settings,
+                rec.seed,
+                rec.plan,
+                rec.churn,
+            );
+            ("ok".to_string(), format!("loss={:.6}", p.point.loss))
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(outcome) => outcome,
+        Err(payload) => ("panic".to_string(), panic_message(payload)),
+    }
+}
+
+/// Replays an artifact and returns the process exit code: `2` when the
+/// artifact cannot be loaded (missing, stale version, or corrupted), `1`
+/// when the replay did not reproduce the recorded failure, `0` when it
+/// did.
+pub fn replay(path: &Path) -> i32 {
+    let rec = match FailureRecord::load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot load artifact: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "replaying {} (kind={:?}, seed={}, plan={:?}, churn={:?})",
+        path.display(),
+        rec.kind,
+        rec.seed,
+        rec.plan,
+        rec.churn
+    );
+    let (kind, detail) = execute(&rec);
+    println!("recorded: [{}] {}", rec.kind, rec.detail);
+    println!("replayed: [{kind}] {detail}");
+    if kind == rec.kind && detail == rec.detail {
+        println!("replay reproduced the identical failure");
+        0
+    } else {
+        println!("REPLAY DIVERGED from the recorded failure");
+        1
     }
 }
 
@@ -274,6 +427,12 @@ mod tests {
                 deafness: 0.01,
                 deaf_slots: 3,
             },
+            churn: ChurnPlan {
+                crash: 0.001,
+                down_slots: 40,
+                catch_up_slots: 100,
+                ..ChurnPlan::none()
+            },
             panel: Panel {
                 rho_prime: 0.5,
                 m: 25,
@@ -291,6 +450,40 @@ mod tests {
         let r = record();
         let parsed = FailureRecord::from_json(&r.to_json()).expect("parse");
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_missing_version() {
+        let json = record().to_json().replace("\"version\"", "\"vversion\"");
+        let err = FailureRecord::from_json(&json).unwrap_err();
+        assert!(err.contains("no version stamp"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_stale_version() {
+        let stamp = format!("\"version\": \"{ARTIFACT_VERSION}\"");
+        let json = record()
+            .to_json()
+            .replace(&stamp, "\"version\": \"0.0.0-stale\"");
+        let err = FailureRecord::from_json(&json).unwrap_err();
+        assert!(
+            err.contains("0.0.0-stale") && err.contains(ARTIFACT_VERSION),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_corrupted_plans() {
+        let json = record()
+            .to_json()
+            .replace("\"erasure\": 0.05", "\"erasure\": 7.0");
+        let err = FailureRecord::from_json(&json).unwrap_err();
+        assert!(err.contains("corrupted fault plan"), "{err}");
+        let json = record()
+            .to_json()
+            .replace("\"crash\": 0.001", "\"crash\": -1.0");
+        let err = FailureRecord::from_json(&json).unwrap_err();
+        assert!(err.contains("corrupted churn plan"), "{err}");
     }
 
     #[test]

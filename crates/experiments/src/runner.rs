@@ -1,7 +1,7 @@
 //! Protocol-simulation runners for the Figure-7 panels.
 
 use crate::panels::Panel;
-use tcw_mac::{ChannelConfig, FaultPlan, PoissonArrivals};
+use tcw_mac::{ChannelConfig, ChurnPlan, FaultPlan, PoissonArrivals};
 use tcw_sim::time::{Dur, Time};
 use tcw_window::analysis::optimal_mu;
 use tcw_window::engine::{poisson_engine, Engine};
@@ -110,6 +110,43 @@ pub struct FaultSimPoint {
     pub faults: FaultCounters,
 }
 
+/// Membership and recovery counters of one churn-enabled run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChurnCounters {
+    /// Station crashes.
+    pub crashes: u64,
+    /// Station restarts (every crash eventually restarts).
+    pub restarts: u64,
+    /// Late joins.
+    pub joins: u64,
+    /// Permanent leaves.
+    pub leaves: u64,
+    /// Arrivals refused because the station was down.
+    pub blocked: u64,
+    /// Counted messages lost to a crash or leave (as opposed to the K
+    /// deadline).
+    pub losses: u64,
+    /// Examined intervals reopened to recover a rejoining station's
+    /// backlog.
+    pub reopened: u64,
+    /// Mean rejoin latency (probe slots from restart to the recovery
+    /// beacon); `NaN` when no station rejoined.
+    pub rejoin_mean_slots: f64,
+    /// Worst rejoin latency in probe slots (0 when no station rejoined).
+    pub rejoin_max_slots: f64,
+}
+
+/// A [`FaultSimPoint`] together with the churn counters of the run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnSimPoint {
+    /// The conventional measurements.
+    pub point: SimPoint,
+    /// Fault/degradation counters.
+    pub faults: FaultCounters,
+    /// Membership/recovery counters.
+    pub churn: ChurnCounters,
+}
+
 /// Builds the engine for one panel point; returns it with the run horizon
 /// and the policy (so observers needing the shared policy/seed can be
 /// constructed alongside).
@@ -206,6 +243,26 @@ fn collect_faults(eng: &Engine<PoissonArrivals>) -> FaultCounters {
     }
 }
 
+fn collect_churn(eng: &Engine<PoissonArrivals>) -> ChurnCounters {
+    let process = eng.churn();
+    let rejoin = eng.metrics.rejoin_latency();
+    ChurnCounters {
+        crashes: process.crashes(),
+        restarts: process.restarts(),
+        joins: process.joins(),
+        leaves: process.leaves(),
+        blocked: eng.metrics.churn_blocked(),
+        losses: eng.metrics.churn_losses(),
+        reopened: eng.metrics.churn_reopened(),
+        rejoin_mean_slots: rejoin.mean(),
+        rejoin_max_slots: if rejoin.count() == 0 {
+            0.0
+        } else {
+            rejoin.max()
+        },
+    }
+}
+
 /// Runs one protocol simulation at deadline `k_tau` (units of `tau`) and
 /// returns the measured point.
 ///
@@ -233,13 +290,35 @@ pub fn simulate_panel_faulty(
     seed: u64,
     plan: FaultPlan,
 ) -> FaultSimPoint {
+    // With ChurnPlan::none() this is bit-identical to a churn-free build.
+    let p = simulate_churn(panel, kind, k_tau, settings, seed, plan, ChurnPlan::none());
+    FaultSimPoint {
+        point: p.point,
+        faults: p.faults,
+    }
+}
+
+/// Runs one panel point with both a [`FaultPlan`] and a [`ChurnPlan`]
+/// (stations crash, restart, join late and leave while the protocol
+/// runs).
+pub fn simulate_churn(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+    plan: FaultPlan,
+    churn: ChurnPlan,
+) -> ChurnSimPoint {
     let (mut eng, horizon, _policy) = build_engine(panel, kind, k_tau, settings, seed);
     eng.set_fault_plan(plan);
+    eng.set_churn_plan(churn, settings.stations);
     eng.run_until(horizon, &mut NoopObserver);
     eng.drain(&mut NoopObserver);
-    FaultSimPoint {
+    ChurnSimPoint {
         point: collect_point(&eng, k_tau, settings),
         faults: collect_faults(&eng),
+        churn: collect_churn(&eng),
     }
 }
 
@@ -251,8 +330,10 @@ pub struct DetectorReport {
     pub divergences: u64,
     /// Resynchronizations performed.
     pub resyncs: u64,
-    /// Channel slots the deaf station missed.
+    /// Channel slots the deaf (or down) station missed.
     pub dropped_slots: u64,
+    /// Resyncs attributable to a churn outage (cold rejoins).
+    pub churn_repairs: u64,
     /// Description of the first divergence, if any.
     pub first_divergence: Option<String>,
 }
@@ -268,21 +349,49 @@ pub fn simulate_with_detector(
     seed: u64,
     plan: FaultPlan,
 ) -> (FaultSimPoint, DetectorReport) {
+    let (p, report) =
+        simulate_churn_with_detector(panel, kind, k_tau, settings, seed, plan, ChurnPlan::none());
+    (
+        FaultSimPoint {
+            point: p.point,
+            faults: p.faults,
+        },
+        report,
+    )
+}
+
+/// Runs one panel point with fault and churn plans while listening
+/// station 0 tracks the run through a [`DivergenceDetector`] configured
+/// with the plan's deafness parameters and the churn plan's listener
+/// outage span.
+pub fn simulate_churn_with_detector(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+    plan: FaultPlan,
+    churn: ChurnPlan,
+) -> (ChurnSimPoint, DetectorReport) {
     let (mut eng, horizon, policy) = build_engine(panel, kind, k_tau, settings, seed);
     eng.set_fault_plan(plan);
-    let mut det = DivergenceDetector::new(policy, seed, 0, plan.deafness, plan.deaf_slots);
+    eng.set_churn_plan(churn, settings.stations);
+    let mut det = DivergenceDetector::new(policy, seed, 0, plan.deafness, plan.deaf_slots)
+        .with_outage(churn.outage_start_slot, churn.outage_slots);
     eng.run_until(horizon, &mut det);
     eng.drain(&mut det);
     let report = DetectorReport {
         divergences: det.divergences(),
         resyncs: det.resyncs(),
         dropped_slots: det.dropped_slots(),
+        churn_repairs: det.churn_repairs(),
         first_divergence: det.first_divergence().map(|s| s.to_string()),
     };
     (
-        FaultSimPoint {
+        ChurnSimPoint {
             point: collect_point(&eng, k_tau, settings),
             faults: collect_faults(&eng),
+            churn: collect_churn(&eng),
         },
         report,
     )

@@ -1,0 +1,474 @@
+//! Deterministic station churn: dynamic membership for the station
+//! population.
+//!
+//! The paper assumes a fixed population of stations that hear every slot
+//! forever. [`ChurnPlan`] breaks that assumption in controlled,
+//! reproducible ways:
+//!
+//! * **crash/restart** — a live station crashes with a per-probe-slot
+//!   probability and is silent for a fixed outage length, then restarts
+//!   cold (it must re-acquire protocol state from the next decision-point
+//!   beacon);
+//! * **late join** — a fraction of the population does not exist until a
+//!   scheduled slot;
+//! * **scheduled leave** — a fraction of the population departs
+//!   permanently at a scheduled slot, abandoning its backlog;
+//! * **listener outage** — a scheduled deaf window for one *monitored*
+//!   station; this field is consumed by the divergence detector in
+//!   `tcw-window`, not by the shared membership process, because an outage
+//!   is private to the listening station.
+//!
+//! All randomness comes from a dedicated tagged RNG stream passed in by
+//! the caller, so churn sequences are reproducible from the run seed and
+//! independent of every other random stream. With [`ChurnPlan::none`] the
+//! process draws **nothing** from that stream and every station is
+//! permanently up — bit-identical to a static-population build.
+//!
+//! The process is clocked in *probe slots*: the engine steps it once per
+//! channel probe, the only unit of time every surviving station can count
+//! by listening.
+
+use crate::message::{Message, StationId};
+use tcw_sim::rng::Rng;
+
+/// Per-station membership dynamics. All values are flat scalars so a plan
+/// embeds directly in the flat-JSON failure-replay artifacts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnPlan {
+    /// P(per probe slot) that a live station crashes.
+    pub crash: f64,
+    /// How many probe slots a crashed station stays down before
+    /// restarting.
+    pub down_slots: u64,
+    /// Fraction of the population (highest station indices) absent until
+    /// [`ChurnPlan::join_slot`].
+    pub late_join_frac: f64,
+    /// Probe slot at which late joiners come up.
+    pub join_slot: u64,
+    /// Fraction of the population (lowest station indices) that leaves
+    /// permanently at [`ChurnPlan::leave_slot`].
+    pub leave_frac: f64,
+    /// Probe slot at which leavers depart.
+    pub leave_slot: u64,
+    /// Rejoin catch-up bound, in units of `tau`: at its first decision
+    /// point back, a restarted station recovers only backlog younger than
+    /// this; older stranded messages are dropped (counted as churn loss).
+    pub catch_up_slots: u64,
+    /// First slot of the monitored listener's scheduled outage (consumed
+    /// by the divergence detector, not the shared membership process).
+    pub outage_start_slot: u64,
+    /// Length of the monitored listener's outage in heard slots; zero
+    /// disables the outage.
+    pub outage_slots: u64,
+}
+
+impl ChurnPlan {
+    /// The churn-free plan: every station is permanently up and the
+    /// process draws nothing from its RNG stream.
+    pub fn none() -> Self {
+        ChurnPlan {
+            crash: 0.0,
+            down_slots: 0,
+            late_join_frac: 0.0,
+            join_slot: 0,
+            leave_frac: 0.0,
+            leave_slot: 0,
+            catch_up_slots: 0,
+            outage_start_slot: 0,
+            outage_slots: 0,
+        }
+    }
+
+    /// A crash/restart-only plan: stations crash at `crash` per probe
+    /// slot, stay down `down_slots`, and recover backlog younger than
+    /// `catch_up_slots` tau when they rejoin.
+    pub fn crash_restart(crash: f64, down_slots: u64, catch_up_slots: u64) -> Self {
+        ChurnPlan {
+            crash,
+            down_slots,
+            catch_up_slots,
+            ..ChurnPlan::none()
+        }
+    }
+
+    /// Whether this plan changes the shared membership process at all
+    /// (the listener outage is private to the monitored station and does
+    /// not count).
+    pub fn is_none(&self) -> bool {
+        self.crash == 0.0 && self.late_join_frac == 0.0 && self.leave_frac == 0.0
+    }
+
+    /// Non-panicking validation, used when parsing replay artifacts so a
+    /// corrupted file degrades to an error instead of aborting.
+    pub fn check(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("crash", self.crash),
+            ("late_join_frac", self.late_join_frac),
+            ("leave_frac", self.leave_frac),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
+        }
+        if self.crash > 0.0 && self.down_slots == 0 {
+            return Err("crash > 0 requires down_slots >= 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Checks plan sanity.
+    ///
+    /// # Panics
+    /// Panics with a description of the offending field on violation.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("invalid churn plan: {e}");
+        }
+    }
+}
+
+impl Default for ChurnPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A membership transition of one station.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The station crashed: it stops hearing the channel and its backlog
+    /// is stranded until it restarts (or ages out).
+    Crash(StationId),
+    /// The station restarted cold; it re-acquires protocol state from the
+    /// next decision-point beacon.
+    Restart(StationId),
+    /// A late joiner came up for the first time.
+    Join(StationId),
+    /// The station left permanently, abandoning its backlog.
+    Leave(StationId),
+}
+
+impl ChurnEvent {
+    /// The station the event concerns.
+    pub fn station(&self) -> StationId {
+        match self {
+            ChurnEvent::Crash(s)
+            | ChurnEvent::Restart(s)
+            | ChurnEvent::Join(s)
+            | ChurnEvent::Leave(s) => *s,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MemberState {
+    Up,
+    Down { remaining: u64 },
+    Absent,
+    Left,
+}
+
+/// The membership state machine, stepped once per channel probe slot.
+#[derive(Clone, Debug)]
+pub struct ChurnProcess {
+    plan: ChurnPlan,
+    rng: Rng,
+    state: Vec<MemberState>,
+    /// Slot at which each station leaves permanently (`u64::MAX` = never).
+    leave_at: Vec<u64>,
+    slot: u64,
+    crashes: u64,
+    restarts: u64,
+    joins: u64,
+    leaves: u64,
+}
+
+impl ChurnProcess {
+    /// Creates a membership process over `stations` stations. `rng` must
+    /// be a dedicated substream (the engine forks it as `"churn"` from the
+    /// master seed). With a [`ChurnPlan::none`] plan the stream is never
+    /// touched.
+    pub fn new(plan: ChurnPlan, stations: u32, rng: Rng) -> Self {
+        plan.validate();
+        let n = stations as usize;
+        let joiners = if plan.late_join_frac > 0.0 {
+            ((plan.late_join_frac * n as f64).ceil() as usize).min(n)
+        } else {
+            0
+        };
+        let leavers = if plan.leave_frac > 0.0 {
+            ((plan.leave_frac * n as f64).ceil() as usize).min(n)
+        } else {
+            0
+        };
+        let mut state = vec![MemberState::Up; n];
+        // Late joiners occupy the highest indices, leavers the lowest, so
+        // the two sets only overlap when the fractions sum past 1.
+        for s in state.iter_mut().skip(n - joiners) {
+            *s = MemberState::Absent;
+        }
+        let mut leave_at = vec![u64::MAX; n];
+        for l in leave_at.iter_mut().take(leavers) {
+            *l = plan.leave_slot;
+        }
+        ChurnProcess {
+            plan,
+            rng,
+            state,
+            leave_at,
+            slot: 0,
+            crashes: 0,
+            restarts: 0,
+            joins: 0,
+            leaves: 0,
+        }
+    }
+
+    /// A process with no stations and no plan (the engine default before
+    /// [`ChurnProcess::new`] replaces it).
+    pub fn disabled(rng: Rng) -> Self {
+        Self::new(ChurnPlan::none(), 0, rng)
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &ChurnPlan {
+        &self.plan
+    }
+
+    /// A clone of the current RNG stream position. The engine uses this
+    /// to rebuild the process when a plan is installed before a run
+    /// starts (the stream is untouched until the first crash draw, so the
+    /// clone is exactly the original `"churn"` fork).
+    pub fn stream(&self) -> Rng {
+        self.rng.clone()
+    }
+
+    /// Probe slots stepped so far.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Crashes so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Late joins so far.
+    pub fn joins(&self) -> u64 {
+        self.joins
+    }
+
+    /// Permanent leaves so far.
+    pub fn leaves(&self) -> u64 {
+        self.leaves
+    }
+
+    /// Whether the station currently hears the channel and may transmit.
+    /// Stations beyond the modelled population are always up.
+    pub fn is_up(&self, station: StationId) -> bool {
+        match self.state.get(station.0 as usize) {
+            Some(s) => matches!(s, MemberState::Up),
+            None => true,
+        }
+    }
+
+    /// Whether the station still exists (it may be down, but has not left
+    /// permanently). Messages of present stations stay resolvable;
+    /// messages of departed stations never will be.
+    pub fn is_present(&self, station: StationId) -> bool {
+        match self.state.get(station.0 as usize) {
+            Some(s) => !matches!(s, MemberState::Left),
+            None => true,
+        }
+    }
+
+    /// Drops messages whose sender cannot currently transmit.
+    pub fn retain_up(&self, msgs: &mut Vec<Message>) {
+        msgs.retain(|m| self.is_up(m.station));
+    }
+
+    /// Advances the membership process one probe slot, appending any
+    /// transitions to `events`. With [`ChurnPlan::none`] this only
+    /// advances the slot counter and draws nothing from the RNG.
+    pub fn step(&mut self, events: &mut Vec<ChurnEvent>) {
+        self.slot += 1;
+        if self.plan.is_none() {
+            return;
+        }
+        let slot = self.slot;
+        // Scheduled membership first: joins and permanent leaves happen at
+        // exact slots, independent of the crash process.
+        for i in 0..self.state.len() {
+            let id = StationId(i as u32);
+            if self.state[i] == MemberState::Absent && slot >= self.plan.join_slot {
+                self.state[i] = MemberState::Up;
+                self.joins += 1;
+                events.push(ChurnEvent::Join(id));
+            }
+            if self.leave_at[i] <= slot && self.state[i] != MemberState::Left {
+                self.state[i] = MemberState::Left;
+                self.leaves += 1;
+                events.push(ChurnEvent::Leave(id));
+            }
+        }
+        // Crash/restart dynamics: exactly one RNG draw per live station
+        // per slot (when crash > 0), in station order, so the stream is
+        // reproducible regardless of what the protocol is doing.
+        for i in 0..self.state.len() {
+            match self.state[i] {
+                MemberState::Up => {
+                    if self.plan.crash > 0.0 && self.rng.chance(self.plan.crash) {
+                        self.state[i] = MemberState::Down {
+                            remaining: self.plan.down_slots,
+                        };
+                        self.crashes += 1;
+                        events.push(ChurnEvent::Crash(StationId(i as u32)));
+                    }
+                }
+                MemberState::Down { remaining } => {
+                    if remaining <= 1 {
+                        self.state[i] = MemberState::Up;
+                        self.restarts += 1;
+                        events.push(ChurnEvent::Restart(StationId(i as u32)));
+                    } else {
+                        self.state[i] = MemberState::Down {
+                            remaining: remaining - 1,
+                        };
+                    }
+                }
+                MemberState::Absent | MemberState::Left => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_draws_nothing_and_everyone_is_up() {
+        let mut p = ChurnProcess::new(ChurnPlan::none(), 10, Rng::new(7));
+        let mut witness = Rng::new(7);
+        let mut events = Vec::new();
+        for _ in 0..1_000 {
+            p.step(&mut events);
+        }
+        assert!(events.is_empty());
+        assert_eq!(p.slot(), 1_000);
+        for i in 0..10 {
+            assert!(p.is_up(StationId(i)));
+            assert!(p.is_present(StationId(i)));
+        }
+        assert_eq!(p.rng.next_u64(), witness.next_u64());
+    }
+
+    #[test]
+    fn crash_and_restart_cycle_is_deterministic() {
+        let mk = || ChurnProcess::new(ChurnPlan::crash_restart(0.01, 5, 100), 20, Rng::new(3));
+        let mut a = mk();
+        let mut b = mk();
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        for _ in 0..5_000 {
+            a.step(&mut ea);
+            b.step(&mut eb);
+        }
+        assert_eq!(ea, eb);
+        assert!(a.crashes() > 0, "no crashes at p=0.01 over 5000 slots");
+        // Every crash either restarted or is still inside its outage.
+        assert!(a.restarts() <= a.crashes());
+        assert!(a.crashes() - a.restarts() <= 20);
+    }
+
+    #[test]
+    fn down_station_restarts_after_exact_outage() {
+        // Force a crash on the first slot, then count slots until restart.
+        let plan = ChurnPlan::crash_restart(1.0, 4, 100);
+        let mut p = ChurnProcess::new(plan, 1, Rng::new(1));
+        let mut events = Vec::new();
+        p.step(&mut events);
+        assert_eq!(events, vec![ChurnEvent::Crash(StationId(0))]);
+        assert!(!p.is_up(StationId(0)));
+        assert!(p.is_present(StationId(0)));
+        events.clear();
+        // down_slots = 4: the station is down for slots 2..=4 and restarts
+        // on the 4th step after the crash.
+        for _ in 0..3 {
+            p.step(&mut events);
+            assert!(!p.is_up(StationId(0)));
+        }
+        p.step(&mut events);
+        assert!(events.contains(&ChurnEvent::Restart(StationId(0))));
+        assert!(p.is_up(StationId(0)));
+    }
+
+    #[test]
+    fn late_join_and_leave_fire_at_scheduled_slots() {
+        let plan = ChurnPlan {
+            late_join_frac: 0.2,
+            join_slot: 10,
+            leave_frac: 0.1,
+            leave_slot: 20,
+            ..ChurnPlan::none()
+        };
+        let mut p = ChurnProcess::new(plan, 10, Rng::new(2));
+        // Two joiners (highest indices), one leaver (lowest index).
+        assert!(!p.is_up(StationId(8)));
+        assert!(!p.is_up(StationId(9)));
+        assert!(p.is_up(StationId(0)));
+        let mut events = Vec::new();
+        for _ in 0..9 {
+            p.step(&mut events);
+        }
+        assert!(events.is_empty());
+        p.step(&mut events);
+        assert_eq!(
+            events,
+            vec![
+                ChurnEvent::Join(StationId(8)),
+                ChurnEvent::Join(StationId(9))
+            ]
+        );
+        assert!(p.is_up(StationId(9)));
+        events.clear();
+        for _ in 0..10 {
+            p.step(&mut events);
+        }
+        assert_eq!(events, vec![ChurnEvent::Leave(StationId(0))]);
+        assert!(!p.is_up(StationId(0)));
+        assert!(!p.is_present(StationId(0)));
+        assert_eq!(p.joins(), 2);
+        assert_eq!(p.leaves(), 1);
+    }
+
+    #[test]
+    fn out_of_range_stations_are_always_up() {
+        let p = ChurnProcess::new(ChurnPlan::crash_restart(1.0, 2, 10), 2, Rng::new(5));
+        assert!(p.is_up(StationId(99)));
+        assert!(p.is_present(StationId(99)));
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(ChurnPlan {
+            crash: 1.5,
+            ..ChurnPlan::none()
+        }
+        .check()
+        .is_err());
+        assert!(ChurnPlan {
+            crash: 0.1,
+            down_slots: 0,
+            ..ChurnPlan::none()
+        }
+        .check()
+        .is_err());
+        assert!(ChurnPlan::none().check().is_ok());
+    }
+}

@@ -101,11 +101,11 @@ impl FaultPlan {
             && self.erasure == 0.0
     }
 
-    /// Checks that each physical outcome's fault classes sum to at most 1.
-    ///
-    /// # Panics
-    /// Panics with a description of the offending class on violation.
-    pub fn validate(&self) {
+    /// Non-panicking validation: each probability must lie in `[0, 1]` and
+    /// each physical outcome's fault classes must sum to at most 1. Used
+    /// when parsing replay artifacts so a corrupted file degrades to an
+    /// error instead of aborting.
+    pub fn check(&self) -> Result<(), String> {
         let probs = [
             ("success_to_collision", self.success_to_collision),
             ("collision_to_success", self.collision_to_success),
@@ -115,20 +115,30 @@ impl FaultPlan {
             ("deafness", self.deafness),
         ];
         for (name, p) in probs {
-            assert!((0.0..=1.0).contains(&p), "{name} = {p} outside [0, 1]");
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
         }
-        assert!(
-            self.erasure + self.collision_to_success + self.collision_to_idle <= 1.0,
-            "collision fault classes sum past 1"
-        );
-        assert!(
-            self.erasure + self.success_to_collision <= 1.0,
-            "success fault classes sum past 1"
-        );
-        assert!(
-            self.erasure + self.idle_to_collision <= 1.0,
-            "idle fault classes sum past 1"
-        );
+        if self.erasure + self.collision_to_success + self.collision_to_idle > 1.0 {
+            return Err("collision fault classes sum past 1".to_string());
+        }
+        if self.erasure + self.success_to_collision > 1.0 {
+            return Err("success fault classes sum past 1".to_string());
+        }
+        if self.erasure + self.idle_to_collision > 1.0 {
+            return Err("idle fault classes sum past 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Checks that each physical outcome's fault classes sum to at most 1.
+    ///
+    /// # Panics
+    /// Panics with a description of the offending class on violation.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("invalid fault plan: {e}");
+        }
     }
 }
 

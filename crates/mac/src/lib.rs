@@ -16,6 +16,9 @@
 //! * [`fault`] — deterministic fault injection: a [`fault::FaultyMedium`]
 //!   wrapper corrupting the ternary feedback per a [`fault::FaultPlan`]
 //!   (misdetections, erasures, per-station deafness parameters);
+//! * [`churn`] — dynamic station membership: a [`churn::ChurnPlan`]
+//!   drives crash/restart, late-join and scheduled-leave transitions
+//!   through a deterministic [`churn::ChurnProcess`];
 //! * [`arrivals`] — arrival processes: aggregate Poisson, deterministic
 //!   traces (for reproducing the paper's Figure 1 walk-through), and
 //!   merged/composite sources;
@@ -28,11 +31,13 @@
 
 pub mod arrivals;
 pub mod channel;
+pub mod churn;
 pub mod fault;
 pub mod message;
 pub mod traffic;
 
 pub use arrivals::{Arrival, ArrivalSource, MergedSource, PoissonArrivals, TraceArrivals};
 pub use channel::{ChannelConfig, ChannelStats, Medium, SlotOutcome};
+pub use churn::{ChurnEvent, ChurnPlan, ChurnProcess};
 pub use fault::{FaultKind, FaultPlan, FaultyMedium, Feedback, ProbeReport};
 pub use message::{Message, MessageId, StationId};

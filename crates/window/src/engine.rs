@@ -52,6 +52,31 @@
 //!
 //! With [`FaultPlan::none`] (the default) every code path, random stream
 //! and metric is bit-identical to a fault-free build.
+//!
+//! ## Station churn and dynamic membership
+//!
+//! A [`ChurnPlan`] breaks the fixed-population assumption: stations
+//! crash and restart, join late, or leave permanently, driven by a
+//! dedicated RNG fork stepped once per probe slot ([`ChurnProcess`]).
+//! The engine models the consensus view of the *surviving* population:
+//!
+//! * a **down** station neither hears nor transmits — its pending
+//!   messages drop out of the transmitter set, so a window holding only
+//!   down-station backlog probes idle and is marked examined (the
+//!   backlog is stranded, exactly like fault-orphaned messages);
+//! * a **restarted** station cold-starts from the next decision-point
+//!   beacon; its stranded backlog younger than the catch-up bound is
+//!   recovered through the orphan-reopen path (which preserves Theorem-1
+//!   FCFS order for surviving messages), and older backlog is dropped as
+//!   churn loss;
+//! * a **departed** station's backlog is dropped immediately — no future
+//!   membership state could ever resolve it;
+//! * messages arriving at a station that is down, absent or departed are
+//!   blocked (churn loss) — there is nobody to buffer them.
+//!
+//! With [`ChurnPlan::none`] (the default) the membership process draws
+//! nothing from its stream and the run is bit-identical to a
+//! static-population build.
 
 use crate::interval::Interval;
 use crate::metrics::{MeasureConfig, Metrics};
@@ -61,8 +86,8 @@ use crate::timeline::Timeline;
 use crate::trace::EngineObserver;
 use std::collections::{BTreeMap, HashSet};
 use tcw_mac::{
-    Arrival, ArrivalSource, ChannelConfig, ChannelStats, FaultPlan, FaultyMedium, Feedback, Medium,
-    Message, MessageId, SlotOutcome,
+    Arrival, ArrivalSource, ChannelConfig, ChannelStats, ChurnEvent, ChurnPlan, ChurnProcess,
+    FaultPlan, FaultyMedium, Feedback, Medium, Message, MessageId, SlotOutcome, StationId,
 };
 use tcw_sim::rng::Rng;
 use tcw_sim::time::{Dur, Time};
@@ -135,7 +160,7 @@ pub struct Engine<S: ArrivalSource> {
     /// Finite-population sensitivity mode: each station buffers at most
     /// one message; arrivals at a busy station are blocked (lost).
     single_buffer: bool,
-    busy_stations: HashSet<tcw_mac::StationId>,
+    busy_stations: HashSet<StationId>,
     /// Retry/backoff budget for detectably corrupted slots.
     resync: ResyncPolicy,
     /// Messages stranded in examined time by a misread slot; their arrival
@@ -144,6 +169,16 @@ pub struct Engine<S: ArrivalSource> {
     /// Messages whose trajectory was touched by an injected fault, for
     /// attributing subsequent losses to the faults.
     fault_touched: HashSet<MessageId>,
+    /// The station membership process, stepped once per probe slot.
+    churn: ChurnProcess,
+    /// Reused buffer for membership transitions of one slot.
+    churn_events: Vec<ChurnEvent>,
+    /// Messages whose station crashed while they were pending, for
+    /// attributing subsequent losses to churn.
+    churn_touched: HashSet<MessageId>,
+    /// Stations that restarted since the last decision point, with the
+    /// probe slot of their restart (for rejoin-latency accounting).
+    rejoining: Vec<(StationId, u64)>,
     /// Loss/delay accounting.
     pub metrics: Metrics,
     /// Channel-time accounting.
@@ -155,13 +190,15 @@ impl<S: ArrivalSource> Engine<S> {
     pub fn new(cfg: EngineConfig, source: S) -> Self {
         let mut master = Rng::new(cfg.seed);
         // Fork order is part of the determinism contract: "policy",
-        // "coins", "source" predate fault injection, and "faults" comes
-        // last, so the first three streams are bit-identical whether or
-        // not a fault plan is ever installed.
+        // "coins", "source" predate fault injection, "faults" predates
+        // churn, and "churn" comes last, so every earlier stream is
+        // bit-identical whether or not the newer subsystems are ever
+        // installed.
         let rng_policy = master.fork("policy");
         let rng_coins = master.fork("coins");
         let rng_source = master.fork("source");
         let rng_faults = master.fork("faults");
+        let rng_churn = master.fork("churn");
         Engine {
             medium: FaultyMedium::new(Medium::new(cfg.channel), FaultPlan::none(), rng_faults),
             policy: cfg.policy,
@@ -181,6 +218,10 @@ impl<S: ArrivalSource> Engine<S> {
             resync: ResyncPolicy::default(),
             orphans: Vec::new(),
             fault_touched: HashSet::new(),
+            churn: ChurnProcess::disabled(rng_churn),
+            churn_events: Vec::new(),
+            churn_touched: HashSet::new(),
+            rejoining: Vec::new(),
             metrics: Metrics::new(cfg.measure),
             channel_stats: ChannelStats::new(),
         }
@@ -195,6 +236,18 @@ impl<S: ArrivalSource> Engine<S> {
     /// The active fault plan.
     pub fn fault_plan(&self) -> &FaultPlan {
         self.medium.plan()
+    }
+
+    /// Installs a churn plan over `stations` stations. Must be called
+    /// before the run starts; [`ChurnPlan::none`] (the default) leaves
+    /// the run bit-identical to a static-population build.
+    pub fn set_churn_plan(&mut self, plan: ChurnPlan, stations: u32) {
+        self.churn = ChurnProcess::new(plan, stations, self.churn.stream());
+    }
+
+    /// The station membership process (counters, plan, current slot).
+    pub fn churn(&self) -> &ChurnProcess {
+        &self.churn
     }
 
     /// Overrides the retry/backoff budget for detectably corrupted slots.
@@ -272,6 +325,12 @@ impl<S: ArrivalSource> Engine<S> {
                     if a.time > self.arrival_cutoff {
                         continue; // dropped: past the drain cutoff
                     }
+                    if !self.churn.is_up(a.station) {
+                        // The station is down, absent or departed: nobody
+                        // exists to buffer the message.
+                        self.metrics.on_churn_blocked(a.time);
+                        continue;
+                    }
                     if self.single_buffer && self.busy_stations.contains(&a.station) {
                         self.metrics.on_blocked(a.time);
                         continue;
@@ -292,6 +351,51 @@ impl<S: ArrivalSource> Engine<S> {
     fn cycle(&mut self, obs: &mut dyn EngineObserver) {
         let now = self.timeline.now();
         self.ingest(now);
+
+        // Membership recovery: stations that restarted since the last
+        // decision point cold-start from this beacon. Backlog stranded in
+        // examined time while they were down is recovered through the
+        // orphan-reopen path if it is young enough to catch up, and
+        // dropped as churn loss otherwise; backlog still in unexamined
+        // time needs no help — the windowing process will reach it.
+        if !self.rejoining.is_empty() {
+            let catch_up = Dur::from_ticks(
+                self.churn
+                    .plan()
+                    .catch_up_slots
+                    .saturating_mul(self.medium.config().ticks_per_tau),
+            );
+            for (station, restart_slot) in std::mem::take(&mut self.rejoining) {
+                self.metrics
+                    .on_rejoin(self.churn.slot().saturating_sub(restart_slot));
+                let keys: Vec<(Time, MessageId)> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, m)| m.station == station)
+                    .map(|(&k, _)| k)
+                    .collect();
+                for (arrival, id) in keys {
+                    if !self.timeline.is_examined(arrival) {
+                        continue;
+                    }
+                    if arrival + catch_up >= now {
+                        if !self.orphans.contains(&(arrival, id)) {
+                            self.orphans.push((arrival, id));
+                            self.metrics.on_churn_reopen();
+                        }
+                    } else {
+                        let msg = self
+                            .pending
+                            .remove(&(arrival, id))
+                            .expect("key just observed");
+                        self.busy_stations.remove(&msg.station);
+                        self.fault_touched.remove(&msg.id);
+                        self.churn_touched.remove(&msg.id);
+                        self.metrics.on_churn_drop(msg.arrival);
+                    }
+                }
+            }
+        }
 
         // Fault recovery: reopen the arrival intervals of messages
         // stranded in examined time by a misread slot so the windowing
@@ -320,10 +424,12 @@ impl<S: ArrivalSource> Engine<S> {
                 }
                 let msg = self.pending.remove(&key).expect("key just observed");
                 self.busy_stations.remove(&msg.station);
-                let fault_loss =
-                    self.fault_touched.remove(&msg.id) && self.metrics.config().counts(msg.arrival);
-                if fault_loss {
+                let counted = self.metrics.config().counts(msg.arrival);
+                if self.fault_touched.remove(&msg.id) && counted {
                     self.metrics.on_fault_loss();
+                }
+                if self.churn_touched.remove(&msg.id) && counted {
+                    self.metrics.on_churn_loss();
                 }
                 self.metrics.on_sender_discard(msg.arrival);
                 obs.on_sender_discard(&msg, now);
@@ -331,7 +437,7 @@ impl<S: ArrivalSource> Engine<S> {
             self.timeline.discard_before(cutoff);
         }
 
-        obs.on_beacon(now, &self.timeline);
+        obs.on_beacon(now, &self.timeline, &self.rng_policy);
 
         let pm = PseudoMap::new(&self.timeline);
         let window = self
@@ -361,6 +467,7 @@ impl<S: ArrivalSource> Engine<S> {
                     }
                 }
                 self.timeline.advance(now + report.dur);
+                self.churn_step(obs);
             }
             Some(w) => {
                 let segments = pm.preimage(w);
@@ -406,7 +513,13 @@ impl<S: ArrivalSource> Engine<S> {
         loop {
             let now = self.timeline.now();
             let segments = pm.preimage(current);
-            let txs = self.in_segments(&segments);
+            let mut txs = self.in_segments(&segments);
+            if !self.churn.plan().is_none() {
+                // Down, absent or departed stations cannot transmit; their
+                // stranded backlog stays pending for rejoin recovery or
+                // the age discard.
+                self.churn.retain_up(&mut txs);
+            }
             let ids: Vec<MessageId> = txs.iter().map(|m| m.id).collect();
             let report = self.medium.probe(&ids);
             if report.fault.is_some() {
@@ -423,6 +536,7 @@ impl<S: ArrivalSource> Engine<S> {
                     self.channel_stats.record_erased(report.dur);
                     obs.on_corrupted_slot(now, report.dur);
                     self.timeline.advance(now + report.dur);
+                    self.churn_step(obs);
                     overhead += 1;
                     if self.backoff_or_abandon(&mut retries, obs) {
                         continue;
@@ -441,6 +555,7 @@ impl<S: ArrivalSource> Engine<S> {
                 self.channel_stats.record(&outcome, report.dur);
                 obs.on_corrupted_slot(now, report.dur);
                 self.timeline.advance(now + report.dur);
+                self.churn_step(obs);
                 overhead += 1;
                 if self.backoff_or_abandon(&mut retries, obs) {
                     continue;
@@ -455,6 +570,7 @@ impl<S: ArrivalSource> Engine<S> {
             self.channel_stats.record(&outcome, report.dur);
             obs.on_probe(now, &segments, &outcome, report.dur);
             self.timeline.advance(now + report.dur);
+            self.churn_step(obs);
 
             match outcome {
                 SlotOutcome::Idle => {
@@ -554,6 +670,63 @@ impl<S: ArrivalSource> Engine<S> {
         }
     }
 
+    /// Steps the membership process one probe slot (the unit every
+    /// surviving station can count by listening) and applies any
+    /// transitions:
+    ///
+    /// * **crash** — the station's pending backlog is tagged so later
+    ///   losses are attributed to churn;
+    /// * **restart** — the station is queued for catch-up at the next
+    ///   decision point (it cold-starts from that beacon);
+    /// * **leave** — the backlog is dropped immediately: no future
+    ///   membership state could ever resolve it, and keeping it would
+    ///   wedge `drain`;
+    /// * **join** — nothing to do; the station simply starts buffering
+    ///   arrivals.
+    ///
+    /// With [`ChurnPlan::none`] only the slot counter moves.
+    fn churn_step(&mut self, obs: &mut dyn EngineObserver) {
+        let mut events = std::mem::take(&mut self.churn_events);
+        self.churn.step(&mut events);
+        if !events.is_empty() {
+            let now = self.timeline.now();
+            for ev in events.drain(..) {
+                obs.on_churn_event(now, &ev);
+                match ev {
+                    ChurnEvent::Crash(s) => {
+                        let ids: Vec<MessageId> = self
+                            .pending
+                            .values()
+                            .filter(|m| m.station == s)
+                            .map(|m| m.id)
+                            .collect();
+                        self.churn_touched.extend(ids);
+                    }
+                    ChurnEvent::Restart(s) => {
+                        self.rejoining.push((s, self.churn.slot()));
+                    }
+                    ChurnEvent::Join(_) => {}
+                    ChurnEvent::Leave(s) => {
+                        let keys: Vec<(Time, MessageId)> = self
+                            .pending
+                            .iter()
+                            .filter(|(_, m)| m.station == s)
+                            .map(|(&k, _)| k)
+                            .collect();
+                        for key in keys {
+                            let msg = self.pending.remove(&key).expect("key just observed");
+                            self.busy_stations.remove(&msg.station);
+                            self.fault_touched.remove(&msg.id);
+                            self.churn_touched.remove(&msg.id);
+                            self.metrics.on_churn_drop(msg.arrival);
+                        }
+                    }
+                }
+            }
+        }
+        self.churn_events = events;
+    }
+
     /// Holds a capped-exponential quiet backoff before re-probing a window
     /// whose feedback was detectably corrupted. Returns `true` to retry;
     /// `false` when the retry budget is exhausted and the round must be
@@ -596,6 +769,17 @@ impl<S: ArrivalSource> Engine<S> {
         // untouched.
         let mut futile: u32 = 0;
         loop {
+            if !self.churn.plan().is_none() {
+                // Departed stations' messages can never resolve; drop
+                // them from the cluster. If every surviving member's
+                // station is down, nothing can transmit: abandon — the
+                // tick stays unexamined, so the messages remain reachable
+                // after rejoin (or age out).
+                active.retain(|m| self.churn.is_present(m.station));
+                if !active.is_empty() && !active.iter().any(|m| self.churn.is_up(m.station)) {
+                    return ClusterEnd::Abandoned;
+                }
+            }
             if active.is_empty() || futile > 64 {
                 return ClusterEnd::Abandoned;
             }
@@ -607,7 +791,14 @@ impl<S: ArrivalSource> Engine<S> {
                 .filter(|_| self.rng_coins.chance(0.5))
                 .collect();
             let now = self.timeline.now();
-            let ids: Vec<MessageId> = older.iter().map(|m| m.id).collect();
+            // Only live stations actually transmit; a churn-free run has
+            // every station up, so `ids` is exactly `older` there.
+            let ids: Vec<MessageId> = older
+                .iter()
+                .filter(|m| self.churn.is_up(m.station))
+                .map(|m| m.id)
+                .collect();
+            let live_in_older = ids.len();
             let report = self.medium.probe(&ids);
             if report.fault.is_some() {
                 for m in &active {
@@ -620,6 +811,7 @@ impl<S: ArrivalSource> Engine<S> {
                     self.channel_stats.record_erased(report.dur);
                     obs.on_corrupted_slot(now, report.dur);
                     self.timeline.advance(now + report.dur);
+                    self.churn_step(obs);
                     *overhead += 1;
                     futile += 1;
                     continue;
@@ -628,11 +820,12 @@ impl<S: ArrivalSource> Engine<S> {
             };
             // Collision misread as idle: flagged by the transmitters,
             // consumed and retried like an erasure.
-            if matches!(outcome, SlotOutcome::Idle) && older.len() >= 2 {
+            if matches!(outcome, SlotOutcome::Idle) && live_in_older >= 2 {
                 self.metrics.on_corrupted_slot();
                 self.channel_stats.record(&outcome, report.dur);
                 obs.on_corrupted_slot(now, report.dur);
                 self.timeline.advance(now + report.dur);
+                self.churn_step(obs);
                 *overhead += 1;
                 futile += 1;
                 continue;
@@ -644,6 +837,7 @@ impl<S: ArrivalSource> Engine<S> {
             self.channel_stats.record(&outcome, report.dur);
             obs.on_probe(now, &[], &outcome, report.dur);
             self.timeline.advance(now + report.dur);
+            self.churn_step(obs);
             match outcome {
                 SlotOutcome::Idle => {
                     // The entire cluster is in the "younger" part, which is
@@ -651,8 +845,13 @@ impl<S: ArrivalSource> Engine<S> {
                     *overhead += 1;
                 }
                 SlotOutcome::Success(_) => {
-                    if report.delivered().is_some() {
-                        return ClusterEnd::Winner(older[0]);
+                    if let Some(id) = report.delivered() {
+                        let winner = older
+                            .iter()
+                            .copied()
+                            .find(|m| m.id == id)
+                            .expect("delivered message came from the probed set");
+                        return ClusterEnd::Winner(winner);
                     }
                     // Phantom success: every station believes the cluster
                     // resolved; nothing was delivered and the tick stays
@@ -686,12 +885,15 @@ impl<S: ArrivalSource> Engine<S> {
         let sched_time = tx_start - sched_start.min(tx_start);
         self.last_tx_end = self.timeline.now();
         // A delivery past the deadline (receiver loss) by a message whose
-        // trajectory a fault disturbed is attributed to the faults.
-        let fault_loss = self.fault_touched.remove(&msg.id)
-            && self.metrics.config().counts(msg.arrival)
+        // trajectory a fault or a crash disturbed is attributed to the
+        // disturbance.
+        let counted_late = self.metrics.config().counts(msg.arrival)
             && true_delay > self.metrics.config().deadline;
-        if fault_loss {
+        if self.fault_touched.remove(&msg.id) && counted_late {
             self.metrics.on_fault_loss();
+        }
+        if self.churn_touched.remove(&msg.id) && counted_late {
+            self.metrics.on_churn_loss();
         }
         self.metrics
             .on_transmit(msg.arrival, paper_delay, true_delay);

@@ -76,6 +76,14 @@ pub struct Metrics {
     rounds_abandoned: u64,
     reopened: u64,
     fault_losses: u64,
+    /// Recovery counters under station churn (all zero with a static
+    /// population).
+    churn_blocked: u64,
+    churn_losses: u64,
+    churn_reopened: u64,
+    /// Rejoin latency of restarted stations, in probe slots from restart
+    /// to the decision point that re-admits them.
+    rejoin_slots: Tally,
 }
 
 impl Metrics {
@@ -101,6 +109,10 @@ impl Metrics {
             rounds_abandoned: 0,
             reopened: 0,
             fault_losses: 0,
+            churn_blocked: 0,
+            churn_losses: 0,
+            churn_reopened: 0,
+            rejoin_slots: Tally::new(),
         }
     }
 
@@ -202,6 +214,45 @@ impl Metrics {
         self.fault_losses += 1;
     }
 
+    /// Records an arrival at a station that is currently down, absent or
+    /// departed: the message never enters the protocol and counts as
+    /// lost to churn.
+    pub fn on_churn_blocked(&mut self, arrival: Time) {
+        if self.cfg.counts(arrival) {
+            self.churn_blocked += 1;
+            self.loss.hit();
+        }
+    }
+
+    /// Records a pending message dropped because its station left
+    /// permanently or its backlog fell outside the rejoin catch-up
+    /// window.
+    pub fn on_churn_drop(&mut self, arrival: Time) {
+        if self.cfg.counts(arrival) {
+            self.outstanding -= 1;
+            self.churn_losses += 1;
+            self.loss.hit();
+        }
+    }
+
+    /// Records a counted message lost after its station crashed (the
+    /// churn-attributed component of the age-discard/late-delivery loss).
+    pub fn on_churn_loss(&mut self) {
+        self.churn_losses += 1;
+    }
+
+    /// Records an examined interval reopened to recover the surviving
+    /// backlog of a restarted station.
+    pub fn on_churn_reopen(&mut self) {
+        self.churn_reopened += 1;
+    }
+
+    /// Records the rejoin latency of one restarted station (probe slots
+    /// from restart to the decision point re-admitting its backlog).
+    pub fn on_rejoin(&mut self, slots: u64) {
+        self.rejoin_slots.record(slots as f64);
+    }
+
     /// Slots with misdetected feedback observed by the protocol.
     pub fn corrupted_slots(&self) -> u64 {
         self.corrupted_slots
@@ -230,6 +281,28 @@ impl Metrics {
     /// Counted messages lost whose trajectory was touched by a fault.
     pub fn fault_losses(&self) -> u64 {
         self.fault_losses
+    }
+
+    /// Arrivals blocked because their station was down, absent or gone.
+    pub fn churn_blocked(&self) -> u64 {
+        self.churn_blocked
+    }
+
+    /// Counted messages lost to churn: dropped with a departed station,
+    /// aged out past the catch-up window, or discarded/late after their
+    /// station crashed.
+    pub fn churn_losses(&self) -> u64 {
+        self.churn_losses
+    }
+
+    /// Examined intervals reopened to recover restarted stations' backlog.
+    pub fn churn_reopened(&self) -> u64 {
+        self.churn_reopened
+    }
+
+    /// Tally of rejoin latencies of restarted stations (probe slots).
+    pub fn rejoin_latency(&self) -> &Tally {
+        &self.rejoin_slots
     }
 
     /// Counted messages that have not yet been resolved (must be zero after

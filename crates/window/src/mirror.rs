@@ -81,10 +81,14 @@ impl StationMirror {
     }
 
     /// Abandons the station's own state and adopts the beaconed consensus
-    /// `timeline` (used by [`DivergenceDetector`] after a detected
-    /// divergence; a faithful station model never calls this).
-    pub fn resync_from(&mut self, _now: Time, timeline: &Timeline) {
+    /// `timeline` and shared policy stream `rng` (used by
+    /// [`DivergenceDetector`] after a detected divergence; a faithful
+    /// station model never calls this). Adopting the RNG matters under the
+    /// RANDOM disciplines: a station that missed decisions also missed
+    /// policy-stream draws, so its own stream is permanently behind.
+    pub fn resync_from(&mut self, _now: Time, timeline: &Timeline, rng: &Rng) {
         self.timeline = timeline.clone();
+        self.rng_policy = rng.clone();
         self.round = None;
     }
 
@@ -275,15 +279,23 @@ impl EngineObserver for StationMirror {
     }
 }
 
-/// A [`StationMirror`] augmented with a *deafness* fault model and a
-/// beacon-driven resynchronization loop: the runtime divergence detector.
+/// A [`StationMirror`] augmented with a *deafness* fault model, an
+/// optional churn *outage*, and a beacon-driven resynchronization loop:
+/// the runtime divergence detector.
 ///
 /// While deaf, the station misses channel slots entirely — the one fault
 /// class that genuinely breaks the shared-view invariant. The wrapped
 /// mirror then accumulates mismatches; at every decision-point beacon the
 /// detector compares the mismatch count against the last synchronized
 /// value, records a divergence, and re-adopts the beaconed consensus
-/// timeline.
+/// timeline and policy stream.
+///
+/// An outage ([`DivergenceDetector::with_outage`]) models a station that
+/// is *down* rather than merely deaf: for a contiguous span of slots it
+/// misses every event, including decisions, beacons and reopens. When the
+/// outage ends the station knows it was away, waits for the first beacon
+/// it hears, and performs a cold rejoin — counted once in
+/// [`DivergenceDetector::churn_repairs`].
 pub struct DivergenceDetector {
     mirror: StationMirror,
     deafness: f64,
@@ -295,6 +307,12 @@ pub struct DivergenceDetector {
     resyncs: u64,
     dropped_slots: u64,
     first_divergence: Option<String>,
+    outage_start: u64,
+    outage_slots: u64,
+    slot: u64,
+    in_outage: bool,
+    pending_rejoin: bool,
+    churn_repairs: u64,
 }
 
 impl DivergenceDetector {
@@ -320,7 +338,24 @@ impl DivergenceDetector {
             resyncs: 0,
             dropped_slots: 0,
             first_divergence: None,
+            outage_start: 0,
+            outage_slots: 0,
+            slot: 0,
+            in_outage: false,
+            pending_rejoin: false,
+            churn_repairs: 0,
         }
+    }
+
+    /// Schedules a churn outage: the station goes down for `slots`
+    /// consecutive heard-slot opportunities starting at slot index
+    /// `start_slot`, missing everything (decisions and beacons included),
+    /// then cold-rejoins at the first beacon after the outage. `slots == 0`
+    /// disables the outage.
+    pub fn with_outage(mut self, start_slot: u64, slots: u64) -> Self {
+        self.outage_start = start_slot;
+        self.outage_slots = slots;
+        self
     }
 
     /// The wrapped station mirror.
@@ -348,9 +383,30 @@ impl DivergenceDetector {
         self.first_divergence.as_deref()
     }
 
-    /// Whether the station hears the current slot; advances the deafness
-    /// process one slot either way.
-    fn hears(&mut self) -> bool {
+    /// Divergence repairs attributable to a churn outage (cold rejoins).
+    /// Always a subset of [`DivergenceDetector::resyncs`].
+    pub fn churn_repairs(&self) -> u64 {
+        self.churn_repairs
+    }
+
+    /// Whether the station hears the current slot; advances the outage
+    /// span and the deafness process one slot either way.
+    fn hears_slot(&mut self) -> bool {
+        let s = self.slot;
+        self.slot += 1;
+        if self.outage_slots > 0 {
+            if s >= self.outage_start && s - self.outage_start < self.outage_slots {
+                // Down: the station is off the air entirely.
+                self.in_outage = true;
+                self.dropped_slots += 1;
+                return false;
+            }
+            if self.in_outage {
+                // The outage just ended; rejoin at the next heard beacon.
+                self.in_outage = false;
+                self.pending_rejoin = true;
+            }
+        }
         if self.deaf_remaining > 0 {
             self.deaf_remaining -= 1;
             self.dropped_slots += 1;
@@ -367,17 +423,23 @@ impl DivergenceDetector {
 
 impl EngineObserver for DivergenceDetector {
     fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
-        self.mirror.on_decision(now, segments);
+        // A down station misses decisions outright — unlike a deaf one,
+        // which still catches the (out-of-band) decision announcement.
+        if !self.in_outage {
+            self.mirror.on_decision(now, segments);
+        }
     }
 
     fn on_probe(&mut self, start: Time, segments: &[Interval], outcome: &SlotOutcome, dur: Dur) {
-        if self.hears() {
+        if self.hears_slot() {
             self.mirror.on_probe(start, segments, outcome, dur);
         }
     }
 
     fn on_immediate_split(&mut self, now: Time, segments: &[Interval]) {
-        self.mirror.on_immediate_split(now, segments);
+        if !self.in_outage {
+            self.mirror.on_immediate_split(now, segments);
+        }
     }
 
     fn on_transmit(&mut self, msg: &Message, start: Time, paper_delay: Dur, true_delay: Dur) {
@@ -389,31 +451,55 @@ impl EngineObserver for DivergenceDetector {
     }
 
     fn on_corrupted_slot(&mut self, now: Time, dur: Dur) {
-        if self.hears() {
+        if self.hears_slot() {
             self.mirror.on_corrupted_slot(now, dur);
         }
     }
 
     fn on_backoff(&mut self, now: Time, dur: Dur) {
-        if self.hears() {
+        if self.hears_slot() {
             self.mirror.on_backoff(now, dur);
         }
     }
 
     fn on_round_abandoned(&mut self, now: Time) {
         // Not a slot of its own: announced within slots already counted.
-        if self.deaf_remaining == 0 {
+        if !self.in_outage && self.deaf_remaining == 0 {
             self.mirror.on_round_abandoned(now);
         }
     }
 
     fn on_reopen(&mut self, iv: Interval) {
-        if self.deaf_remaining == 0 {
+        if !self.in_outage && self.deaf_remaining == 0 {
             self.mirror.on_reopen(iv);
         }
     }
 
-    fn on_beacon(&mut self, now: Time, timeline: &Timeline) {
+    fn on_beacon(&mut self, now: Time, timeline: &Timeline, rng: &Rng) {
+        if self.in_outage {
+            // Down stations miss the beacon too.
+            return;
+        }
+        if self.pending_rejoin {
+            // Cold rejoin after a churn outage: the station *knows* it was
+            // away, so the first heard beacon triggers an unconditional
+            // resync — exactly one repair per outage, whether or not the
+            // wrapped mirror managed to notice a mismatch in the gap
+            // between outage end and this beacon.
+            self.pending_rejoin = false;
+            self.divergences += 1;
+            self.churn_repairs += 1;
+            if self.first_divergence.is_none() {
+                self.first_divergence = Some(format!(
+                    "t={now}: cold rejoin after {}-slot outage",
+                    self.outage_slots
+                ));
+            }
+            self.seen = self.mirror.mismatch_count();
+            self.mirror.resync_from(now, timeline, rng);
+            self.resyncs += 1;
+            return;
+        }
         if self.mirror.mismatch_count() > self.seen {
             self.divergences += 1;
             if self.first_divergence.is_none() {
@@ -425,7 +511,7 @@ impl EngineObserver for DivergenceDetector {
                     .cloned();
             }
             self.seen = self.mirror.mismatch_count();
-            self.mirror.resync_from(now, timeline);
+            self.mirror.resync_from(now, timeline, rng);
             self.resyncs += 1;
         }
     }

@@ -10,7 +10,8 @@
 //! intervals when examined regions intervene).
 
 use crate::interval::Interval;
-use tcw_mac::{Message, SlotOutcome};
+use tcw_mac::{ChurnEvent, Message, SlotOutcome};
+use tcw_sim::rng::Rng;
 use tcw_sim::time::{Dur, Time};
 
 /// Callbacks for protocol events. All methods have empty defaults.
@@ -60,10 +61,17 @@ pub trait EngineObserver {
     fn on_reopen(&mut self, _iv: Interval) {}
 
     /// A state beacon emitted at every decision point: the consensus
-    /// timeline all correctly-tracking stations share. Resynchronizing
-    /// observers (the divergence detector) may copy it; faithful station
-    /// models must ignore it.
-    fn on_beacon(&mut self, _now: Time, _timeline: &crate::timeline::Timeline) {}
+    /// timeline all correctly-tracking stations share, plus the shared
+    /// policy RNG state as of this decision point. Resynchronizing
+    /// observers (the divergence detector) may copy both — a station that
+    /// missed decisions has also missed policy-stream draws, so adopting
+    /// the timeline alone is not enough under the RANDOM disciplines.
+    /// Faithful station models must ignore the beacon entirely.
+    fn on_beacon(&mut self, _now: Time, _timeline: &crate::timeline::Timeline, _rng: &Rng) {}
+
+    /// A station membership transition (crash, restart, late join or
+    /// permanent leave) occurred after the slot that just completed.
+    fn on_churn_event(&mut self, _now: Time, _ev: &ChurnEvent) {}
 }
 
 /// The do-nothing observer.
@@ -179,6 +187,16 @@ impl EngineObserver for TraceRecorder {
     fn on_reopen(&mut self, iv: Interval) {
         self.push(format!("reopened {iv} (arrivals stranded by fault)"));
     }
+
+    fn on_churn_event(&mut self, now: Time, ev: &ChurnEvent) {
+        let what = match ev {
+            ChurnEvent::Crash(s) => format!("{s:?} crashed"),
+            ChurnEvent::Restart(s) => format!("{s:?} restarted (cold)"),
+            ChurnEvent::Join(s) => format!("{s:?} joined late"),
+            ChurnEvent::Leave(s) => format!("{s:?} left permanently"),
+        };
+        self.push(format!("t={now}: {what}"));
+    }
 }
 
 /// Fans one event stream out to two observers (e.g. a mirror plus a trace).
@@ -226,9 +244,13 @@ impl<'a, A: EngineObserver + ?Sized, B: EngineObserver + ?Sized> EngineObserver 
         self.a.on_reopen(iv);
         self.b.on_reopen(iv);
     }
-    fn on_beacon(&mut self, now: Time, timeline: &crate::timeline::Timeline) {
-        self.a.on_beacon(now, timeline);
-        self.b.on_beacon(now, timeline);
+    fn on_beacon(&mut self, now: Time, timeline: &crate::timeline::Timeline, rng: &Rng) {
+        self.a.on_beacon(now, timeline, rng);
+        self.b.on_beacon(now, timeline, rng);
+    }
+    fn on_churn_event(&mut self, now: Time, ev: &ChurnEvent) {
+        self.a.on_churn_event(now, ev);
+        self.b.on_churn_event(now, ev);
     }
 }
 

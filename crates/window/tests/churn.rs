@@ -1,0 +1,366 @@
+//! Station-churn property tests.
+//!
+//! Four claims anchor the dynamic-membership subsystem:
+//!
+//! 1. **Identity** — installing [`ChurnPlan::none`] leaves a run
+//!    bit-identical (trace, metrics, channel accounting, random streams)
+//!    to never touching the churn API at all;
+//! 2. **Invariant preservation** — the Theorem-1 FCFS order invariant
+//!    (restricted to messages of stations that never churned), the
+//!    element-(4) age-discard bound and channel-time conservation survive
+//!    nonzero crash rates;
+//! 3. **Consensus** — membership changes never break the shared-view
+//!    property for stations that keep listening: a down station simply
+//!    does not transmit, which every listener observes identically;
+//! 4. **Recovery** — a station that suffers a hard listener outage
+//!    resynchronizes at the first decision-point beacon after the outage
+//!    ends, and the detector counts exactly one churn repair.
+//!
+//! Randomized cases draw from the deterministic `tcw_sim` [`Rng`] so every
+//! failure reproduces from its case index (the repository builds offline,
+//! without an external property-testing framework).
+
+use std::collections::HashSet;
+use tcw_mac::{ChannelConfig, ChurnEvent, ChurnPlan, Message, StationId};
+use tcw_sim::rng::Rng;
+use tcw_sim::time::{Dur, Time};
+use tcw_window::engine::{poisson_engine, Engine};
+use tcw_window::metrics::MeasureConfig;
+use tcw_window::mirror::{DivergenceDetector, StationMirror};
+use tcw_window::policy::ControlPolicy;
+use tcw_window::trace::{EngineObserver, NoopObserver, Tee, TraceRecorder};
+
+const STATIONS: u32 = 20;
+
+fn channel() -> ChannelConfig {
+    ChannelConfig {
+        ticks_per_tau: 4,
+        message_slots: 5,
+        guard: false,
+    }
+}
+
+fn measure(deadline_ticks: u64) -> MeasureConfig {
+    MeasureConfig {
+        start: Time::ZERO,
+        end: Time::from_ticks(u64::MAX / 2),
+        deadline: Dur::from_ticks(deadline_ticks),
+    }
+}
+
+/// A small random-but-reproducible crash/restart plan.
+fn random_plan(rng: &mut Rng) -> ChurnPlan {
+    ChurnPlan::crash_restart(
+        0.0005 + rng.f64() * 0.003,
+        10 + rng.range_inclusive(0, 50),
+        50 + rng.range_inclusive(0, 100),
+    )
+}
+
+fn run_summary(eng: &Engine<tcw_mac::PoissonArrivals>) -> String {
+    format!(
+        "offered={} loss={} sender={} receiver={} paper_mean={} paper_max={} true_mean={} \
+         idle={} coll={} succ={} now={} churn_blocked={} churn_losses={} churn_reopened={} \
+         rejoins={} crashes={} restarts={}",
+        eng.metrics.offered(),
+        eng.metrics.loss_fraction(),
+        eng.metrics.sender_lost(),
+        eng.metrics.receiver_lost(),
+        eng.metrics.paper_delay().mean(),
+        eng.metrics.paper_delay().max(),
+        eng.metrics.true_delay().mean(),
+        eng.channel_stats.idle_slots,
+        eng.channel_stats.collision_slots,
+        eng.channel_stats.successes,
+        eng.now(),
+        eng.metrics.churn_blocked(),
+        eng.metrics.churn_losses(),
+        eng.metrics.churn_reopened(),
+        eng.metrics.rejoin_latency().count(),
+        eng.churn().crashes(),
+        eng.churn().restarts(),
+    )
+}
+
+/// Collects the delivery order together with the set of stations that
+/// ever appeared in a churn event.
+#[derive(Default)]
+struct ChurnWatch {
+    deliveries: Vec<(Time, StationId)>,
+    churned: HashSet<StationId>,
+}
+
+impl EngineObserver for ChurnWatch {
+    fn on_transmit(&mut self, msg: &Message, _start: Time, _paper: Dur, _true_delay: Dur) {
+        self.deliveries.push((msg.arrival, msg.station));
+    }
+    fn on_churn_event(&mut self, _now: Time, ev: &ChurnEvent) {
+        self.churned.insert(ev.station());
+    }
+}
+
+/// 1. Installing `ChurnPlan::none()` is byte-for-byte unobservable: the
+///    full event trace and every metric match a run that never touched
+///    the churn API.
+#[test]
+fn none_plan_is_bit_identical() {
+    for case in 0..8u64 {
+        let seed = 0xC501 ^ case;
+        let build = || {
+            poisson_engine(
+                channel(),
+                ControlPolicy::controlled(Dur::from_ticks(200), Dur::from_ticks(12)),
+                measure(200),
+                0.6,
+                STATIONS,
+                seed,
+            )
+        };
+        let mut base = build();
+        let mut base_trace = TraceRecorder::new(100_000);
+        base.run_until(Time::from_ticks(60_000), &mut base_trace);
+        base.drain(&mut base_trace);
+
+        let mut with_none = build();
+        with_none.set_churn_plan(ChurnPlan::none(), STATIONS);
+        let mut none_trace = TraceRecorder::new(100_000);
+        with_none.run_until(Time::from_ticks(60_000), &mut none_trace);
+        with_none.drain(&mut none_trace);
+
+        assert_eq!(
+            base_trace.text(),
+            none_trace.text(),
+            "trace diverged, case {case}"
+        );
+        assert_eq!(run_summary(&base), run_summary(&with_none), "case {case}");
+    }
+}
+
+/// 2a. Theorem-1 invariant for survivors: with the FCFS policy, messages
+/// of stations that never crashed, joined or left are delivered in
+/// arrival order. (A crashed station's recovered backlog may legally be
+/// delivered late, out of global order — the reopen serves it as soon as
+/// the station is back.)
+#[test]
+fn fcfs_order_survives_churn_for_untouched_stations() {
+    let mut total_churned = 0usize;
+    for case in 0..10u64 {
+        let mut rng = Rng::new(0xC502 ^ case);
+        // Sparse crashes: a handful of stations churn, most never do, so
+        // the survivor subsequence stays statistically meaningful.
+        let plan = ChurnPlan::crash_restart(
+            0.00002 + rng.f64() * 0.00005,
+            10 + rng.range_inclusive(0, 50),
+            50 + rng.range_inclusive(0, 100),
+        );
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::fcfs(Dur::from_ticks(12)),
+            measure(1_000_000),
+            0.5,
+            STATIONS,
+            0xBEEF ^ case,
+        );
+        eng.set_churn_plan(plan, STATIONS);
+        let mut watch = ChurnWatch::default();
+        eng.run_until(Time::from_ticks(60_000), &mut watch);
+        eng.drain(&mut watch);
+        assert!(
+            watch.deliveries.len() > 50,
+            "case {case}: too few deliveries"
+        );
+        let survivors: Vec<Time> = watch
+            .deliveries
+            .iter()
+            .filter(|(_, s)| !watch.churned.contains(s))
+            .map(|&(t, _)| t)
+            .collect();
+        assert!(
+            survivors.len() > 20,
+            "case {case}: churn touched almost every station"
+        );
+        total_churned += watch.churned.len();
+        for w in survivors.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "case {case}: FCFS order violated for untouched stations \
+                 ({} delivered after {})",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    assert!(total_churned > 0, "no case exercised any churn");
+}
+
+/// 2b. Element-(4) invariant: under the controlled policy no message is
+/// scheduled with waiting time beyond `K` plus bounded slack, crash rate
+/// notwithstanding — a recovered message that aged past `K` while its
+/// station was down is discarded, never transmitted.
+#[test]
+fn age_discard_survives_churn() {
+    let k = 200u64;
+    for case in 0..10u64 {
+        let mut rng = Rng::new(0xC503 ^ case);
+        let plan = random_plan(&mut rng);
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::controlled(Dur::from_ticks(k), Dur::from_ticks(12)),
+            measure(k),
+            0.7,
+            STATIONS,
+            0xCAFE ^ case,
+        );
+        eng.set_churn_plan(plan, STATIONS);
+        eng.run_until(Time::from_ticks(120_000), &mut NoopObserver);
+        eng.drain(&mut NoopObserver);
+        let ch = channel();
+        // One message slot (+ guard) of cycle slack, as in the fault-free
+        // bound; churn adds no corrupted-slot backoffs.
+        let slack = (ch.message_slots + 1 + 15 + 5) * ch.ticks_per_tau;
+        let max_paper = eng.metrics.paper_delay().max();
+        assert!(
+            max_paper <= (k + slack) as f64,
+            "case {case}: paper delay {max_paper} exceeds K + slack {}",
+            k + slack
+        );
+    }
+}
+
+/// 2c. Accounting stays conservative under churn: the run drains fully
+/// (every crashed station's backlog is recovered or attributed as churn
+/// loss) and every tick of channel time is attributed to exactly one
+/// category.
+#[test]
+fn conservation_and_drain_survive_churn() {
+    for case in 0..10u64 {
+        let mut rng = Rng::new(0xC504 ^ case);
+        let plan = random_plan(&mut rng);
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
+            measure(300),
+            0.6,
+            STATIONS,
+            0xD00D ^ case,
+        );
+        eng.set_churn_plan(plan, STATIONS);
+        eng.run_until(Time::from_ticks(60_000), &mut NoopObserver);
+        eng.drain(&mut NoopObserver);
+        assert_eq!(
+            eng.metrics.outstanding(),
+            0,
+            "case {case}: drain left messages"
+        );
+        assert_eq!(
+            eng.channel_stats.total().ticks(),
+            eng.now().ticks(),
+            "case {case}: channel time not conserved"
+        );
+        assert!(eng.churn().crashes() > 0, "case {case}: no crashes");
+        // Stations still down when the run ends never restart; at most
+        // one crash per station can be outstanding.
+        assert!(
+            eng.churn().restarts() <= eng.churn().crashes()
+                && eng.churn().crashes() - eng.churn().restarts() <= STATIONS as u64,
+            "case {case}: {} crashes vs {} restarts",
+            eng.churn().crashes(),
+            eng.churn().restarts()
+        );
+    }
+}
+
+/// 3. Consensus survives churn for every station that keeps listening: a
+///    mirror hearing every slot tracks the engine with zero mismatches at
+///    any crash rate — down stations just stop transmitting, which all
+///    listeners observe identically.
+#[test]
+fn mirror_consistent_under_churn() {
+    for case in 0..8u64 {
+        let mut rng = Rng::new(0xC505 ^ case);
+        let plan = random_plan(&mut rng);
+        let seed = 0xF00D ^ case;
+        let policy = ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12));
+        let mut mirror = StationMirror::new(policy.clone(), seed);
+        let mut eng = poisson_engine(channel(), policy, measure(300), 0.6, STATIONS, seed);
+        eng.set_churn_plan(plan, STATIONS);
+        let mut noop = NoopObserver;
+        let mut tee = Tee {
+            a: &mut mirror,
+            b: &mut noop,
+        };
+        eng.run_until(Time::from_ticks(60_000), &mut tee);
+        mirror.assert_consistent();
+        assert!(mirror.decisions_checked() > 100, "case {case}");
+    }
+}
+
+/// 4. Beacon-guided rejoin: after a hard listener outage ends, the
+///    divergence detector resynchronizes at the first decision-point beacon
+///    it hears and counts exactly one repair — across outage placements and
+///    lengths, and whether or not the engine itself is churning.
+#[test]
+fn outage_recovers_with_exactly_one_repair() {
+    for case in 0..8u64 {
+        let seed = 0xC506 ^ case;
+        let start = 300 + case * 650;
+        let len = 16 + case * 12;
+        let policy = ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12));
+        let mut det =
+            DivergenceDetector::new(policy.clone(), seed, 0, 0.0, 1).with_outage(start, len);
+        let mut eng = poisson_engine(channel(), policy, measure(300), 0.6, STATIONS, seed);
+        if case % 2 == 1 {
+            eng.set_churn_plan(ChurnPlan::crash_restart(0.001, 30, 80), STATIONS);
+        }
+        eng.run_until(Time::from_ticks(60_000), &mut det);
+        assert_eq!(
+            det.dropped_slots(),
+            len,
+            "case {case}: outage span not fully missed"
+        );
+        assert_eq!(
+            det.churn_repairs(),
+            1,
+            "case {case}: expected exactly one churn repair"
+        );
+        assert_eq!(
+            det.divergences(),
+            1,
+            "case {case}: the outage must cause exactly one divergence"
+        );
+        assert_eq!(det.resyncs(), 1, "case {case}");
+        assert!(
+            det.first_divergence()
+                .expect("repair recorded")
+                .contains("cold rejoin"),
+            "case {case}: {:?}",
+            det.first_divergence()
+        );
+    }
+}
+
+/// Churn runs are reproducible: the same seed and plan give identical
+/// results; a different crash rate measurably differs.
+#[test]
+fn churn_runs_are_deterministic() {
+    let run = |plan: ChurnPlan| {
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
+            measure(300),
+            0.6,
+            STATIONS,
+            99,
+        );
+        eng.set_churn_plan(plan, STATIONS);
+        let mut trace = TraceRecorder::new(50_000);
+        eng.run_until(Time::from_ticks(40_000), &mut trace);
+        eng.drain(&mut trace);
+        (run_summary(&eng), trace.text())
+    };
+    let a = run(ChurnPlan::crash_restart(0.002, 40, 100));
+    let b = run(ChurnPlan::crash_restart(0.002, 40, 100));
+    assert_eq!(a, b, "same plan, same seed must be identical");
+    let c = run(ChurnPlan::crash_restart(0.0005, 40, 100));
+    assert_ne!(a.0, c.0, "different plans should measurably differ");
+}

@@ -7,7 +7,7 @@ use tcw_experiments::runner::{
     simulate_panel, simulate_panel_faulty, simulate_with_detector, PolicyKind, SimSettings,
 };
 use tcw_experiments::Panel;
-use tcw_mac::FaultPlan;
+use tcw_mac::{ChurnPlan, FaultPlan};
 
 fn quick() -> SimSettings {
     SimSettings {
@@ -109,6 +109,7 @@ fn artifact_roundtrip_reproduces_the_failure() {
     let rec = FailureRecord {
         seed: 11,
         plan,
+        churn: ChurnPlan::none(),
         panel: panel(),
         policy: PolicyKind::Controlled,
         k_tau: 100.0,
