@@ -1,0 +1,128 @@
+//! Bench-regression gate for CI.
+//!
+//! Compares a freshly-written `BENCH_engine.json` against the committed
+//! copy and fails (exit 1) when any field regresses by more than 20%:
+//!
+//! * `*_per_sec_*` fields are rates — higher is better; a regression is
+//!   `fresh < 0.8 * committed`;
+//! * fields containing `allocs` are costs — lower is better; a
+//!   regression is `fresh > 1.2 * committed + 0.01` (the additive slack
+//!   keeps near-zero steady-state counts from tripping on noise);
+//! * `sweep_parallel_speedup` and `host_parallelism` describe the host,
+//!   not the code, and are reported but never gated.
+//!
+//! Usage: `check_bench <committed.json> <fresh.json>`. Both files are
+//! the flat single-level JSON the engine bench writes; parsing is done
+//! by hand because the workspace is dependency-free.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parses the flat `{"key": number, ...}` JSON the benches emit.
+fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut out = BTreeMap::new();
+    for field in inner.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("bad field {field:?}"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number for {key:?}: {e}"))?;
+        out.insert(key, value);
+    }
+    if out.is_empty() {
+        return Err("no fields".into());
+    }
+    Ok(out)
+}
+
+/// Fields that describe the machine the bench ran on, not the code.
+fn environmental(key: &str) -> bool {
+    key == "sweep_parallel_speedup" || key == "host_parallelism"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_path, fresh_path] = &args[..] else {
+        eprintln!("usage: check_bench <committed.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| -> Result<BTreeMap<String, f64>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (committed, fresh) = match (read(committed_path), read(fresh_path)) {
+        (Ok(c), Ok(f)) => (c, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("check_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    for (key, &base) in &committed {
+        let Some(&now) = fresh.get(key) else {
+            eprintln!("FAIL {key}: missing from fresh run");
+            failed = true;
+            continue;
+        };
+        if environmental(key) {
+            println!("  ok {key}: {base} -> {now} (environmental, not gated)");
+            continue;
+        }
+        let (bad, rule) = if key.contains("allocs") {
+            (now > 1.2 * base + 0.01, "must stay within +20% (+0.01)")
+        } else {
+            (now < 0.8 * base, "must stay within -20%")
+        };
+        if bad {
+            eprintln!("FAIL {key}: committed {base}, fresh {now} ({rule})");
+            failed = true;
+        } else {
+            println!("  ok {key}: {base} -> {now}");
+        }
+    }
+    for key in fresh.keys() {
+        if !committed.contains_key(key) {
+            println!("  note: new field {key} (not in committed snapshot)");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("check_bench: no field regressed more than 20%");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flat_json;
+
+    #[test]
+    fn parses_the_engine_bench_shape() {
+        let json = "{\n  \"engine_steps_per_sec_clean\": 7153396,\n  \"engine_allocs_per_slot\": 0.0012,\n  \"host_parallelism\": 1\n}\n";
+        let map = parse_flat_json(json).unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map["host_parallelism"], 1.0);
+        assert!((map["engine_allocs_per_slot"] - 0.0012).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_flat_json("[]").is_err());
+        assert!(parse_flat_json("{\"k\": nope}").is_err());
+        assert!(parse_flat_json("{}").is_err());
+    }
+}

@@ -12,8 +12,14 @@
 //! * **scheduling-time shape** (analytic model) — geometric vs exact
 //!   splitting distribution;
 //! * **guard slot** — one extra `tau` of quiet after each transmission.
+//!
+//! All simulated variants form one cell list executed on the parallel
+//! sweep executor (`--jobs N`; `--jobs 1` reproduces the serial output
+//! byte-for-byte) and are reported in the fixed cell order.
 
 use tcw_experiments::plot::write_csv;
+use tcw_experiments::runner::measure_window;
+use tcw_experiments::sweep::{jobs_from_args, run_parallel};
 use tcw_experiments::{Panel, SimSettings};
 use tcw_mdp::howard::policy_iteration;
 use tcw_mdp::smdp::{Smdp, SmdpConfig};
@@ -22,7 +28,6 @@ use tcw_queueing::service::SchedulingShape;
 use tcw_sim::time::{Dur, Time};
 use tcw_window::analysis::optimal_mu;
 use tcw_window::engine::poisson_engine;
-use tcw_window::metrics::MeasureConfig;
 use tcw_window::policy::{ControlPolicy, SplitRule, WindowLength, WindowPosition};
 use tcw_window::trace::NoopObserver;
 
@@ -32,40 +37,61 @@ const PANEL: Panel = Panel {
 };
 const K_TAU: u64 = 100;
 
-struct Run {
+/// One ablation variant, fully specified for the sweep executor. The
+/// optional header/footer strings are printed around the variant's
+/// result line so the report keeps its serial section structure.
+struct Cell {
+    header: Option<&'static str>,
+    footer: Option<String>,
     name: String,
+    policy: ControlPolicy,
+    settings: SimSettings,
+    seed: u64,
+    /// `Some(n)`: run `n` single-buffer stations (finite-population
+    /// ablation) and report the blocked fraction instead of utilization.
+    single_buffer: Option<u32>,
+}
+
+struct Outcome {
     loss: f64,
     ci: f64,
     utilization: f64,
+    blocked_frac: f64,
 }
 
-fn run_policy(name: &str, policy: ControlPolicy, settings: SimSettings, seed: u64) -> Run {
+fn run_cell(cell: &Cell) -> Outcome {
+    let settings = cell.settings;
+    let tpt = settings.ticks_per_tau;
     let channel = tcw_mac::ChannelConfig {
-        ticks_per_tau: settings.ticks_per_tau,
+        ticks_per_tau: tpt,
         message_slots: PANEL.m,
         guard: settings.guard,
     };
-    let tpt = settings.ticks_per_tau;
-    let lambda = PANEL.lambda();
-    let ticks_per_msg = tpt as f64 / lambda;
-    let warmup_end = (settings.warmup as f64 * ticks_per_msg) as u64;
-    let measure_end = warmup_end + (settings.messages as f64 * ticks_per_msg) as u64;
-    let measure = MeasureConfig {
-        start: Time::from_ticks(warmup_end),
-        end: Time::from_ticks(measure_end),
-        deadline: Dur::from_ticks(K_TAU * tpt),
-    };
-    let mut eng = poisson_engine(channel, policy, measure, PANEL.rho_prime, 50, seed);
+    let measure = measure_window(PANEL.lambda(), settings, Dur::from_ticks(K_TAU * tpt));
+    let measure_end = measure.end.ticks();
+    let stations = cell.single_buffer.unwrap_or(50);
+    let mut eng = poisson_engine(
+        channel,
+        cell.policy.clone(),
+        measure,
+        PANEL.rho_prime,
+        stations,
+        cell.seed,
+    );
+    if cell.single_buffer.is_some() {
+        eng.set_single_buffer_stations(true);
+    }
     eng.run_until(
         Time::from_ticks(measure_end + measure_end / 10),
         &mut NoopObserver,
     );
     eng.drain(&mut NoopObserver);
-    Run {
-        name: name.to_string(),
+    let offered = eng.metrics.offered().max(1);
+    Outcome {
         loss: eng.metrics.loss_fraction(),
         ci: eng.metrics.loss_ci95(),
         utilization: eng.channel_stats.utilization(),
+        blocked_frac: eng.metrics.blocked() as f64 / offered as f64,
     }
 }
 
@@ -86,6 +112,8 @@ fn controlled_with(
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&args);
     let settings = SimSettings {
         messages: 30_000,
         warmup: 3_000,
@@ -93,18 +121,19 @@ fn main() {
     };
     let tpt = settings.ticks_per_tau;
     let w_star = Dur::from_ticks((optimal_mu() / PANEL.lambda() * tpt as f64) as u64);
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut report = |r: Run| {
-        println!(
-            "  {:<44} loss = {:.4} ± {:.4}   utilization = {:.3}",
-            r.name, r.loss, r.ci, r.utilization
-        );
-        rows.push(vec![
-            r.name.clone(),
-            format!("{:.6}", r.loss),
-            format!("{:.6}", r.ci),
-            format!("{:.6}", r.utilization),
-        ]);
+    let mut cells: Vec<Cell> = Vec::new();
+    let cell = |header: Option<&'static str>,
+                name: String,
+                policy: ControlPolicy,
+                settings: SimSettings,
+                seed: u64| Cell {
+        header,
+        footer: None,
+        name,
+        policy,
+        settings,
+        seed,
+        single_buffer: None,
     };
 
     println!(
@@ -112,11 +141,13 @@ fn main() {
         PANEL.rho_prime, PANEL.m, settings.messages
     );
 
-    println!("-- element (4): sender discard --");
-    for (name, discard) in [
+    for (i, (name, discard)) in [
         ("controlled (discard on)", true),
         ("no discard (fcfs order)", false),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let p = controlled_with(
             WindowPosition::Oldest,
             SplitRule::OlderFirst,
@@ -124,15 +155,18 @@ fn main() {
             discard,
             tpt,
         );
-        report(run_policy(name, p, settings, 11));
+        let header = (i == 0).then_some("-- element (4): sender discard --");
+        cells.push(cell(header, name.to_string(), p, settings, 11));
     }
 
-    println!("\n-- element (3): split rule (discard on) --");
-    for (name, split) in [
+    for (i, (name, split)) in [
         ("older-first (optimal)", SplitRule::OlderFirst),
         ("newer-first", SplitRule::NewerFirst),
         ("random half", SplitRule::Random),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let p = controlled_with(
             WindowPosition::Oldest,
             split,
@@ -140,15 +174,18 @@ fn main() {
             true,
             tpt,
         );
-        report(run_policy(name, p, settings, 12));
+        let header = (i == 0).then_some("\n-- element (3): split rule (discard on) --");
+        cells.push(cell(header, name.to_string(), p, settings, 12));
     }
 
-    println!("\n-- element (1): window position (discard on) --");
-    for (name, pos) in [
+    for (i, (name, pos)) in [
         ("oldest (optimal)", WindowPosition::Oldest),
         ("newest", WindowPosition::Newest),
         ("random", WindowPosition::Random),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let p = controlled_with(
             pos,
             SplitRule::OlderFirst,
@@ -156,11 +193,11 @@ fn main() {
             true,
             tpt,
         );
-        report(run_policy(name, p, settings, 13));
+        let header = (i == 0).then_some("\n-- element (1): window position (discard on) --");
+        cells.push(cell(header, name.to_string(), p, settings, 13));
     }
 
-    println!("\n-- element (2): window length --");
-    for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
+    for (i, scale) in [0.25, 0.5, 1.0, 2.0, 4.0].into_iter().enumerate() {
         let w = Dur::from_ticks(((w_star.ticks() as f64) * scale).max(1.0) as u64);
         let p = controlled_with(
             WindowPosition::Oldest,
@@ -169,8 +206,10 @@ fn main() {
             true,
             tpt,
         );
-        report(run_policy(
-            &format!("fixed w = {scale} * w_heuristic"),
+        let header = (i == 0).then_some("\n-- element (2): window length --");
+        cells.push(cell(
+            header,
+            format!("fixed w = {scale} * w_heuristic"),
             p,
             settings,
             14,
@@ -201,13 +240,19 @@ fn main() {
             true,
             tpt,
         );
-        report(run_policy("SMDP-optimal w*(backlog)", p, settings, 15));
+        cells.push(cell(
+            None,
+            "SMDP-optimal w*(backlog)".to_string(),
+            p,
+            settings,
+            15,
+        ));
     }
 
-    println!("\n-- §5 extension: split fraction (older part share) --");
     {
         use tcw_window::analysis::{expected_overhead_slots_biased, optimal_mu_and_fraction};
-        for frac in [0.3, 0.4, 0.5, 0.6, 0.7] {
+        let fracs = [0.3, 0.4, 0.5, 0.6, 0.7];
+        for (i, frac) in fracs.into_iter().enumerate() {
             let p = ControlPolicy {
                 split_fraction: frac,
                 ..controlled_with(
@@ -218,24 +263,26 @@ fn main() {
                     tpt,
                 )
             };
-            report(run_policy(
-                &format!("split fraction {frac}"),
-                p,
-                settings,
-                17,
-            ));
+            let header =
+                (i == 0).then_some("\n-- §5 extension: split fraction (older part share) --");
+            let mut c = cell(header, format!("split fraction {frac}"), p, settings, 17);
+            if i == fracs.len() - 1 {
+                let (mu, frac, e) = optimal_mu_and_fraction();
+                let mu_half = tcw_window::analysis::optimal_mu();
+                c.footer = Some(format!(
+                    "  analytic joint optimum: frac = {frac:.3}, mu = {mu:.3}, E[overhead] = {e:.4} \
+                     (halving at its own optimum mu = {mu_half:.3}: {:.4})",
+                    expected_overhead_slots_biased(mu_half, 0.5)
+                ));
+            }
+            cells.push(c);
         }
-        let (mu, frac, e) = optimal_mu_and_fraction();
-        let mu_half = tcw_window::analysis::optimal_mu();
-        println!(
-            "  analytic joint optimum: frac = {frac:.3}, mu = {mu:.3}, E[overhead] = {e:.4} \
-             (halving at its own optimum mu = {mu_half:.3}: {:.4})",
-            expected_overhead_slots_biased(mu_half, 0.5)
-        );
     }
 
-    println!("\n-- guard slot after transmissions --");
-    for (name, guard) in [("no guard (paper's model)", false), ("one tau guard", true)] {
+    for (i, (name, guard)) in [("no guard (paper's model)", false), ("one tau guard", true)]
+        .into_iter()
+        .enumerate()
+    {
         let p = controlled_with(
             WindowPosition::Oldest,
             SplitRule::OlderFirst,
@@ -243,62 +290,72 @@ fn main() {
             true,
             tpt,
         );
-        report(run_policy(name, p, SimSettings { guard, ..settings }, 16));
+        let header = (i == 0).then_some("\n-- guard slot after transmissions --");
+        cells.push(cell(
+            header,
+            name.to_string(),
+            p,
+            SimSettings { guard, ..settings },
+            16,
+        ));
     }
 
-    println!("\n-- finite population: single-buffer stations --");
-    {
-        // The analysis treats every message as an independent transmitter
-        // (infinite population). With N single-buffer stations, arrivals
-        // at a busy station are blocked; the blocked fraction measures how
-        // fast the assumption becomes accurate as N grows.
-        for stations in [5u32, 10, 25, 50, 200] {
-            let p = controlled_with(
-                WindowPosition::Oldest,
-                SplitRule::OlderFirst,
-                WindowLength::Fixed(w_star),
-                true,
-                tpt,
-            );
-            let channel = tcw_mac::ChannelConfig {
-                ticks_per_tau: tpt,
-                message_slots: PANEL.m,
-                guard: false,
-            };
-            let lambda = PANEL.lambda();
-            let ticks_per_msg = tpt as f64 / lambda;
-            let warmup_end = (settings.warmup as f64 * ticks_per_msg) as u64;
-            let measure_end = warmup_end + (settings.messages as f64 * ticks_per_msg) as u64;
-            let measure = MeasureConfig {
-                start: Time::from_ticks(warmup_end),
-                end: Time::from_ticks(measure_end),
-                deadline: Dur::from_ticks(K_TAU * tpt),
-            };
-            let mut eng = poisson_engine(channel, p, measure, PANEL.rho_prime, stations, 18);
-            eng.set_single_buffer_stations(true);
-            eng.run_until(
-                Time::from_ticks(measure_end + measure_end / 10),
-                &mut NoopObserver,
-            );
-            eng.drain(&mut NoopObserver);
-            let offered = eng.metrics.offered().max(1);
-            let blocked_frac = eng.metrics.blocked() as f64 / offered as f64;
-            let r = Run {
-                name: format!("{stations} single-buffer stations"),
-                loss: eng.metrics.loss_fraction(),
-                ci: eng.metrics.loss_ci95(),
-                utilization: eng.channel_stats.utilization(),
-            };
+    // The analysis treats every message as an independent transmitter
+    // (infinite population). With N single-buffer stations, arrivals
+    // at a busy station are blocked; the blocked fraction measures how
+    // fast the assumption becomes accurate as N grows.
+    for (i, stations) in [5u32, 10, 25, 50, 200].into_iter().enumerate() {
+        let p = controlled_with(
+            WindowPosition::Oldest,
+            SplitRule::OlderFirst,
+            WindowLength::Fixed(w_star),
+            true,
+            tpt,
+        );
+        let header = (i == 0).then_some("\n-- finite population: single-buffer stations --");
+        let mut c = cell(
+            header,
+            format!("{stations} single-buffer stations"),
+            p,
+            settings,
+            18,
+        );
+        c.single_buffer = Some(stations);
+        cells.push(c);
+    }
+
+    let outcomes = run_parallel(&cells, jobs, |_, c| run_cell(c));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (c, r) in cells.iter().zip(&outcomes) {
+        if let Some(h) = c.header {
+            println!("{h}");
+        }
+        if c.single_buffer.is_some() {
             println!(
                 "  {:<44} loss = {:.4} ± {:.4}   blocked = {:.4}",
-                r.name, r.loss, r.ci, blocked_frac
+                c.name, r.loss, r.ci, r.blocked_frac
             );
             rows.push(vec![
-                r.name.clone(),
+                c.name.clone(),
                 format!("{:.6}", r.loss),
                 format!("{:.6}", r.ci),
-                format!("{:.6}", blocked_frac),
+                format!("{:.6}", r.blocked_frac),
             ]);
+        } else {
+            println!(
+                "  {:<44} loss = {:.4} ± {:.4}   utilization = {:.3}",
+                c.name, r.loss, r.ci, r.utilization
+            );
+            rows.push(vec![
+                c.name.clone(),
+                format!("{:.6}", r.loss),
+                format!("{:.6}", r.ci),
+                format!("{:.6}", r.utilization),
+            ]);
+        }
+        if let Some(f) = &c.footer {
+            println!("{f}");
         }
     }
 

@@ -24,6 +24,7 @@ use std::path::Path;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
 use tcw_experiments::replay::{execute, panic_message, replay, FailureRecord};
 use tcw_experiments::runner::{simulate_churn, ChurnSimPoint, PolicyKind, SimSettings};
+use tcw_experiments::sweep::{jobs_from_args, run_parallel};
 use tcw_experiments::Panel;
 use tcw_mac::{ChurnPlan, FaultPlan};
 
@@ -76,6 +77,7 @@ fn main() {
     if args.len() >= 3 && args[1] == "--replay" {
         std::process::exit(replay(Path::new(&args[2])));
     }
+    let jobs = jobs_from_args(&args[1..]);
 
     let results = Path::new("results");
     let failures_dir = results.join("failures");
@@ -85,12 +87,18 @@ fn main() {
     let glyphs = ['o', '+', 'x'];
 
     println!("station-churn sweep: controlled protocol, M={M}, K={K_TAU} tau, down={DOWN_SLOTS} slots, catch-up={CATCH_UP_SLOTS} slots\n");
-    for (li, &rho) in LOADS.iter().enumerate() {
-        let mut points = Vec::new();
-        let mut baseline_loss = 0.0;
-        for &c in &CRASH_RATES {
+
+    // One parallel sweep over the whole load × crash-rate grid; panics
+    // are caught per cell so failure reporting (and the replay artifact)
+    // still happens in deterministic cell order below.
+    let cells: Vec<(f64, f64)> = LOADS
+        .iter()
+        .flat_map(|&rho| CRASH_RATES.iter().map(move |&c| (rho, c)))
+        .collect();
+    let outcomes: Vec<Result<ChurnSimPoint, String>> =
+        run_parallel(&cells, jobs, |_, &(rho, c)| {
             let rec = base_record(rho, sweep_plan(c));
-            let csp: ChurnSimPoint = match catch_unwind(AssertUnwindSafe(|| {
+            catch_unwind(AssertUnwindSafe(|| {
                 simulate_churn(
                     rec.panel,
                     rec.policy,
@@ -100,12 +108,22 @@ fn main() {
                     rec.plan,
                     rec.churn,
                 )
-            })) {
+            }))
+            .map_err(panic_message)
+        });
+
+    let mut outcome_iter = outcomes.into_iter();
+    for (li, &rho) in LOADS.iter().enumerate() {
+        let mut points = Vec::new();
+        let mut baseline_loss = 0.0;
+        for &c in &CRASH_RATES {
+            let rec = base_record(rho, sweep_plan(c));
+            let csp: ChurnSimPoint = match outcome_iter.next().expect("one outcome per cell") {
                 Ok(csp) => csp,
-                Err(payload) => {
+                Err(message) => {
                     let mut failed = rec.clone();
                     failed.kind = "panic".to_string();
-                    failed.detail = panic_message(payload);
+                    failed.detail = message;
                     let path = failures_dir.join(format!(
                         "failure_panic_seed{}_rho{:02}_c{:04}.json",
                         rec.seed,

@@ -11,11 +11,13 @@
 //!
 //! Output: `results/fig7_<panel>.csv` plus an ASCII rendering of each
 //! panel and a summary of the shape checks. Run with `--quick` for a
-//! fast smoke pass (fewer messages), or pass a panel id (e.g. `rho50_m25`)
-//! to regenerate a single panel.
+//! fast smoke pass (fewer messages), `--jobs N` to set the sweep worker
+//! count (`--jobs 1` reproduces the serial output byte-for-byte), or
+//! pass a panel id (e.g. `rho50_m25`) to regenerate a single panel.
 
 use std::path::{Path, PathBuf};
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
+use tcw_experiments::sweep::run_parallel;
 use tcw_experiments::{simulate_panel, Panel, PolicyKind, SimPoint, SimSettings, PANELS};
 use tcw_queueing::marching::{controlled_curve, fcfs_curve, lcfs_curve, CurvePoint, PanelConfig};
 use tcw_queueing::service::SchedulingShape;
@@ -30,32 +32,64 @@ struct PanelResult {
     sim_lcfs: Vec<SimPoint>,
 }
 
-fn run_panel(panel: Panel, settings: SimSettings, seed: u64) -> PanelResult {
-    let cfg = PanelConfig {
-        m: panel.m,
-        rho_prime: panel.rho_prime,
-        shape: SchedulingShape::Geometric,
-    };
-    let grid = panel.k_grid();
-    let sim_grid = panel.k_grid_sim();
-    let analytic_controlled = controlled_curve(cfg, &grid);
-    let analytic_fcfs = fcfs_curve(cfg, &grid, true);
-    let analytic_lcfs = lcfs_curve(cfg, &grid, true);
-    let run = |kind: PolicyKind, salt: u64| -> Vec<SimPoint> {
-        sim_grid
-            .iter()
-            .map(|&k| simulate_panel(panel, kind, k, settings, seed ^ salt ^ (k as u64)))
-            .collect()
-    };
-    PanelResult {
-        panel,
-        analytic_controlled,
-        analytic_fcfs,
-        analytic_lcfs,
-        sim_controlled: run(PolicyKind::Controlled, 0x01),
-        sim_fcfs: run(PolicyKind::Fcfs, 0x02),
-        sim_lcfs: run(PolicyKind::Lcfs, 0x03),
+/// One simulated point of the Figure-7 grid, fully specified (the seed
+/// mixes the panel salt and K exactly like the historical serial loop).
+struct Job {
+    panel: Panel,
+    kind: PolicyKind,
+    k: f64,
+    seed: u64,
+}
+
+const KINDS: [(PolicyKind, u64); 3] = [
+    (PolicyKind::Controlled, 0x01),
+    (PolicyKind::Fcfs, 0x02),
+    (PolicyKind::Lcfs, 0x03),
+];
+
+/// Runs every selected panel: analytic curves inline (cheap marching),
+/// all simulated points of all panels through one parallel sweep, then
+/// reassembles each panel's three point series in grid order.
+fn run_panels(panels: &[Panel], settings: SimSettings, seed: u64, jobs: usize) -> Vec<PanelResult> {
+    let mut cells = Vec::new();
+    for &panel in panels {
+        for (kind, salt) in KINDS {
+            for &k in &panel.k_grid_sim() {
+                cells.push(Job {
+                    panel,
+                    kind,
+                    k,
+                    seed: seed ^ salt ^ (k as u64),
+                });
+            }
+        }
     }
+    let points = run_parallel(&cells, jobs, |_, j| {
+        simulate_panel(j.panel, j.kind, j.k, settings, j.seed)
+    });
+
+    let mut results = Vec::new();
+    let mut cursor = points.into_iter();
+    for &panel in panels {
+        let cfg = PanelConfig {
+            m: panel.m,
+            rho_prime: panel.rho_prime,
+            shape: SchedulingShape::Geometric,
+        };
+        let grid = panel.k_grid();
+        let n_sim = panel.k_grid_sim().len();
+        let mut take = |n: usize| -> Vec<SimPoint> { cursor.by_ref().take(n).collect() };
+        results.push(PanelResult {
+            panel,
+            analytic_controlled: controlled_curve(cfg, &grid),
+            analytic_fcfs: fcfs_curve(cfg, &grid, true),
+            analytic_lcfs: lcfs_curve(cfg, &grid, true),
+            sim_controlled: take(n_sim),
+            sim_fcfs: take(n_sim),
+            sim_lcfs: take(n_sim),
+        });
+    }
+    results
 }
 
 fn emit(result: &PanelResult, out_dir: &Path) {
@@ -217,7 +251,11 @@ fn emit(result: &PanelResult, out_dir: &Path) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let panel_filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let jobs = tcw_experiments::jobs_from_args(&args);
+    let panel_filter: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .collect();
     let settings = if quick {
         SimSettings {
             messages: 5_000,
@@ -233,11 +271,11 @@ fn main() {
         "Reproducing Figure 7 ({} messages per simulated point; seed base 42)\n",
         settings.messages
     );
-    for panel in PANELS {
-        if !panel_filter.is_empty() && !panel_filter.iter().any(|f| **f == panel.id()) {
-            continue;
-        }
-        let result = run_panel(panel, settings, 42);
+    let panels: Vec<Panel> = PANELS
+        .into_iter()
+        .filter(|panel| panel_filter.is_empty() || panel_filter.iter().any(|f| **f == panel.id()))
+        .collect();
+    for result in run_panels(&panels, settings, 42, jobs) {
         emit(&result, &out_dir);
     }
 }

@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
 use tcw_experiments::replay::{execute, panic_message, replay, FailureRecord};
 use tcw_experiments::runner::{simulate_panel_faulty, FaultSimPoint, PolicyKind, SimSettings};
+use tcw_experiments::sweep::{jobs_from_args, run_parallel};
 use tcw_experiments::Panel;
 use tcw_mac::{ChurnPlan, FaultPlan};
 
@@ -80,6 +81,7 @@ fn main() {
     if args.len() >= 3 && args[1] == "--replay" {
         std::process::exit(replay(Path::new(&args[2])));
     }
+    let jobs = jobs_from_args(&args[1..]);
 
     let results = Path::new("results");
     let failures_dir = results.join("failures");
@@ -89,11 +91,19 @@ fn main() {
     let glyphs = ['o', '+', 'x'];
 
     println!("fault-injection sweep: controlled protocol, M={M}, K={K_TAU} tau\n");
-    for (li, &rho) in LOADS.iter().enumerate() {
-        let mut points = Vec::new();
-        for &p in &FAULT_PROBS {
+
+    // The full load × fault-probability grid runs as one parallel sweep;
+    // each worker catches its cell's panic so a failing cell is reported
+    // (and its replay artifact written) in deterministic cell order below,
+    // exactly as the serial sweep did.
+    let cells: Vec<(f64, f64)> = LOADS
+        .iter()
+        .flat_map(|&rho| FAULT_PROBS.iter().map(move |&p| (rho, p)))
+        .collect();
+    let outcomes: Vec<Result<FaultSimPoint, String>> =
+        run_parallel(&cells, jobs, |_, &(rho, p)| {
             let rec = base_record(rho, FaultPlan::uniform(p));
-            let fsp: FaultSimPoint = match catch_unwind(AssertUnwindSafe(|| {
+            catch_unwind(AssertUnwindSafe(|| {
                 simulate_panel_faulty(
                     rec.panel,
                     rec.policy,
@@ -102,12 +112,21 @@ fn main() {
                     rec.seed,
                     rec.plan,
                 )
-            })) {
+            }))
+            .map_err(panic_message)
+        });
+
+    let mut outcome_iter = outcomes.into_iter();
+    for (li, &rho) in LOADS.iter().enumerate() {
+        let mut points = Vec::new();
+        for &p in &FAULT_PROBS {
+            let rec = base_record(rho, FaultPlan::uniform(p));
+            let fsp: FaultSimPoint = match outcome_iter.next().expect("one outcome per cell") {
                 Ok(fsp) => fsp,
-                Err(payload) => {
+                Err(message) => {
                     let mut failed = rec.clone();
                     failed.kind = "panic".to_string();
-                    failed.detail = panic_message(payload);
+                    failed.detail = message;
                     let path = failures_dir.join(format!(
                         "failure_panic_seed{}_rho{:02}_p{:02}.json",
                         rec.seed,

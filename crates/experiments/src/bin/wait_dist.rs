@@ -15,6 +15,7 @@
 
 use std::path::PathBuf;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
+use tcw_experiments::sweep::{jobs_from_args, run_parallel};
 use tcw_mac::ChannelConfig;
 use tcw_numerics::grid::renewal_series;
 use tcw_queueing::marching::{controlled_curve, PanelConfig};
@@ -27,6 +28,8 @@ use tcw_window::policy::ControlPolicy;
 use tcw_window::trace::NoopObserver;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&args);
     let (rho_prime, m, k_tau) = (0.75f64, 25u64, 200.0f64);
     let lambda = rho_prime / m as f64;
     println!("waiting-time distribution at rho' = {rho_prime}, M = {m}, K = {k_tau} tau\n");
@@ -49,40 +52,49 @@ fn main() {
     let analytic_cdf = |w: f64| series.partial_sum(w) / z_k;
 
     // --- simulated -------------------------------------------------------
+    // One cell on the sweep executor: this figure needs a single long
+    // run, so the executor is used for interface uniformity with the
+    // sweep binaries (`--jobs` is accepted, extra workers stay idle).
     let tpt = 64u64;
-    let channel = ChannelConfig {
-        ticks_per_tau: tpt,
-        message_slots: m,
-        guard: false,
-    };
-    let k = Dur::from_ticks((k_tau * tpt as f64) as u64);
-    let w_star = Dur::from_ticks((optimal_mu() / lambda * tpt as f64) as u64);
-    let measure = MeasureConfig {
-        start: Time::from_ticks(500_000),
-        end: Time::from_ticks(120_000_000),
-        deadline: k,
-    };
-    let mut eng = poisson_engine(
-        channel,
-        ControlPolicy::controlled(k, w_star),
-        measure,
-        rho_prime,
-        50,
-        77,
-    );
-    eng.run_until(Time::from_ticks(130_000_000), &mut NoopObserver);
-    eng.drain(&mut NoopObserver);
-    let hist = eng.metrics.paper_delay_histogram();
+    let grid: Vec<f64> = (1..=40).map(|i| k_tau * i as f64 / 40.0).collect();
+    let seeds = [77u64];
+    let sim = run_parallel(&seeds, jobs, |_, &seed| {
+        let channel = ChannelConfig {
+            ticks_per_tau: tpt,
+            message_slots: m,
+            guard: false,
+        };
+        let k = Dur::from_ticks((k_tau * tpt as f64) as u64);
+        let w_star = Dur::from_ticks((optimal_mu() / lambda * tpt as f64) as u64);
+        let measure = MeasureConfig {
+            start: Time::from_ticks(500_000),
+            end: Time::from_ticks(120_000_000),
+            deadline: k,
+        };
+        let mut eng = poisson_engine(
+            channel,
+            ControlPolicy::controlled(k, w_star),
+            measure,
+            rho_prime,
+            50,
+            seed,
+        );
+        eng.run_until(Time::from_ticks(130_000_000), &mut NoopObserver);
+        eng.drain(&mut NoopObserver);
+        let hist = eng.metrics.paper_delay_histogram();
+        let cdf: Vec<f64> = grid.iter().map(|&w| hist.cdf(w * tpt as f64)).collect();
+        (cdf, eng.metrics.offered())
+    });
+    let (sim_cdf, offered) = &sim[0];
 
     // --- compare ----------------------------------------------------------
     let mut rows = Vec::new();
     let mut sup = 0.0f64;
     let mut ana_pts = Vec::new();
     let mut sim_pts = Vec::new();
-    for i in 1..=40 {
-        let w = k_tau * i as f64 / 40.0;
+    for (i, &w) in grid.iter().enumerate() {
         let a = analytic_cdf(w);
-        let s = hist.cdf(w * tpt as f64);
+        let s = sim_cdf[i];
         sup = sup.max((a - s).abs());
         rows.push(vec![
             format!("{w:.1}"),
@@ -115,7 +127,7 @@ fn main() {
         1.0,
     );
     println!("{plot}");
-    println!("messages simulated : {}", eng.metrics.offered());
+    println!("messages simulated : {offered}");
     println!("sup |analytic - simulated| over the CDF grid = {sup:.4}");
     println!("data: {}", path.display());
     if sup > 0.05 {

@@ -27,6 +27,7 @@ pub mod panels;
 pub mod plot;
 pub mod replay;
 pub mod runner;
+pub mod sweep;
 
 pub use panels::{Panel, PANELS};
 pub use replay::FailureRecord;
@@ -34,3 +35,4 @@ pub use runner::{
     simulate_panel, simulate_panel_faulty, simulate_with_detector, DetectorReport, FaultCounters,
     FaultSimPoint, PolicyKind, SimPoint, SimSettings,
 };
+pub use sweep::{jobs_from_args, run_parallel, Cell};

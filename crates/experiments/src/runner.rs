@@ -147,6 +147,35 @@ pub struct ChurnSimPoint {
     pub churn: ChurnCounters,
 }
 
+/// Converts the message-count knobs into the measurement window at
+/// offered rate `lambda` (messages per `tau`): warm up for
+/// `settings.warmup` expected messages, then measure for
+/// `settings.messages` expected messages.
+///
+/// Every run that measures loss goes through this helper — the panel
+/// runners and the failure-replay path via [`build_engine`], and the
+/// ablation binary directly — so "the window where metrics count" is
+/// defined exactly once.
+pub fn measure_window(lambda: f64, settings: SimSettings, deadline: Dur) -> MeasureConfig {
+    let ticks_per_msg = settings.ticks_per_tau as f64 / lambda;
+    let warmup_end = (settings.warmup as f64 * ticks_per_msg) as u64;
+    let measure_end = warmup_end + (settings.messages as f64 * ticks_per_msg) as u64;
+    MeasureConfig {
+        start: Time::from_ticks(warmup_end),
+        end: Time::from_ticks(measure_end),
+        deadline,
+    }
+}
+
+/// The run horizon for a measurement window: continue 10% of the window
+/// past its end so late messages resolve under realistic load, plus a
+/// 64-`tau` tail, before the final drain.
+pub fn run_horizon(measure: MeasureConfig, ticks_per_tau: u64) -> Time {
+    let start = measure.start.ticks();
+    let end = measure.end.ticks();
+    Time::from_ticks(end + (end - start) / 10 + 64 * ticks_per_tau)
+}
+
 /// Builds the engine for one panel point; returns it with the run horizon
 /// and the policy (so observers needing the shared policy/seed can be
 /// constructed alongside).
@@ -178,19 +207,8 @@ fn build_engine(
         PolicyKind::Random => ControlPolicy::random(w),
     };
 
-    // Convert message counts to a time horizon.
-    let ticks_per_msg = settings.ticks_per_tau as f64 / (lambda / 1.0);
-    let warmup_end = (settings.warmup as f64 * ticks_per_msg) as u64;
-    let measure_end = warmup_end + (settings.messages as f64 * ticks_per_msg) as u64;
-    // Let the run continue past the measurement window so late messages
-    // resolve under realistic load, then drain.
-    let horizon = measure_end + (measure_end - warmup_end) / 10 + 64 * settings.ticks_per_tau;
-
-    let measure = MeasureConfig {
-        start: Time::from_ticks(warmup_end),
-        end: Time::from_ticks(measure_end),
-        deadline: k,
-    };
+    let measure = measure_window(lambda, settings, k);
+    let horizon = run_horizon(measure, settings.ticks_per_tau);
     let eng = poisson_engine(
         channel,
         policy.clone(),
@@ -199,7 +217,7 @@ fn build_engine(
         settings.stations,
         seed,
     );
-    (eng, Time::from_ticks(horizon), policy)
+    (eng, horizon, policy)
 }
 
 /// Collects the measured point from a finished engine, asserting the
@@ -415,6 +433,14 @@ pub struct Replicated {
 /// Runs `replications` independent seeds of the same panel point and
 /// aggregates with a t-interval.
 ///
+/// Replication `r` runs under master seed
+/// [`tcw_sim::rng::stream_seed`]`(base_seed, r)` — the `r`-th output of
+/// the SplitMix64 sequence rooted at `base_seed` — and the engine forks
+/// its per-component substreams from that master seed, so replications
+/// never share a stream. Replications execute on the parallel sweep
+/// executor; each is seeded independently and aggregation happens in
+/// replication order, so the result is identical at any worker count.
+///
 /// # Panics
 /// Panics if `replications < 2`.
 pub fn replicate_panel(
@@ -426,18 +452,17 @@ pub fn replicate_panel(
     replications: u32,
 ) -> Replicated {
     assert!(replications >= 2);
+    let seeds: Vec<u64> = (0..u64::from(replications))
+        .map(|r| tcw_sim::rng::stream_seed(base_seed, r))
+        .collect();
+    let losses = crate::sweep::run_parallel(&seeds, crate::sweep::default_jobs(), |_, &seed| {
+        simulate_panel(panel, kind, k_tau, settings, seed).loss
+    });
     // BatchMeans with batch size 1: each replication is one independent
     // batch, so the collector's t-interval is exactly the replication CI.
     let mut bm = tcw_sim::stats::BatchMeans::new(1);
-    for r in 0..replications {
-        let p = simulate_panel(
-            panel,
-            kind,
-            k_tau,
-            settings,
-            base_seed ^ (0x9E37 + r as u64),
-        );
-        bm.record(p.loss);
+    for loss in losses {
+        bm.record(loss);
     }
     Replicated {
         loss: bm.mean(),

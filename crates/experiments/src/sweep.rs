@@ -1,0 +1,223 @@
+//! Parallel sweep execution.
+//!
+//! Every experiment binary sweeps a grid of *cells* — fully specified,
+//! mutually independent simulation points (panel × policy × deadline ×
+//! seed × fault/churn plan). Cells share no state: each engine derives
+//! every random draw from its own master seed, so the grid is
+//! embarrassingly parallel and the paper's Section-5 panels can use all
+//! available cores.
+//!
+//! [`run_parallel`] executes a slice of cells on a small work-stealing
+//! pool built on `std::thread::scope` (the workspace stays
+//! dependency-free): workers pull the next unclaimed index from a shared
+//! atomic counter and send `(index, result)` back over a channel, and
+//! results are reassembled **in cell order** before returning.
+//! Determinism therefore does not depend on scheduling:
+//!
+//! * with `jobs == 1` the cells run inline on the calling thread, in
+//!   order — byte-identical to the historical serial loops;
+//! * with `jobs > 1` each cell still computes exactly the same value
+//!   (its seed is part of the cell), and reassembly restores cell order,
+//!   so CSV/TXT outputs are byte-identical to the serial run. The
+//!   `sweep_determinism` integration test pins this property.
+//!
+//! Binaries expose the pool width as `--jobs N` (parsed by
+//! [`jobs_from_args`]; default: available parallelism).
+
+use crate::runner::{simulate_churn, ChurnSimPoint, PolicyKind, SimSettings};
+use crate::Panel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// One fully specified simulation point of a sweep grid.
+///
+/// A `Cell` carries everything a worker needs — including the master
+/// seed — so running it is a pure function of the cell. Plans default to
+/// [`tcw_mac::FaultPlan::none`] / [`tcw_mac::ChurnPlan::none`], which
+/// are bit-identical to fault- and churn-free builds.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Workload panel (offered load and message length).
+    pub panel: Panel,
+    /// Protocol variant.
+    pub policy: PolicyKind,
+    /// Deadline in units of `tau`.
+    pub k_tau: f64,
+    /// Simulation-size knobs.
+    pub settings: SimSettings,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Injected fault plan.
+    pub plan: tcw_mac::FaultPlan,
+    /// Injected churn plan.
+    pub churn: tcw_mac::ChurnPlan,
+}
+
+impl Cell {
+    /// A clean (fault- and churn-free) cell.
+    pub fn clean(
+        panel: Panel,
+        policy: PolicyKind,
+        k_tau: f64,
+        settings: SimSettings,
+        seed: u64,
+    ) -> Self {
+        Cell {
+            panel,
+            policy,
+            k_tau,
+            settings,
+            seed,
+            plan: tcw_mac::FaultPlan::none(),
+            churn: tcw_mac::ChurnPlan::none(),
+        }
+    }
+
+    /// Runs the cell to completion.
+    pub fn run(&self) -> ChurnSimPoint {
+        simulate_churn(
+            self.panel,
+            self.policy,
+            self.k_tau,
+            self.settings,
+            self.seed,
+            self.plan,
+            self.churn,
+        )
+    }
+}
+
+/// Runs every cell and reassembles the results in cell order.
+pub fn run_cells(cells: &[Cell], jobs: usize) -> Vec<ChurnSimPoint> {
+    run_parallel(cells, jobs, |_, c| c.run())
+}
+
+/// Executes `f` over `items` on `jobs` worker threads (work-stealing via
+/// a shared index counter) and returns the results **in item order**.
+///
+/// `f` receives `(index, &item)`. With `jobs <= 1` the items run inline
+/// on the calling thread in order, with no thread machinery at all. A
+/// panic inside `f` propagates to the caller in both modes (callers
+/// that must survive cell panics wrap `f`'s body in `catch_unwind`).
+pub fn run_parallel<I, T, F>(items: &[I], jobs: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every cell index was claimed by exactly one worker"))
+        .collect()
+}
+
+/// The default worker count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses `--jobs N` (or `--jobs=N`) out of a raw argument list,
+/// defaulting to [`default_jobs`]. `--jobs 1` forces the serial path.
+///
+/// # Panics
+/// Panics with a usage message when the flag is present but malformed.
+pub fn jobs_from_args(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let v = it.next().unwrap_or_else(|| panic!("--jobs needs a value"));
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("--jobs expects a positive integer, got {v:?}"));
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("--jobs expects a positive integer, got {v:?}"));
+        }
+    }
+    default_jobs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::panels::PANELS;
+
+    #[test]
+    fn parallel_matches_serial_order_and_values() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = run_parallel(&items, 1, |i, x| (i as u64) * 1_000 + x * x);
+        let parallel = run_parallel(&items, 4, |i, x| (i as u64) * 1_000 + x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items = [1u64, 2, 3];
+        assert_eq!(run_parallel(&items, 64, |_, x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: [u64; 0] = [];
+        assert!(run_parallel(&items, 8, |_, x| *x).is_empty());
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(jobs_from_args(&args(&["--quick", "--jobs", "3"])), 3);
+        assert_eq!(jobs_from_args(&args(&["--jobs=7"])), 7);
+        assert_eq!(jobs_from_args(&args(&["--quick"])), default_jobs());
+    }
+
+    #[test]
+    fn cell_results_are_independent_of_jobs() {
+        let settings = SimSettings {
+            messages: 300,
+            warmup: 50,
+            ticks_per_tau: 8,
+            ..Default::default()
+        };
+        let cells: Vec<Cell> = (0..4)
+            .map(|i| Cell::clean(PANELS[0], PolicyKind::Controlled, 100.0, settings, 100 + i))
+            .collect();
+        let serial = run_cells(&cells, 1);
+        let parallel = run_cells(&cells, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.point.loss.to_bits(), p.point.loss.to_bits());
+            assert_eq!(s.point.offered, p.point.offered);
+            assert_eq!(s.point.utilization.to_bits(), p.point.utilization.to_bits());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Determinism contract of the parallel sweep executor: a sweep run with
+//! `--jobs 4` must produce **byte-identical** CSV output to the serial
+//! `--jobs 1` run. The executor reassembles results in cell order, and
+//! every cell carries its own seed, so worker count and scheduling must
+//! be unobservable in the output.
+
+use std::path::PathBuf;
+use tcw_experiments::plot::write_csv;
+use tcw_experiments::runner::{PolicyKind, SimSettings};
+use tcw_experiments::sweep::{run_cells, Cell};
+use tcw_experiments::PANELS;
+use tcw_mac::{ChurnPlan, FaultPlan};
+
+fn small() -> SimSettings {
+    SimSettings {
+        ticks_per_tau: 8,
+        messages: 600,
+        warmup: 60,
+        ..Default::default()
+    }
+}
+
+/// The miniature robustness-style grid used by the test: two loads ×
+/// three fault probabilities, seeds mixed per cell like the binaries do.
+fn grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (li, &panel) in [PANELS[0], PANELS[4]].iter().enumerate() {
+        for (pi, &p) in [0.0, 0.02, 0.05].iter().enumerate() {
+            let mut c = Cell::clean(
+                panel,
+                PolicyKind::Controlled,
+                100.0,
+                small(),
+                1983 ^ ((li as u64) << 8) ^ pi as u64,
+            );
+            c.plan = FaultPlan::uniform(p);
+            if pi == 2 {
+                c.churn = ChurnPlan::crash_restart(0.002, 40, 100);
+            }
+            cells.push(c);
+        }
+    }
+    cells
+}
+
+/// Renders the sweep exactly like the experiment binaries render their
+/// CSVs: full-precision `{}` formatting of every float, one row per cell.
+fn render_rows(points: &[tcw_experiments::runner::ChurnSimPoint]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|csp| {
+            vec![
+                format!("{}", csp.point.loss),
+                format!("{}", csp.point.utilization),
+                format!("{}", csp.point.sched_time_mean),
+                format!("{}", csp.faults.corrupted_slots),
+                format!("{}", csp.faults.resyncs),
+                format!("{}", csp.churn.losses),
+                format!("{}", csp.churn.reopened),
+            ]
+        })
+        .collect()
+}
+
+fn csv_bytes(jobs: usize, tag: &str) -> Vec<u8> {
+    let points = run_cells(&grid(), jobs);
+    let path: PathBuf = std::env::temp_dir().join(format!("tcw_sweep_determinism_{tag}.csv"));
+    write_csv(
+        &path,
+        &[
+            "loss",
+            "utilization",
+            "sched_time_mean",
+            "corrupted_slots",
+            "resyncs",
+            "churn_losses",
+            "churn_reopened",
+        ],
+        &render_rows(&points),
+    )
+    .expect("write csv");
+    let bytes = std::fs::read(&path).expect("read csv back");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn parallel_sweep_csv_is_byte_identical_to_serial() {
+    let serial = csv_bytes(1, "jobs1");
+    let parallel = csv_bytes(4, "jobs4");
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "--jobs 4 CSV differs from --jobs 1 CSV");
+}
+
+#[test]
+fn parallel_sweep_points_are_bitwise_identical_to_serial() {
+    let cells = grid();
+    let serial = run_cells(&cells, 1);
+    let parallel = run_cells(&cells, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.point.loss.to_bits(), p.point.loss.to_bits(), "cell {i}");
+        assert_eq!(s.point.ci95.to_bits(), p.point.ci95.to_bits(), "cell {i}");
+        assert_eq!(
+            s.point.utilization.to_bits(),
+            p.point.utilization.to_bits(),
+            "cell {i}"
+        );
+        assert_eq!(s.point.offered, p.point.offered, "cell {i}");
+        assert_eq!(
+            s.faults.corrupted_slots, p.faults.corrupted_slots,
+            "cell {i}"
+        );
+        assert_eq!(s.faults.resyncs, p.faults.resyncs, "cell {i}");
+        assert_eq!(s.churn.losses, p.churn.losses, "cell {i}");
+        assert_eq!(s.churn.crashes, p.churn.crashes, "cell {i}");
+    }
+}

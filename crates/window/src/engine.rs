@@ -127,6 +127,30 @@ impl Default for ResyncPolicy {
     }
 }
 
+/// Scratch buffers reused across windowing rounds so the per-slot hot
+/// path performs no heap allocation once the buffers reach their
+/// high-water capacity.
+///
+/// Invariants: every buffer is *content-dead* between uses — each user
+/// clears (or overwrites) it before reading, so reuse can never leak
+/// state from one round into the next, and draining a buffer never
+/// changes an RNG draw or a probe decision (bit-identity is pinned by
+/// the golden-metrics tests).
+#[derive(Default)]
+struct RoundScratch {
+    /// Actual-time segments of the currently probed window.
+    segments: Vec<Interval>,
+    /// Segments of a sibling window (observer callback only).
+    sib_segments: Vec<Interval>,
+    /// Messages inside the probed window — the transmitter set; doubles
+    /// as the active set during sub-tick cluster resolution.
+    txs: Vec<Message>,
+    /// Ids of the live transmitters handed to the medium.
+    ids: Vec<MessageId>,
+    /// "Older" half of a sub-tick cluster partition.
+    older: Vec<Message>,
+}
+
 /// How a sub-tick cluster resolution ended.
 enum ClusterEnd {
     /// One message was isolated and delivered.
@@ -179,6 +203,19 @@ pub struct Engine<S: ArrivalSource> {
     /// Stations that restarted since the last decision point, with the
     /// probe slot of their restart (for rejoin-latency accounting).
     rejoining: Vec<(StationId, u64)>,
+    /// Per-round scratch buffers (see [`RoundScratch`]).
+    scratch: RoundScratch,
+    /// Reused pseudo-time snapshot; rebuilt in place at every decision
+    /// point so the hot path stops allocating gap/offset vectors.
+    pseudo: PseudoMap,
+    /// Reused key buffer for the membership sweeps (rejoin catch-up and
+    /// permanent leaves) that remove from `pending` while iterating.
+    sweep_keys: Vec<(Time, MessageId)>,
+    /// Swap partner of `orphans`/`rejoining`, so draining either list at
+    /// a decision point keeps its capacity instead of reallocating.
+    orphans_swap: Vec<(Time, MessageId)>,
+    /// See `orphans_swap`.
+    rejoining_swap: Vec<(StationId, u64)>,
     /// Loss/delay accounting.
     pub metrics: Metrics,
     /// Channel-time accounting.
@@ -222,6 +259,11 @@ impl<S: ArrivalSource> Engine<S> {
             churn_events: Vec::new(),
             churn_touched: HashSet::new(),
             rejoining: Vec::new(),
+            scratch: RoundScratch::default(),
+            pseudo: PseudoMap::default(),
+            sweep_keys: Vec::new(),
+            orphans_swap: Vec::new(),
+            rejoining_swap: Vec::new(),
             metrics: Metrics::new(cfg.measure),
             channel_stats: ChannelStats::new(),
         }
@@ -365,16 +407,20 @@ impl<S: ArrivalSource> Engine<S> {
                     .catch_up_slots
                     .saturating_mul(self.medium.config().ticks_per_tau),
             );
-            for (station, restart_slot) in std::mem::take(&mut self.rejoining) {
+            std::mem::swap(&mut self.rejoining, &mut self.rejoining_swap);
+            let mut keys = std::mem::take(&mut self.sweep_keys);
+            for i in 0..self.rejoining_swap.len() {
+                let (station, restart_slot) = self.rejoining_swap[i];
                 self.metrics
                     .on_rejoin(self.churn.slot().saturating_sub(restart_slot));
-                let keys: Vec<(Time, MessageId)> = self
-                    .pending
-                    .iter()
-                    .filter(|(_, m)| m.station == station)
-                    .map(|(&k, _)| k)
-                    .collect();
-                for (arrival, id) in keys {
+                keys.clear();
+                keys.extend(
+                    self.pending
+                        .iter()
+                        .filter(|(_, m)| m.station == station)
+                        .map(|(&k, _)| k),
+                );
+                for &(arrival, id) in &keys {
                     if !self.timeline.is_examined(arrival) {
                         continue;
                     }
@@ -395,6 +441,8 @@ impl<S: ArrivalSource> Engine<S> {
                     }
                 }
             }
+            self.rejoining_swap.clear();
+            self.sweep_keys = keys;
         }
 
         // Fault recovery: reopen the arrival intervals of messages
@@ -404,7 +452,9 @@ impl<S: ArrivalSource> Engine<S> {
         // reopened (oldest) intervals are served before younger backlog.
         if !self.orphans.is_empty() {
             let tick = Dur::from_ticks(1);
-            for (arrival, id) in std::mem::take(&mut self.orphans) {
+            std::mem::swap(&mut self.orphans, &mut self.orphans_swap);
+            for i in 0..self.orphans_swap.len() {
+                let (arrival, id) = self.orphans_swap[i];
                 if self.pending.contains_key(&(arrival, id)) {
                     let iv = Interval::new(arrival, arrival + tick);
                     self.timeline.reopen(iv);
@@ -412,6 +462,7 @@ impl<S: ArrivalSource> Engine<S> {
                     obs.on_reopen(iv);
                 }
             }
+            self.orphans_swap.clear();
         }
 
         // Policy element (4): discard over-age messages by marking their
@@ -439,7 +490,8 @@ impl<S: ArrivalSource> Engine<S> {
 
         obs.on_beacon(now, &self.timeline, &self.rng_policy);
 
-        let pm = PseudoMap::new(&self.timeline);
+        let mut pm = std::mem::take(&mut self.pseudo);
+        pm.rebuild(&self.timeline);
         let window = self
             .policy
             .choose_window(pm.backlog(), &mut self.rng_policy);
@@ -470,36 +522,56 @@ impl<S: ArrivalSource> Engine<S> {
                 self.churn_step(obs);
             }
             Some(w) => {
-                let segments = pm.preimage(w);
-                obs.on_decision(now, Some(&segments));
-                self.windowing_round(w, &pm, obs);
+                let mut bufs = std::mem::take(&mut self.scratch);
+                pm.preimage_into(w, &mut bufs.segments);
+                obs.on_decision(now, Some(&bufs.segments));
+                self.windowing_round(w, &pm, obs, &mut bufs);
+                self.scratch = bufs;
             }
         }
+        self.pseudo = pm;
     }
 
-    /// Messages with arrival time inside any of the window's segments,
-    /// oldest first.
-    fn in_segments(&self, segments: &[Interval]) -> Vec<Message> {
-        let mut out = Vec::new();
-        for s in segments {
-            out.extend(
-                self.pending
-                    .range((s.lo, MessageId(0))..(s.hi, MessageId(0)))
-                    .map(|(_, m)| *m),
-            );
+    /// Fills `out` with the pending messages whose arrival time lies
+    /// inside any of the window's segments, oldest first.
+    ///
+    /// One `BTreeMap::range` descent covers the whole window span; a
+    /// cursor over the (sorted, disjoint) segments filters out messages
+    /// stranded in the examined gaps between them. A probe slot thus
+    /// costs a single O(log n) descent plus O(messages in span) — not
+    /// one descent per segment with a fresh `Vec` per probe.
+    fn in_segments_into(&self, segments: &[Interval], out: &mut Vec<Message>) {
+        out.clear();
+        let (Some(first), Some(last)) = (segments.first(), segments.last()) else {
+            return;
+        };
+        let mut seg = 0usize;
+        for (&(t, _), m) in self
+            .pending
+            .range((first.lo, MessageId(0))..(last.hi, MessageId(0)))
+        {
+            // `t < last.hi` (range bound), so the cursor never runs off
+            // the end of the segment list.
+            while t >= segments[seg].hi {
+                seg += 1;
+            }
+            if t >= segments[seg].lo {
+                out.push(*m);
+            }
         }
-        out
     }
 
     /// Runs one windowing round starting from the pseudo window `initial`;
     /// ends on the first successful transmission or when the initial
     /// window proves empty. `pm` is the pseudo map frozen at the decision
-    /// point.
+    /// point; `bufs` is the engine's scratch (taken out of `self` by the
+    /// caller to satisfy the borrow checker).
     fn windowing_round(
         &mut self,
         initial: PseudoInterval,
         pm: &PseudoMap,
         obs: &mut dyn EngineObserver,
+        bufs: &mut RoundScratch,
     ) {
         let round_start = self.timeline.now();
         let mut overhead: u64 = 0;
@@ -512,18 +584,19 @@ impl<S: ArrivalSource> Engine<S> {
 
         loop {
             let now = self.timeline.now();
-            let segments = pm.preimage(current);
-            let mut txs = self.in_segments(&segments);
+            pm.preimage_into(current, &mut bufs.segments);
+            self.in_segments_into(&bufs.segments, &mut bufs.txs);
             if !self.churn.plan().is_none() {
                 // Down, absent or departed stations cannot transmit; their
                 // stranded backlog stays pending for rejoin recovery or
                 // the age discard.
-                self.churn.retain_up(&mut txs);
+                self.churn.retain_up(&mut bufs.txs);
             }
-            let ids: Vec<MessageId> = txs.iter().map(|m| m.id).collect();
-            let report = self.medium.probe(&ids);
+            bufs.ids.clear();
+            bufs.ids.extend(bufs.txs.iter().map(|m| m.id));
+            let report = self.medium.probe(&bufs.ids);
             if report.fault.is_some() {
-                for m in &txs {
+                for m in &bufs.txs {
                     self.fault_touched.insert(m.id);
                 }
             }
@@ -550,7 +623,7 @@ impl<S: ArrivalSource> Engine<S> {
             // know they transmitted and flag the slot, so all stations
             // treat it as corrupted and retry instead of wrongly marking
             // the window empty.
-            if matches!(outcome, SlotOutcome::Idle) && txs.len() >= 2 {
+            if matches!(outcome, SlotOutcome::Idle) && bufs.txs.len() >= 2 {
                 self.metrics.on_corrupted_slot();
                 self.channel_stats.record(&outcome, report.dur);
                 obs.on_corrupted_slot(now, report.dur);
@@ -568,14 +641,14 @@ impl<S: ArrivalSource> Engine<S> {
             }
             retries = 0;
             self.channel_stats.record(&outcome, report.dur);
-            obs.on_probe(now, &segments, &outcome, report.dur);
+            obs.on_probe(now, &bufs.segments, &outcome, report.dur);
             self.timeline.advance(now + report.dur);
             self.churn_step(obs);
 
             match outcome {
                 SlotOutcome::Idle => {
                     overhead += 1;
-                    for s in &segments {
+                    for s in &bufs.segments {
                         self.timeline.mark_examined(*s);
                     }
                     match sibling.take() {
@@ -584,7 +657,8 @@ impl<S: ArrivalSource> Engine<S> {
                             // sib is known to hold >= 2 arrivals.
                             match sib.split() {
                                 Some((older, younger)) => {
-                                    obs.on_immediate_split(self.timeline.now(), &pm.preimage(sib));
+                                    pm.preimage_into(sib, &mut bufs.sib_segments);
+                                    obs.on_immediate_split(self.timeline.now(), &bufs.sib_segments);
                                     let (first, second) = self.policy.order_halves(
                                         older,
                                         younger,
@@ -605,19 +679,19 @@ impl<S: ArrivalSource> Engine<S> {
                     }
                 }
                 SlotOutcome::Success(_) => {
-                    for s in &segments {
+                    for s in &bufs.segments {
                         self.timeline.mark_examined(*s);
                     }
                     if report.delivered().is_some() {
-                        debug_assert_eq!(txs.len(), 1);
-                        self.complete_transmission(txs[0], now, round_start, overhead, obs);
+                        debug_assert_eq!(bufs.txs.len(), 1);
+                        self.complete_transmission(bufs.txs[0], now, round_start, overhead, obs);
                     } else {
                         // Phantom success (collision misread): all
                         // stations believe the window resolved, nothing
                         // was delivered. The colliding messages are
                         // stranded in examined time; the next decision
                         // point reopens their arrival intervals.
-                        for m in &txs {
+                        for m in &bufs.txs {
                             self.orphans.push((m.arrival, m.id));
                         }
                     }
@@ -635,7 +709,7 @@ impl<S: ArrivalSource> Engine<S> {
                         }
                         None => {
                             // Sub-tick cluster: resolve by fair coins.
-                            match self.resolve_cluster(txs, &mut overhead, obs) {
+                            match self.resolve_cluster(bufs, &mut overhead, obs) {
                                 ClusterEnd::Winner(winner) => {
                                     let tx_start = self.timeline.now()
                                         - self.medium.config().message_duration()
@@ -694,32 +768,36 @@ impl<S: ArrivalSource> Engine<S> {
                 obs.on_churn_event(now, &ev);
                 match ev {
                     ChurnEvent::Crash(s) => {
-                        let ids: Vec<MessageId> = self
-                            .pending
-                            .values()
-                            .filter(|m| m.station == s)
-                            .map(|m| m.id)
-                            .collect();
-                        self.churn_touched.extend(ids);
+                        // Disjoint field borrows: `pending` is read while
+                        // `churn_touched` absorbs the ids.
+                        self.churn_touched.extend(
+                            self.pending
+                                .values()
+                                .filter(|m| m.station == s)
+                                .map(|m| m.id),
+                        );
                     }
                     ChurnEvent::Restart(s) => {
                         self.rejoining.push((s, self.churn.slot()));
                     }
                     ChurnEvent::Join(_) => {}
                     ChurnEvent::Leave(s) => {
-                        let keys: Vec<(Time, MessageId)> = self
-                            .pending
-                            .iter()
-                            .filter(|(_, m)| m.station == s)
-                            .map(|(&k, _)| k)
-                            .collect();
-                        for key in keys {
+                        let mut keys = std::mem::take(&mut self.sweep_keys);
+                        keys.clear();
+                        keys.extend(
+                            self.pending
+                                .iter()
+                                .filter(|(_, m)| m.station == s)
+                                .map(|(&k, _)| k),
+                        );
+                        for &key in &keys {
                             let msg = self.pending.remove(&key).expect("key just observed");
                             self.busy_stations.remove(&msg.station);
                             self.fault_touched.remove(&msg.id);
                             self.churn_touched.remove(&msg.id);
                             self.metrics.on_churn_drop(msg.arrival);
                         }
+                        self.sweep_keys = keys;
                     }
                 }
             }
@@ -756,13 +834,16 @@ impl<S: ArrivalSource> Engine<S> {
     /// success) is executed inside. Under fault injection the resolution
     /// can also end in a phantom success or be abandoned once too many
     /// fault-wasted slots accumulate.
+    ///
+    /// On entry `bufs.txs` holds the colliding cluster; the active set
+    /// lives there throughout, with `bufs.older` as the partition buffer
+    /// (swapped in on a collision) — no per-iteration allocation.
     fn resolve_cluster(
         &mut self,
-        cluster: Vec<Message>,
+        bufs: &mut RoundScratch,
         overhead: &mut u64,
         obs: &mut dyn EngineObserver,
     ) -> ClusterEnd {
-        let mut active = cluster;
         // Slots wasted by injected faults during this resolution. Bounded
         // so a hostile fault plan cannot trap the engine here forever;
         // never incremented on clean slots, so fault-free behaviour is
@@ -775,33 +856,38 @@ impl<S: ArrivalSource> Engine<S> {
                 // station is down, nothing can transmit: abandon — the
                 // tick stays unexamined, so the messages remain reachable
                 // after rejoin (or age out).
-                active.retain(|m| self.churn.is_present(m.station));
-                if !active.is_empty() && !active.iter().any(|m| self.churn.is_up(m.station)) {
+                bufs.txs.retain(|m| self.churn.is_present(m.station));
+                if !bufs.txs.is_empty() && !bufs.txs.iter().any(|m| self.churn.is_up(m.station)) {
                     return ClusterEnd::Abandoned;
                 }
             }
-            if active.is_empty() || futile > 64 {
+            if bufs.txs.is_empty() || futile > 64 {
                 return ClusterEnd::Abandoned;
             }
             // Split the active set as the continuous protocol would split
-            // the (uniform) sub-tick arrival instants.
-            let older: Vec<Message> = active
-                .iter()
-                .copied()
-                .filter(|_| self.rng_coins.chance(0.5))
-                .collect();
+            // the (uniform) sub-tick arrival instants. One coin per
+            // member, drawn in arrival order — the same draws, in the
+            // same order, as the original `filter`-collect.
+            bufs.older.clear();
+            for i in 0..bufs.txs.len() {
+                if self.rng_coins.chance(0.5) {
+                    bufs.older.push(bufs.txs[i]);
+                }
+            }
             let now = self.timeline.now();
             // Only live stations actually transmit; a churn-free run has
             // every station up, so `ids` is exactly `older` there.
-            let ids: Vec<MessageId> = older
-                .iter()
-                .filter(|m| self.churn.is_up(m.station))
-                .map(|m| m.id)
-                .collect();
-            let live_in_older = ids.len();
-            let report = self.medium.probe(&ids);
+            bufs.ids.clear();
+            bufs.ids.extend(
+                bufs.older
+                    .iter()
+                    .filter(|m| self.churn.is_up(m.station))
+                    .map(|m| m.id),
+            );
+            let live_in_older = bufs.ids.len();
+            let report = self.medium.probe(&bufs.ids);
             if report.fault.is_some() {
-                for m in &active {
+                for m in &bufs.txs {
                     self.fault_touched.insert(m.id);
                 }
             }
@@ -846,7 +932,8 @@ impl<S: ArrivalSource> Engine<S> {
                 }
                 SlotOutcome::Success(_) => {
                     if let Some(id) = report.delivered() {
-                        let winner = older
+                        let winner = bufs
+                            .older
                             .iter()
                             .copied()
                             .find(|m| m.id == id)
@@ -860,7 +947,7 @@ impl<S: ArrivalSource> Engine<S> {
                 }
                 SlotOutcome::Collision(_) => {
                     *overhead += 1;
-                    active = older;
+                    std::mem::swap(&mut bufs.txs, &mut bufs.older);
                 }
             }
         }

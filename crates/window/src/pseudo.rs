@@ -96,21 +96,37 @@ pub struct PseudoMap {
     now: Time,
 }
 
+impl Default for PseudoMap {
+    fn default() -> Self {
+        PseudoMap {
+            gaps: Vec::new(),
+            offsets: Vec::new(),
+            now: Time::ZERO,
+        }
+    }
+}
+
 impl PseudoMap {
     /// Builds the mapping from the current state of a timeline.
     pub fn new(tl: &Timeline) -> Self {
-        let gaps = tl.unexamined();
-        let mut offsets = Vec::with_capacity(gaps.len());
+        let mut pm = PseudoMap::default();
+        pm.rebuild(tl);
+        pm
+    }
+
+    /// Re-derives the mapping from `tl`, reusing the existing `gaps` and
+    /// `offsets` buffers so per-round callers (the engine rebuilds the map
+    /// at every decision point) stop allocating once the buffers reach
+    /// their steady-state capacity.
+    pub fn rebuild(&mut self, tl: &Timeline) {
+        tl.unexamined_into(&mut self.gaps);
+        self.offsets.clear();
         let mut acc = Dur::ZERO;
-        for g in &gaps {
-            offsets.push(acc);
+        for g in &self.gaps {
+            self.offsets.push(acc);
             acc += g.width();
         }
-        PseudoMap {
-            gaps,
-            offsets,
-            now: tl.now(),
-        }
+        self.now = tl.now();
     }
 
     /// Total pseudo time (the pseudo-time state `i` of the decision model:
@@ -159,8 +175,17 @@ impl PseudoMap {
     /// (clamped at the backlog).
     pub fn preimage(&self, p: PseudoInterval) -> Vec<Interval> {
         let mut out = Vec::new();
+        self.preimage_into(p, &mut out);
+        out
+    }
+
+    /// As [`PseudoMap::preimage`], writing into `out` (cleared first) so
+    /// per-probe callers can reuse one buffer instead of allocating a
+    /// fresh `Vec` every slot.
+    pub fn preimage_into(&self, p: PseudoInterval, out: &mut Vec<Interval>) {
+        out.clear();
         if p.is_empty() {
-            return out;
+            return;
         }
         for (g, &off) in self.gaps.iter().zip(&self.offsets) {
             let g_lo = off.ticks();
@@ -176,7 +201,6 @@ impl PseudoMap {
                 break;
             }
         }
-        out
     }
 }
 

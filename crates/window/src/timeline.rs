@@ -22,6 +22,9 @@ pub struct Timeline {
     /// Sorted, disjoint, coalesced examined intervals, all within
     /// `[0, now)`.
     examined: Vec<Interval>,
+    /// Reused by [`Timeline::reopen`] so the fault-recovery path does not
+    /// allocate a fresh interval list on every reopened message.
+    scratch: Vec<Interval>,
 }
 
 impl Timeline {
@@ -30,6 +33,7 @@ impl Timeline {
         Timeline {
             now: Time::ZERO,
             examined: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -97,7 +101,8 @@ impl Timeline {
         if iv.is_empty() {
             return;
         }
-        let mut out = Vec::with_capacity(self.examined.len() + 1);
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
         for e in &self.examined {
             if e.hi <= iv.lo || e.lo >= iv.hi {
                 out.push(*e);
@@ -110,7 +115,9 @@ impl Timeline {
                 out.push(Interval::new(iv.hi, e.hi));
             }
         }
-        self.examined = out;
+        // The old examined list becomes the next call's scratch.
+        std::mem::swap(&mut self.examined, &mut out);
+        self.scratch = out;
     }
 
     /// Whether instant `t` is inside an examined interval.
@@ -122,17 +129,24 @@ impl Timeline {
     /// The unexamined gaps within `[0, now)`, oldest first.
     pub fn unexamined(&self) -> Vec<Interval> {
         let mut gaps = Vec::new();
+        self.unexamined_into(&mut gaps);
+        gaps
+    }
+
+    /// As [`Timeline::unexamined`], writing into `out` (cleared first) so
+    /// per-round callers can reuse one buffer instead of allocating.
+    pub fn unexamined_into(&self, out: &mut Vec<Interval>) {
+        out.clear();
         let mut cursor = Time::ZERO;
         for e in &self.examined {
             if e.lo > cursor {
-                gaps.push(Interval::new(cursor, e.lo));
+                out.push(Interval::new(cursor, e.lo));
             }
             cursor = cursor.max(e.hi);
         }
         if cursor < self.now {
-            gaps.push(Interval::new(cursor, self.now));
+            out.push(Interval::new(cursor, self.now));
         }
-        gaps
     }
 
     /// The oldest unexamined instant (`t_past` of the controlled protocol),
@@ -158,19 +172,39 @@ impl Timeline {
 
     /// The oldest unexamined gap, or `None` if fully examined.
     pub fn oldest_gap(&self) -> Option<Interval> {
-        self.unexamined().into_iter().next()
+        let mut cursor = Time::ZERO;
+        for e in &self.examined {
+            if e.lo > cursor {
+                return Some(Interval::new(cursor, e.lo));
+            }
+            cursor = cursor.max(e.hi);
+        }
+        (cursor < self.now).then(|| Interval::new(cursor, self.now))
     }
 
     /// The newest unexamined gap, or `None` if fully examined.
     pub fn newest_gap(&self) -> Option<Interval> {
-        self.unexamined().into_iter().next_back()
+        // The examined list is sorted, disjoint and coalesced, so scanning
+        // backwards finds the youngest gap without materializing the list.
+        let mut cursor = self.now;
+        for e in self.examined.iter().rev() {
+            if e.hi < cursor {
+                return Some(Interval::new(e.hi, cursor));
+            }
+            cursor = cursor.min(e.lo);
+        }
+        (cursor > Time::ZERO).then(|| Interval::new(Time::ZERO, cursor))
     }
 
     /// Total unexamined time.
     pub fn unexamined_total(&self) -> Dur {
-        self.unexamined()
+        // Everything examined lies within `[0, now)`, so the unexamined
+        // total is the complement of the examined total.
+        let examined = self
+            .examined
             .iter()
-            .fold(Dur::ZERO, |acc, g| acc + g.width())
+            .fold(Dur::ZERO, |acc, e| acc + e.width());
+        Dur::from_ticks(self.now.ticks() - examined.ticks())
     }
 
     /// Whether the unexamined region is a single contiguous interval
@@ -178,7 +212,18 @@ impl Timeline {
     /// Theorem 1 / Lemma 2: under the optimal policy actual time equals
     /// pseudo time, so no interior gaps ever form.
     pub fn is_contiguous(&self) -> bool {
-        self.unexamined().len() <= 1
+        let mut gaps = 0usize;
+        let mut cursor = Time::ZERO;
+        for e in &self.examined {
+            if e.lo > cursor {
+                gaps += 1;
+            }
+            cursor = cursor.max(e.hi);
+        }
+        if cursor < self.now {
+            gaps += 1;
+        }
+        gaps <= 1
     }
 
     /// Number of stored examined intervals (memory/diagnostics).
