@@ -1,22 +1,30 @@
 //! Bench-regression gate for CI.
 //!
 //! Compares a freshly-written `BENCH_engine.json` against the committed
-//! copy and fails (exit 1) when any field regresses by more than 20%:
+//! copy and fails when any field regresses by more than 20%:
 //!
 //! * `*_per_sec_*` fields are rates — higher is better; a regression is
 //!   `fresh < 0.8 * committed`;
 //! * fields containing `allocs` are costs — lower is better; a
 //!   regression is `fresh > 1.2 * committed + 0.01` (the additive slack
 //!   keeps near-zero steady-state counts from tripping on noise);
-//! * `sweep_parallel_speedup` and `host_parallelism` describe the host,
-//!   not the code, and are reported but never gated.
+//! * `sweep_parallel_speedup` is gated as a rate, but **skipped with a
+//!   note when either snapshot records `host_parallelism == 1`** — on a
+//!   single-core host the executor cannot speed anything up (the
+//!   committed snapshot records speedup 0.987 on such a host), so the
+//!   comparison would spuriously fail any real regression gate;
+//! * `host_parallelism` describes the host, not the code, and is
+//!   reported but never gated.
 //!
 //! Usage: `check_bench <committed.json> <fresh.json>`. Both files are
 //! the flat single-level JSON the engine bench writes; parsing is done
-//! by hand because the workspace is dependency-free.
+//! by hand because the workspace is dependency-free. Exit codes follow
+//! the [`tcw_experiments::diag`] convention: 1 = usage, 2 = stale or
+//! corrupt snapshot, or a gate failure.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use tcw_experiments::diag;
 
 /// Parses the flat `{"key": number, ...}` JSON the benches emit.
 fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
@@ -49,14 +57,17 @@ fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
 
 /// Fields that describe the machine the bench ran on, not the code.
 fn environmental(key: &str) -> bool {
-    key == "sweep_parallel_speedup" || key == "host_parallelism"
+    key == "host_parallelism"
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [committed_path, fresh_path] = &args[..] else {
-        eprintln!("usage: check_bench <committed.json> <fresh.json>");
-        return ExitCode::from(2);
+        diag::error(
+            "check_bench",
+            "usage: check_bench <committed.json> <fresh.json>",
+        );
+        return ExitCode::from(diag::EXIT_USAGE as u8);
     };
     let read = |path: &str| -> Result<BTreeMap<String, f64>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -65,20 +76,35 @@ fn main() -> ExitCode {
     let (committed, fresh) = match (read(committed_path), read(fresh_path)) {
         (Ok(c), Ok(f)) => (c, f),
         (Err(e), _) | (_, Err(e)) => {
-            eprintln!("check_bench: {e}");
-            return ExitCode::from(2);
+            diag::error("check_bench", &e);
+            return ExitCode::from(diag::EXIT_FAILURE as u8);
         }
     };
+
+    // A parallel-speedup comparison is only meaningful when both the
+    // committed baseline and this host actually had cores to parallelize
+    // over.
+    let single_core = |m: &BTreeMap<String, f64>| m.get("host_parallelism") == Some(&1.0);
+    let speedup_gated = !single_core(&committed) && !single_core(&fresh);
 
     let mut failed = false;
     for (key, &base) in &committed {
         let Some(&now) = fresh.get(key) else {
-            eprintln!("FAIL {key}: missing from fresh run");
+            diag::error(
+                "check_bench",
+                &format!("FAIL {key}: missing from fresh run"),
+            );
             failed = true;
             continue;
         };
         if environmental(key) {
             println!("  ok {key}: {base} -> {now} (environmental, not gated)");
+            continue;
+        }
+        if key == "sweep_parallel_speedup" && !speedup_gated {
+            println!(
+                "  ok {key}: {base} -> {now} (skipped: single-core host, speedup not meaningful)"
+            );
             continue;
         }
         let (bad, rule) = if key.contains("allocs") {
@@ -87,7 +113,10 @@ fn main() -> ExitCode {
             (now < 0.8 * base, "must stay within -20%")
         };
         if bad {
-            eprintln!("FAIL {key}: committed {base}, fresh {now} ({rule})");
+            diag::error(
+                "check_bench",
+                &format!("FAIL {key}: committed {base}, fresh {now} ({rule})"),
+            );
             failed = true;
         } else {
             println!("  ok {key}: {base} -> {now}");
@@ -99,7 +128,7 @@ fn main() -> ExitCode {
         }
     }
     if failed {
-        ExitCode::FAILURE
+        ExitCode::from(diag::EXIT_FAILURE as u8)
     } else {
         println!("check_bench: no field regressed more than 20%");
         ExitCode::SUCCESS

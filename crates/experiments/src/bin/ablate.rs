@@ -15,12 +15,19 @@
 //!
 //! All simulated variants form one cell list executed on the parallel
 //! sweep executor (`--jobs N`; `--jobs 1` reproduces the serial output
-//! byte-for-byte) and are reported in the fixed cell order.
+//! byte-for-byte) and are reported in the fixed cell order. The shared
+//! observability flags are accepted: `--trace-events PATH` (NDJSON event
+//! stream, one `cell` header per variant), `--metrics PATH[.prom]`
+//! (metrics snapshot labeled by variant) and `--progress` (stderr
+//! progress line).
 
 use tcw_experiments::plot::write_csv;
 use tcw_experiments::runner::measure_window;
-use tcw_experiments::sweep::{jobs_from_args, run_parallel};
-use tcw_experiments::{Panel, SimSettings};
+use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
+use tcw_experiments::{
+    diag, observe_engine_cell, write_observability, CellArtifacts, ObsConfig, Panel, SimSettings,
+    SweepMeta,
+};
 use tcw_mdp::howard::policy_iteration;
 use tcw_mdp::smdp::{Smdp, SmdpConfig};
 use tcw_queueing::marching::{controlled_curve, PanelConfig};
@@ -29,7 +36,6 @@ use tcw_sim::time::{Dur, Time};
 use tcw_window::analysis::optimal_mu;
 use tcw_window::engine::poisson_engine;
 use tcw_window::policy::{ControlPolicy, SplitRule, WindowLength, WindowPosition};
-use tcw_window::trace::NoopObserver;
 
 const PANEL: Panel = Panel {
     rho_prime: 0.75,
@@ -59,40 +65,45 @@ struct Outcome {
     blocked_frac: f64,
 }
 
-fn run_cell(cell: &Cell) -> Outcome {
-    let settings = cell.settings;
-    let tpt = settings.ticks_per_tau;
-    let channel = tcw_mac::ChannelConfig {
-        ticks_per_tau: tpt,
-        message_slots: PANEL.m,
-        guard: settings.guard,
-    };
-    let measure = measure_window(PANEL.lambda(), settings, Dur::from_ticks(K_TAU * tpt));
-    let measure_end = measure.end.ticks();
-    let stations = cell.single_buffer.unwrap_or(50);
-    let mut eng = poisson_engine(
-        channel,
-        cell.policy.clone(),
-        measure,
-        PANEL.rho_prime,
-        stations,
-        cell.seed,
-    );
-    if cell.single_buffer.is_some() {
-        eng.set_single_buffer_stations(true);
-    }
-    eng.run_until(
-        Time::from_ticks(measure_end + measure_end / 10),
-        &mut NoopObserver,
-    );
-    eng.drain(&mut NoopObserver);
-    let offered = eng.metrics.offered().max(1);
-    Outcome {
-        loss: eng.metrics.loss_fraction(),
-        ci: eng.metrics.loss_ci95(),
-        utilization: eng.channel_stats.utilization(),
-        blocked_frac: eng.metrics.blocked() as f64 / offered as f64,
-    }
+fn run_cell(cell: &Cell, index: usize, tracing: bool, metrics: bool) -> (Outcome, CellArtifacts) {
+    let seed_s = format!("{}", cell.seed);
+    let labels = [("variant", cell.name.as_str()), ("seed", seed_s.as_str())];
+    observe_engine_cell(tracing, metrics, index, &cell.name, &labels, |obs, sink| {
+        let settings = cell.settings;
+        let tpt = settings.ticks_per_tau;
+        let channel = tcw_mac::ChannelConfig {
+            ticks_per_tau: tpt,
+            message_slots: PANEL.m,
+            guard: settings.guard,
+        };
+        let measure = measure_window(PANEL.lambda(), settings, Dur::from_ticks(K_TAU * tpt));
+        let measure_end = measure.end.ticks();
+        let stations = cell.single_buffer.unwrap_or(50);
+        let mut eng = poisson_engine(
+            channel,
+            cell.policy.clone(),
+            measure,
+            PANEL.rho_prime,
+            stations,
+            cell.seed,
+        );
+        if cell.single_buffer.is_some() {
+            eng.set_single_buffer_stations(true);
+        }
+        eng.run_until(Time::from_ticks(measure_end + measure_end / 10), obs);
+        eng.drain(obs);
+        if let Some(sink) = sink {
+            eng.metrics.emit(sink);
+            eng.channel_stats.emit(sink);
+        }
+        let offered = eng.metrics.offered().max(1);
+        Outcome {
+            loss: eng.metrics.loss_fraction(),
+            ci: eng.metrics.loss_ci95(),
+            utilization: eng.channel_stats.utilization(),
+            blocked_frac: eng.metrics.blocked() as f64 / offered as f64,
+        }
+    })
 }
 
 fn controlled_with(
@@ -112,7 +123,14 @@ fn controlled_with(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, args) = match ObsConfig::split_args(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("ablate", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
     let jobs = jobs_from_args(&args);
     let settings = SimSettings {
         messages: 30_000,
@@ -324,7 +342,18 @@ fn main() {
         cells.push(c);
     }
 
-    let outcomes = run_parallel(&cells, jobs, |_, c| run_cell(c));
+    let tracing = obs.trace_events.is_some();
+    let metrics = obs.metrics.is_some();
+    let progress = obs
+        .progress
+        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+    let outcomes = run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, c| {
+        run_cell(c, i, tracing, metrics)
+    });
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    let (outcomes, cell_artifacts): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (c, r) in cells.iter().zip(&outcomes) {
@@ -395,5 +424,15 @@ fn main() {
 
     let path = std::path::PathBuf::from("results/ablations.csv");
     write_csv(&path, &["variant", "loss", "ci95", "utilization"], &rows).expect("csv");
+    if let Err(e) = write_observability(
+        &obs,
+        &cell_artifacts,
+        SweepMeta {
+            cells: cell_artifacts.len(),
+        },
+    ) {
+        diag::error("ablate", &e);
+        std::process::exit(diag::EXIT_FAILURE);
+    }
     println!("\nresults: {}", path.display());
 }

@@ -21,11 +21,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use tcw_experiments::diag;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
 use tcw_experiments::replay::{execute, panic_message, replay, FailureRecord};
-use tcw_experiments::runner::{simulate_churn, ChurnSimPoint, PolicyKind, SimSettings};
-use tcw_experiments::sweep::{jobs_from_args, run_parallel};
-use tcw_experiments::Panel;
+use tcw_experiments::runner::{ChurnSimPoint, PolicyKind, SimSettings};
+use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
+use tcw_experiments::{
+    observed_cell, write_observability, CellArtifacts, ObsConfig, Panel, SweepMeta,
+};
 use tcw_mac::{ChurnPlan, FaultPlan};
 
 const CRASH_RATES: [f64; 5] = [0.0, 0.0005, 0.001, 0.002, 0.005];
@@ -73,11 +76,22 @@ fn base_record(rho_prime: f64, churn: ChurnPlan) -> FailureRecord {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() >= 3 && args[1] == "--replay" {
-        std::process::exit(replay(Path::new(&args[2])));
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, args) = match ObsConfig::split_args(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("churn", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if args.first().is_some_and(|a| a == "--replay") {
+        let Some(path) = args.get(1) else {
+            diag::error("churn", "--replay needs an artifact path");
+            std::process::exit(diag::EXIT_USAGE);
+        };
+        std::process::exit(replay(Path::new(path)));
     }
-    let jobs = jobs_from_args(&args[1..]);
+    let jobs = jobs_from_args(&args);
 
     let results = Path::new("results");
     let failures_dir = results.join("failures");
@@ -95,11 +109,25 @@ fn main() {
         .iter()
         .flat_map(|&rho| CRASH_RATES.iter().map(move |&c| (rho, c)))
         .collect();
-    let outcomes: Vec<Result<ChurnSimPoint, String>> =
-        run_parallel(&cells, jobs, |_, &(rho, c)| {
+    let tracing = obs.trace_events.is_some();
+    let metrics = obs.metrics.is_some();
+    let progress = obs
+        .progress
+        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+    let outcomes: Vec<(Result<ChurnSimPoint, String>, CellArtifacts)> =
+        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(rho, c)| {
             let rec = base_record(rho, sweep_plan(c));
+            let label = format!("rho={rho:.2} crash={c:.4}");
+            let rho_s = format!("{rho}");
+            let c_s = format!("{c}");
+            let labels = [("rho", rho_s.as_str()), ("crash_rate", c_s.as_str())];
             catch_unwind(AssertUnwindSafe(|| {
-                simulate_churn(
+                observed_cell(
+                    tracing,
+                    metrics,
+                    i,
+                    &label,
+                    &labels,
                     rec.panel,
                     rec.policy,
                     rec.k_tau,
@@ -109,8 +137,13 @@ fn main() {
                     rec.churn,
                 )
             }))
-            .map_err(panic_message)
+            .map(|(csp, art)| (Ok(csp), art))
+            .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
         });
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    let (outcomes, cell_artifacts): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
 
     let mut outcome_iter = outcomes.into_iter();
     for (li, &rho) in LOADS.iter().enumerate() {
@@ -131,12 +164,15 @@ fn main() {
                         (c * 10_000.0).round() as u32
                     ));
                     failed.save(&path).expect("write replay artifact");
-                    eprintln!(
-                        "run panicked; replay artifact written to {}\n  reproduce: cargo run --release -p tcw-experiments --bin churn -- --replay {}",
-                        path.display(),
-                        path.display()
+                    diag::error(
+                        "churn",
+                        &format!(
+                            "run panicked; replay artifact written to {}\n  reproduce: cargo run --release -p tcw-experiments --bin churn -- --replay {}",
+                            path.display(),
+                            path.display()
+                        ),
                     );
-                    std::process::exit(1);
+                    std::process::exit(diag::EXIT_FAILURE);
                 }
             };
             if c == 0.0 {
@@ -267,5 +303,15 @@ fn main() {
     )
     .expect("write csv");
     std::fs::write(results.join("churn.txt"), &report).expect("write report");
+    if let Err(e) = write_observability(
+        &obs,
+        &cell_artifacts,
+        SweepMeta {
+            cells: cell_artifacts.len(),
+        },
+    ) {
+        diag::error("churn", &e);
+        std::process::exit(diag::EXIT_FAILURE);
+    }
     println!("\nwrote results/churn.csv and results/churn.txt");
 }

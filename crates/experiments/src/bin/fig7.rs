@@ -14,11 +14,23 @@
 //! fast smoke pass (fewer messages), `--jobs N` to set the sweep worker
 //! count (`--jobs 1` reproduces the serial output byte-for-byte), or
 //! pass a panel id (e.g. `rho50_m25`) to regenerate a single panel.
+//!
+//! Observability (see EXPERIMENTS.md): `--trace-events PATH` streams
+//! every protocol event as NDJSON, `--metrics PATH[.prom]` snapshots the
+//! per-cell metrics registries, `--progress` renders a live stderr
+//! progress line. `--obs-cell` runs a single tiny sample cell (panel
+//! `rho50_m25`, controlled, `K = 100`) and writes its trace/metrics to
+//! the given paths — the committed `results/obs/` samples come from it.
 
 use std::path::{Path, PathBuf};
+use tcw_experiments::diag;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
-use tcw_experiments::sweep::run_parallel;
-use tcw_experiments::{simulate_panel, Panel, PolicyKind, SimPoint, SimSettings, PANELS};
+use tcw_experiments::sweep::run_parallel_with_progress;
+use tcw_experiments::{
+    observed_cell, write_observability, CellArtifacts, ObsConfig, Panel, PolicyKind, SimPoint,
+    SimSettings, SweepMeta, PANELS,
+};
+use tcw_mac::{ChurnPlan, FaultPlan};
 use tcw_queueing::marching::{controlled_curve, fcfs_curve, lcfs_curve, CurvePoint, PanelConfig};
 use tcw_queueing::service::SchedulingShape;
 
@@ -49,8 +61,15 @@ const KINDS: [(PolicyKind, u64); 3] = [
 
 /// Runs every selected panel: analytic curves inline (cheap marching),
 /// all simulated points of all panels through one parallel sweep, then
-/// reassembles each panel's three point series in grid order.
-fn run_panels(panels: &[Panel], settings: SimSettings, seed: u64, jobs: usize) -> Vec<PanelResult> {
+/// reassembles each panel's three point series in grid order. Telemetry,
+/// when requested, is captured per cell and returned in cell order.
+fn run_panels(
+    panels: &[Panel],
+    settings: SimSettings,
+    seed: u64,
+    jobs: usize,
+    obs: &ObsConfig,
+) -> (Vec<PanelResult>, Vec<CellArtifacts>) {
     let mut cells = Vec::new();
     for &panel in panels {
         for (kind, salt) in KINDS {
@@ -64,9 +83,47 @@ fn run_panels(panels: &[Panel], settings: SimSettings, seed: u64, jobs: usize) -
             }
         }
     }
-    let points = run_parallel(&cells, jobs, |_, j| {
-        simulate_panel(j.panel, j.kind, j.k, settings, j.seed)
+    let tracing = obs.trace_events.is_some();
+    let metrics = obs.metrics.is_some();
+    let progress = obs
+        .progress
+        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+    let outcomes = run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, j| {
+        let id = j.panel.id();
+        let label = format!("{id} {} K={}", j.kind.label(), j.k);
+        let k = format!("{}", j.k);
+        let seed_str = format!("{}", j.seed);
+        let labels = [
+            ("panel", id.as_str()),
+            ("policy", j.kind.label()),
+            ("k", k.as_str()),
+            ("seed", seed_str.as_str()),
+        ];
+        let (p, art) = observed_cell(
+            tracing,
+            metrics,
+            i,
+            &label,
+            &labels,
+            j.panel,
+            j.kind,
+            j.k,
+            settings,
+            j.seed,
+            FaultPlan::none(),
+            ChurnPlan::none(),
+        );
+        (p.point, art)
     });
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    let mut points = Vec::with_capacity(outcomes.len());
+    let mut artifacts = Vec::with_capacity(outcomes.len());
+    for (p, art) in outcomes {
+        points.push(p);
+        artifacts.push(art);
+    }
 
     let mut results = Vec::new();
     let mut cursor = points.into_iter();
@@ -89,7 +146,7 @@ fn run_panels(panels: &[Panel], settings: SimSettings, seed: u64, jobs: usize) -
             sim_lcfs: take(n_sim),
         });
     }
-    results
+    (results, artifacts)
 }
 
 fn emit(result: &PanelResult, out_dir: &Path) {
@@ -248,8 +305,79 @@ fn emit(result: &PanelResult, out_dir: &Path) {
     println!();
 }
 
+/// Runs the single tiny sample cell behind `--obs-cell`: panel
+/// `rho50_m25`, controlled protocol, `K = 100`, scaled down far enough
+/// that its full event stream is a readable, committable artifact. The
+/// cell is fully deterministic (fixed seed, no wall-clock values), so the
+/// outputs can be diff-checked in CI.
+fn run_obs_cell(obs: &ObsConfig) -> i32 {
+    if obs.trace_events.is_none() || obs.metrics.is_none() {
+        diag::error(
+            "fig7",
+            "--obs-cell needs both --trace-events PATH and --metrics PATH",
+        );
+        return diag::EXIT_USAGE;
+    }
+    let panel = PANELS[4]; // rho' = 0.75, M = 25: busy enough to collide
+    let (kind, salt) = KINDS[0]; // controlled
+    let k = 100.0;
+    let seed = 42 ^ salt ^ (k as u64);
+    let settings = SimSettings {
+        ticks_per_tau: 8,
+        messages: 12,
+        warmup: 2,
+        stations: 20,
+        guard: false,
+    };
+    let id = panel.id();
+    let label = format!("{id} {} K={k}", kind.label());
+    let seed_str = format!("{seed}");
+    let labels = [
+        ("panel", id.as_str()),
+        ("policy", kind.label()),
+        ("k", "100"),
+        ("seed", seed_str.as_str()),
+    ];
+    let (p, art) = observed_cell(
+        true,
+        true,
+        0,
+        &label,
+        &labels,
+        panel,
+        kind,
+        k,
+        settings,
+        seed,
+        FaultPlan::none(),
+        ChurnPlan::none(),
+    );
+    if let Err(e) = write_observability(obs, &[art], SweepMeta { cells: 1 }) {
+        diag::error("fig7", &e);
+        return diag::EXIT_FAILURE;
+    }
+    println!(
+        "obs-cell: {label} (seed {seed}) loss={:.6} offered={} -> {} + {}",
+        p.point.loss,
+        p.point.offered,
+        obs.trace_events.as_ref().unwrap().display(),
+        obs.metrics.as_ref().unwrap().display(),
+    );
+    0
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, args) = match ObsConfig::split_args(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("fig7", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if args.iter().any(|a| a == "--obs-cell") {
+        std::process::exit(run_obs_cell(&obs));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let jobs = tcw_experiments::jobs_from_args(&args);
     let panel_filter: Vec<&String> = args
@@ -275,7 +403,18 @@ fn main() {
         .into_iter()
         .filter(|panel| panel_filter.is_empty() || panel_filter.iter().any(|f| **f == panel.id()))
         .collect();
-    for result in run_panels(&panels, settings, 42, jobs) {
-        emit(&result, &out_dir);
+    let (results, artifacts) = run_panels(&panels, settings, 42, jobs, &obs);
+    for result in &results {
+        emit(result, &out_dir);
+    }
+    if let Err(e) = write_observability(
+        &obs,
+        &artifacts,
+        SweepMeta {
+            cells: artifacts.len(),
+        },
+    ) {
+        diag::error("fig7", &e);
+        std::process::exit(diag::EXIT_FAILURE);
     }
 }

@@ -20,11 +20,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use tcw_experiments::diag;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
 use tcw_experiments::replay::{execute, panic_message, replay, FailureRecord};
-use tcw_experiments::runner::{simulate_panel_faulty, FaultSimPoint, PolicyKind, SimSettings};
-use tcw_experiments::sweep::{jobs_from_args, run_parallel};
-use tcw_experiments::Panel;
+use tcw_experiments::runner::{FaultSimPoint, PolicyKind, SimSettings};
+use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
+use tcw_experiments::{
+    observed_cell, write_observability, CellArtifacts, ObsConfig, Panel, SweepMeta,
+};
 use tcw_mac::{ChurnPlan, FaultPlan};
 
 const FAULT_PROBS: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
@@ -77,11 +80,22 @@ fn base_record(rho_prime: f64, plan: FaultPlan) -> FailureRecord {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() >= 3 && args[1] == "--replay" {
-        std::process::exit(replay(Path::new(&args[2])));
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, args) = match ObsConfig::split_args(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("robustness", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if args.first().is_some_and(|a| a == "--replay") {
+        let Some(path) = args.get(1) else {
+            diag::error("robustness", "--replay needs an artifact path");
+            std::process::exit(diag::EXIT_USAGE);
+        };
+        std::process::exit(replay(Path::new(path)));
     }
-    let jobs = jobs_from_args(&args[1..]);
+    let jobs = jobs_from_args(&args);
 
     let results = Path::new("results");
     let failures_dir = results.join("failures");
@@ -100,21 +114,48 @@ fn main() {
         .iter()
         .flat_map(|&rho| FAULT_PROBS.iter().map(move |&p| (rho, p)))
         .collect();
-    let outcomes: Vec<Result<FaultSimPoint, String>> =
-        run_parallel(&cells, jobs, |_, &(rho, p)| {
+    let tracing = obs.trace_events.is_some();
+    let metrics = obs.metrics.is_some();
+    let progress = obs
+        .progress
+        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+    let outcomes: Vec<(Result<FaultSimPoint, String>, CellArtifacts)> =
+        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(rho, p)| {
             let rec = base_record(rho, FaultPlan::uniform(p));
+            let label = format!("rho={rho:.2} p={p:.2}");
+            let rho_s = format!("{rho}");
+            let p_s = format!("{p}");
+            let labels = [("rho", rho_s.as_str()), ("fault_prob", p_s.as_str())];
             catch_unwind(AssertUnwindSafe(|| {
-                simulate_panel_faulty(
+                let (point, art) = observed_cell(
+                    tracing,
+                    metrics,
+                    i,
+                    &label,
+                    &labels,
                     rec.panel,
                     rec.policy,
                     rec.k_tau,
                     rec.settings,
                     rec.seed,
                     rec.plan,
+                    ChurnPlan::none(),
+                );
+                (
+                    FaultSimPoint {
+                        point: point.point,
+                        faults: point.faults,
+                    },
+                    art,
                 )
             }))
-            .map_err(panic_message)
+            .map(|(fsp, art)| (Ok(fsp), art))
+            .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
         });
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    let (outcomes, cell_artifacts): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
 
     let mut outcome_iter = outcomes.into_iter();
     for (li, &rho) in LOADS.iter().enumerate() {
@@ -134,12 +175,15 @@ fn main() {
                         (p * 100.0).round() as u32
                     ));
                     failed.save(&path).expect("write replay artifact");
-                    eprintln!(
-                        "run panicked; replay artifact written to {}\n  reproduce: cargo run --release -p tcw-experiments --bin robustness -- --replay {}",
-                        path.display(),
-                        path.display()
+                    diag::error(
+                        "robustness",
+                        &format!(
+                            "run panicked; replay artifact written to {}\n  reproduce: cargo run --release -p tcw-experiments --bin robustness -- --replay {}",
+                            path.display(),
+                            path.display()
+                        ),
                     );
-                    std::process::exit(1);
+                    std::process::exit(diag::EXIT_FAILURE);
                 }
             };
             let line = format!(
@@ -243,5 +287,15 @@ fn main() {
     )
     .expect("write csv");
     std::fs::write(results.join("robustness.txt"), &report).expect("write report");
+    if let Err(e) = write_observability(
+        &obs,
+        &cell_artifacts,
+        SweepMeta {
+            cells: cell_artifacts.len(),
+        },
+    ) {
+        diag::error("robustness", &e);
+        std::process::exit(diag::EXIT_FAILURE);
+    }
     println!("\nwrote results/robustness.csv and results/robustness.txt");
 }

@@ -11,11 +11,15 @@
 //! the protocol simulation's empirical waiting-time histogram (paper
 //! definition of waiting time), reporting the sup distance.
 //!
-//! Output: `results/wait_dist.csv` + an ASCII overlay.
+//! Output: `results/wait_dist.csv` + an ASCII overlay. The shared
+//! observability flags are accepted: `--trace-events PATH` (NDJSON event
+//! stream for the single simulated cell), `--metrics PATH[.prom]` and
+//! `--progress`. A sup distance above 0.05 is a gate failure (exit 2).
 
 use std::path::PathBuf;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
-use tcw_experiments::sweep::{jobs_from_args, run_parallel};
+use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
+use tcw_experiments::{diag, observe_engine_cell, write_observability, ObsConfig, SweepMeta};
 use tcw_mac::ChannelConfig;
 use tcw_numerics::grid::renewal_series;
 use tcw_queueing::marching::{controlled_curve, PanelConfig};
@@ -25,10 +29,16 @@ use tcw_window::analysis::optimal_mu;
 use tcw_window::engine::poisson_engine;
 use tcw_window::metrics::MeasureConfig;
 use tcw_window::policy::ControlPolicy;
-use tcw_window::trace::NoopObserver;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, args) = match ObsConfig::split_args(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("wait_dist", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
     let jobs = jobs_from_args(&args);
     let (rho_prime, m, k_tau) = (0.75f64, 25u64, 200.0f64);
     let lambda = rho_prime / m as f64;
@@ -58,33 +68,51 @@ fn main() {
     let tpt = 64u64;
     let grid: Vec<f64> = (1..=40).map(|i| k_tau * i as f64 / 40.0).collect();
     let seeds = [77u64];
-    let sim = run_parallel(&seeds, jobs, |_, &seed| {
-        let channel = ChannelConfig {
-            ticks_per_tau: tpt,
-            message_slots: m,
-            guard: false,
-        };
-        let k = Dur::from_ticks((k_tau * tpt as f64) as u64);
-        let w_star = Dur::from_ticks((optimal_mu() / lambda * tpt as f64) as u64);
-        let measure = MeasureConfig {
-            start: Time::from_ticks(500_000),
-            end: Time::from_ticks(120_000_000),
-            deadline: k,
-        };
-        let mut eng = poisson_engine(
-            channel,
-            ControlPolicy::controlled(k, w_star),
-            measure,
-            rho_prime,
-            50,
-            seed,
-        );
-        eng.run_until(Time::from_ticks(130_000_000), &mut NoopObserver);
-        eng.drain(&mut NoopObserver);
-        let hist = eng.metrics.paper_delay_histogram();
-        let cdf: Vec<f64> = grid.iter().map(|&w| hist.cdf(w * tpt as f64)).collect();
-        (cdf, eng.metrics.offered())
+    let tracing = obs.trace_events.is_some();
+    let metrics_on = obs.metrics.is_some();
+    let progress = obs
+        .progress
+        .then(|| tcw_obs::Progress::new(seeds.len(), jobs));
+    let sim = run_parallel_with_progress(&seeds, jobs, progress.as_ref(), |i, &seed| {
+        let label = format!("wait_dist seed={seed}");
+        let seed_s = format!("{seed}");
+        let labels = [("seed", seed_s.as_str())];
+        observe_engine_cell(tracing, metrics_on, i, &label, &labels, |observer, sink| {
+            let channel = ChannelConfig {
+                ticks_per_tau: tpt,
+                message_slots: m,
+                guard: false,
+            };
+            let k = Dur::from_ticks((k_tau * tpt as f64) as u64);
+            let w_star = Dur::from_ticks((optimal_mu() / lambda * tpt as f64) as u64);
+            let measure = MeasureConfig {
+                start: Time::from_ticks(500_000),
+                end: Time::from_ticks(120_000_000),
+                deadline: k,
+            };
+            let mut eng = poisson_engine(
+                channel,
+                ControlPolicy::controlled(k, w_star),
+                measure,
+                rho_prime,
+                50,
+                seed,
+            );
+            eng.run_until(Time::from_ticks(130_000_000), observer);
+            eng.drain(observer);
+            if let Some(sink) = sink {
+                eng.metrics.emit(sink);
+                eng.channel_stats.emit(sink);
+            }
+            let hist = eng.metrics.paper_delay_histogram();
+            let cdf: Vec<f64> = grid.iter().map(|&w| hist.cdf(w * tpt as f64)).collect();
+            (cdf, eng.metrics.offered())
+        })
     });
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    let (sim, cell_artifacts): (Vec<_>, Vec<_>) = sim.into_iter().unzip();
     let (sim_cdf, offered) = &sim[0];
 
     // --- compare ----------------------------------------------------------
@@ -130,8 +158,21 @@ fn main() {
     println!("messages simulated : {offered}");
     println!("sup |analytic - simulated| over the CDF grid = {sup:.4}");
     println!("data: {}", path.display());
+    if let Err(e) = write_observability(
+        &obs,
+        &cell_artifacts,
+        SweepMeta {
+            cells: cell_artifacts.len(),
+        },
+    ) {
+        diag::error("wait_dist", &e);
+        std::process::exit(diag::EXIT_FAILURE);
+    }
     if sup > 0.05 {
-        println!("WARNING: distributions deviate by more than 0.05");
-        std::process::exit(1);
+        diag::error(
+            "wait_dist",
+            &format!("distributions deviate by more than 0.05 (sup = {sup:.4})"),
+        );
+        std::process::exit(diag::EXIT_FAILURE);
     }
 }

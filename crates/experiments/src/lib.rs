@@ -23,16 +23,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod diag;
+pub mod obs;
 pub mod panels;
 pub mod plot;
 pub mod replay;
 pub mod runner;
 pub mod sweep;
 
+pub use obs::{
+    observe_engine_cell, observed_cell, write_observability, CellArtifacts, ObsConfig, SweepMeta,
+};
 pub use panels::{Panel, PANELS};
 pub use replay::FailureRecord;
 pub use runner::{
     simulate_panel, simulate_panel_faulty, simulate_with_detector, DetectorReport, FaultCounters,
     FaultSimPoint, PolicyKind, SimPoint, SimSettings,
 };
-pub use sweep::{jobs_from_args, run_parallel, Cell};
+pub use sweep::{jobs_from_args, run_parallel, run_parallel_with_progress, Cell};

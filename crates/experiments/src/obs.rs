@@ -1,0 +1,292 @@
+//! Observability glue for the experiment binaries: the shared
+//! `--trace-events` / `--metrics` / `--progress` flags, per-cell telemetry
+//! capture, and deterministic artifact assembly.
+//!
+//! Each sweep cell produces its telemetry into cell-local buffers (an
+//! NDJSON fragment from an [`EventTracer`], a labeled [`Registry`]);
+//! [`write_observability`] then concatenates/merges them **in cell
+//! order**, so exported artifacts are byte-identical for any `--jobs N`.
+//! Only the stderr progress line (enabled by `--progress`) is wall-clock
+//! dependent, and it never reaches an artifact.
+
+use std::path::{Path, PathBuf};
+
+use crate::panels::Panel;
+use crate::runner::{
+    simulate_churn, simulate_churn_observed, ChurnSimPoint, PolicyKind, SimSettings,
+};
+use tcw_mac::{ChurnPlan, FaultPlan};
+use tcw_obs::{EventTracer, Registry};
+use tcw_window::trace::NoopObserver;
+
+/// Parsed observability flags, shared by all experiment binaries.
+#[derive(Clone, Debug, Default)]
+pub struct ObsConfig {
+    /// `--trace-events PATH`: write the NDJSON event stream here.
+    pub trace_events: Option<PathBuf>,
+    /// `--metrics PATH`: write the metrics snapshot here (`.prom` selects
+    /// the Prometheus text exposition format, anything else JSON).
+    pub metrics: Option<PathBuf>,
+    /// `--progress`: render a live progress line on stderr.
+    pub progress: bool,
+}
+
+impl ObsConfig {
+    /// Extracts the observability flags from a raw argument list,
+    /// returning the parsed config and the remaining arguments (so each
+    /// binary's own argument handling never sees them).
+    pub fn split_args(args: &[String]) -> Result<(ObsConfig, Vec<String>), String> {
+        let mut cfg = ObsConfig::default();
+        let mut rest = Vec::with_capacity(args.len());
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--trace-events" {
+                let v = it.next().ok_or("--trace-events needs a path")?;
+                cfg.trace_events = Some(PathBuf::from(v));
+            } else if let Some(v) = a.strip_prefix("--trace-events=") {
+                cfg.trace_events = Some(PathBuf::from(v));
+            } else if a == "--metrics" {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                cfg.metrics = Some(PathBuf::from(v));
+            } else if let Some(v) = a.strip_prefix("--metrics=") {
+                cfg.metrics = Some(PathBuf::from(v));
+            } else if a == "--progress" {
+                cfg.progress = true;
+            } else {
+                rest.push(a.clone());
+            }
+        }
+        Ok((cfg, rest))
+    }
+
+    /// Whether any per-cell telemetry (tracing or metrics) is requested.
+    pub fn wants_telemetry(&self) -> bool {
+        self.trace_events.is_some() || self.metrics.is_some()
+    }
+}
+
+/// Telemetry captured while running one sweep cell.
+#[derive(Debug, Default)]
+pub struct CellArtifacts {
+    /// NDJSON fragment (starts with the cell header line).
+    pub trace: Option<String>,
+    /// Cell-labeled metrics registry.
+    pub registry: Option<Registry>,
+}
+
+/// Runs one simulation cell with telemetry capture: when `tracing`, the
+/// protocol event stream is recorded under a `cell` header carrying
+/// `cell_index` and `label`; when `metrics`, the run's metrics register
+/// into a fresh [`Registry`] under `labels`.
+///
+/// The simulated result is bit-identical to
+/// [`simulate_churn`] — observers are passive
+/// and never touch an RNG stream.
+#[allow(clippy::too_many_arguments)]
+pub fn observed_cell(
+    tracing: bool,
+    metrics: bool,
+    cell_index: usize,
+    label: &str,
+    labels: &[(&str, &str)],
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+    plan: FaultPlan,
+    churn: ChurnPlan,
+) -> (ChurnSimPoint, CellArtifacts) {
+    if !tracing && !metrics {
+        let p = simulate_churn(panel, kind, k_tau, settings, seed, plan, churn);
+        return (p, CellArtifacts::default());
+    }
+    observe_engine_cell(tracing, metrics, cell_index, label, labels, |obs, sink| {
+        simulate_churn_observed(panel, kind, k_tau, settings, seed, plan, churn, obs, sink)
+    })
+}
+
+/// Runs an arbitrary engine-driving closure with the same per-cell
+/// telemetry capture as [`observed_cell`], for binaries that build their
+/// engines directly instead of going through the shared runner. The
+/// closure receives the event observer to thread through
+/// `Engine::run_until`/`drain` and, when metrics are on, the sink to
+/// `emit` counters into after the run.
+pub fn observe_engine_cell<T>(
+    tracing: bool,
+    metrics: bool,
+    cell_index: usize,
+    label: &str,
+    labels: &[(&str, &str)],
+    run: impl FnOnce(
+        &mut dyn tcw_window::trace::EngineObserver,
+        Option<&mut dyn tcw_sim::stats::MetricSink>,
+    ) -> T,
+) -> (T, CellArtifacts) {
+    let mut tracer = EventTracer::new();
+    let mut registry = Registry::new();
+    if tracing {
+        tracer.begin_cell(cell_index, label);
+    }
+    if metrics {
+        registry.set_labels(labels);
+    }
+    let mut noop = NoopObserver;
+    let obs: &mut dyn tcw_window::trace::EngineObserver =
+        if tracing { &mut tracer } else { &mut noop };
+    let sink: Option<&mut dyn tcw_sim::stats::MetricSink> =
+        if metrics { Some(&mut registry) } else { None };
+    let value = run(obs, sink);
+    (
+        value,
+        CellArtifacts {
+            trace: tracing.then(|| tracer.finish()),
+            registry: metrics.then_some(registry),
+        },
+    )
+}
+
+/// Sweep-level facts recorded alongside the merged metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepMeta {
+    /// Number of cells in the sweep grid.
+    pub cells: usize,
+}
+
+/// Assembles per-cell telemetry into the files `cfg` requests: traces are
+/// concatenated and registries merged **in cell order**, making both
+/// artifacts byte-identical for any worker count. The merged registry
+/// additionally carries the executor's own `tcw_sweep_cells` gauge.
+///
+/// Metrics format is chosen by extension: `.prom` writes the Prometheus
+/// text exposition format, anything else the JSON export.
+pub fn write_observability(
+    cfg: &ObsConfig,
+    artifacts: &[CellArtifacts],
+    meta: SweepMeta,
+) -> Result<(), String> {
+    if let Some(path) = &cfg.trace_events {
+        let mut text = String::new();
+        for a in artifacts {
+            if let Some(t) = &a.trace {
+                text.push_str(t);
+            }
+        }
+        write_creating_dirs(path, &text)?;
+    }
+    if let Some(path) = &cfg.metrics {
+        let mut merged = Registry::new();
+        for a in artifacts {
+            if let Some(r) = &a.registry {
+                merged.absorb(r);
+            }
+        }
+        use tcw_sim::stats::MetricSink as _;
+        merged.set_labels(&[]);
+        merged.gauge(
+            "tcw_sweep_cells",
+            "cells in the sweep grid",
+            meta.cells as f64,
+        );
+        let text = if path.extension().is_some_and(|e| e == "prom") {
+            merged.to_prometheus()
+        } else {
+            merged.to_json()
+        };
+        write_creating_dirs(path, &text)?;
+    }
+    Ok(())
+}
+
+fn write_creating_dirs(path: &Path, text: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn split_args_extracts_obs_flags() {
+        let (cfg, rest) = ObsConfig::split_args(&strs(&[
+            "--quick",
+            "--trace-events",
+            "out.ndjson",
+            "--metrics=m.prom",
+            "--progress",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.trace_events.as_deref(), Some(Path::new("out.ndjson")));
+        assert_eq!(cfg.metrics.as_deref(), Some(Path::new("m.prom")));
+        assert!(cfg.progress);
+        assert!(cfg.wants_telemetry());
+        assert_eq!(rest, strs(&["--quick", "--jobs", "2"]));
+    }
+
+    #[test]
+    fn split_args_rejects_missing_values() {
+        assert!(ObsConfig::split_args(&strs(&["--trace-events"])).is_err());
+        assert!(ObsConfig::split_args(&strs(&["--metrics"])).is_err());
+    }
+
+    #[test]
+    fn no_flags_is_disabled() {
+        let (cfg, rest) = ObsConfig::split_args(&strs(&["--quick"])).unwrap();
+        assert!(!cfg.wants_telemetry());
+        assert!(!cfg.progress);
+        assert_eq!(rest, strs(&["--quick"]));
+    }
+
+    #[test]
+    fn observed_cell_matches_plain_run_and_captures_artifacts() {
+        let panel = crate::panels::PANELS[0];
+        let settings = SimSettings {
+            messages: 500,
+            warmup: 50,
+            ticks_per_tau: 8,
+            stations: 20,
+            guard: false,
+        };
+        let plain = simulate_churn(
+            panel,
+            PolicyKind::Controlled,
+            100.0,
+            settings,
+            7,
+            FaultPlan::none(),
+            ChurnPlan::none(),
+        );
+        let (observed, art) = observed_cell(
+            true,
+            true,
+            0,
+            "test cell",
+            &[("seed", "7")],
+            panel,
+            PolicyKind::Controlled,
+            100.0,
+            settings,
+            7,
+            FaultPlan::none(),
+            ChurnPlan::none(),
+        );
+        assert_eq!(plain.point.loss.to_bits(), observed.point.loss.to_bits());
+        assert_eq!(plain.point.offered, observed.point.offered);
+        let trace = art.trace.expect("trace captured");
+        assert!(trace.starts_with("{\"schema_version\":1,\"ev\":\"cell\""));
+        assert!(tcw_obs::lint::lint_events(&trace).is_ok());
+        let reg = art.registry.expect("registry captured");
+        assert!(tcw_obs::lint::lint_prom(&reg.to_prometheus()).is_ok());
+    }
+}

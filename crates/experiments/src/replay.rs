@@ -309,16 +309,17 @@ pub fn execute(rec: &FailureRecord) -> (String, String) {
     }
 }
 
-/// Replays an artifact and returns the process exit code: `2` when the
-/// artifact cannot be loaded (missing, stale version, or corrupted), `1`
+/// Replays an artifact and returns the process exit code, following the
+/// convention in [`crate::diag`]: [`crate::diag::EXIT_FAILURE`] when the
+/// artifact cannot be loaded (missing, stale version, or corrupted) or
 /// when the replay did not reproduce the recorded failure, `0` when it
 /// did.
 pub fn replay(path: &Path) -> i32 {
     let rec = match FailureRecord::load(path) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("cannot load artifact: {e}");
-            return 2;
+            crate::diag::error("replay", &format!("cannot load artifact: {e}"));
+            return crate::diag::EXIT_FAILURE;
         }
     };
     println!(
@@ -336,8 +337,8 @@ pub fn replay(path: &Path) -> i32 {
         println!("replay reproduced the identical failure");
         0
     } else {
-        println!("REPLAY DIVERGED from the recorded failure");
-        1
+        crate::diag::error("replay", "REPLAY DIVERGED from the recorded failure");
+        crate::diag::EXIT_FAILURE
     }
 }
 

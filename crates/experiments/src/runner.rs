@@ -328,11 +328,49 @@ pub fn simulate_churn(
     plan: FaultPlan,
     churn: ChurnPlan,
 ) -> ChurnSimPoint {
+    simulate_churn_observed(
+        panel,
+        kind,
+        k_tau,
+        settings,
+        seed,
+        plan,
+        churn,
+        &mut NoopObserver,
+        None,
+    )
+}
+
+/// [`simulate_churn`] with telemetry attached: protocol events stream to
+/// `obs` during the run, and after the final drain the engine's metrics,
+/// channel accounting and churn process register themselves with `sink`
+/// (when one is given).
+///
+/// Observers and sinks are strictly passive — they receive data but never
+/// draw from an RNG stream — so the simulated result is bit-identical to
+/// [`simulate_churn`] regardless of what is attached.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_churn_observed(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+    plan: FaultPlan,
+    churn: ChurnPlan,
+    obs: &mut dyn tcw_window::trace::EngineObserver,
+    sink: Option<&mut dyn tcw_sim::stats::MetricSink>,
+) -> ChurnSimPoint {
     let (mut eng, horizon, _policy) = build_engine(panel, kind, k_tau, settings, seed);
     eng.set_fault_plan(plan);
     eng.set_churn_plan(churn, settings.stations);
-    eng.run_until(horizon, &mut NoopObserver);
-    eng.drain(&mut NoopObserver);
+    eng.run_until(horizon, obs);
+    eng.drain(obs);
+    if let Some(sink) = sink {
+        eng.metrics.emit(sink);
+        eng.channel_stats.emit(sink);
+        eng.churn().emit(sink);
+    }
     ChurnSimPoint {
         point: collect_point(&eng, k_tau, settings),
         faults: collect_faults(&eng),

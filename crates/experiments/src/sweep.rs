@@ -105,24 +105,91 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
+    run_parallel_with_progress(items, jobs, None, f)
+}
+
+/// [`run_parallel`] with optional live progress: when `progress` is given,
+/// workers report per-cell start/done transitions into it and a monitor
+/// thread re-renders the stderr progress line (with ETA and stall
+/// detection) while the sweep runs.
+///
+/// Progress is pure observation on the side of the computation — results
+/// and their order are exactly those of [`run_parallel`], and nothing
+/// derived from the wall clock can reach `f` or its results.
+pub fn run_parallel_with_progress<I, T, F>(
+    items: &[I],
+    jobs: usize,
+    progress: Option<&tcw_obs::Progress>,
+    f: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs == 1 {
-        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| {
+                if let Some(p) = progress {
+                    p.cell_started(0, i);
+                }
+                let r = f(i, it);
+                if let Some(p) = progress {
+                    p.cell_done(0);
+                    p.tick();
+                }
+                r
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
+    // Live worker count, decremented on worker exit even through a panic,
+    // so the monitor thread can never outlive its workers.
+    let alive = AtomicUsize::new(jobs);
+    struct Leaving<'a>(&'a AtomicUsize);
+    impl Drop for Leaving<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|s| {
-        for _ in 0..jobs {
+        for w in 0..jobs {
             let tx = tx.clone();
             let next = &next;
+            let alive = &alive;
             let f = &f;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            s.spawn(move || {
+                let _leaving = Leaving(alive);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if let Some(p) = progress {
+                        p.cell_started(w, i);
+                    }
+                    let r = f(i, &items[i]);
+                    if let Some(p) = progress {
+                        p.cell_done(w);
+                    }
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
                 }
-                if tx.send((i, f(i, &items[i]))).is_err() {
-                    break;
+            });
+        }
+        if let Some(p) = progress {
+            // Monitor thread: re-render until every cell has completed
+            // (or every worker has exited, should one panic mid-cell).
+            let alive = &alive;
+            s.spawn(move || {
+                while p.completed() < items.len() && alive.load(Ordering::Relaxed) > 0 {
+                    p.tick();
+                    std::thread::sleep(std::time::Duration::from_millis(100));
                 }
             });
         }

@@ -3,13 +3,20 @@
 //! `--jobs 1` run. The executor reassembles results in cell order, and
 //! every cell carries its own seed, so worker count and scheduling must
 //! be unobservable in the output.
+//!
+//! The same contract extends to the observability layer: turning on
+//! event tracing and metrics capture must not perturb the simulated
+//! results (observers are passive — they never touch an RNG stream),
+//! and the exported artifacts themselves must be byte-identical for any
+//! `--jobs N` (per-cell telemetry is reassembled in cell order).
 
 use std::path::PathBuf;
 use tcw_experiments::plot::write_csv;
-use tcw_experiments::runner::{PolicyKind, SimSettings};
-use tcw_experiments::sweep::{run_cells, Cell};
-use tcw_experiments::PANELS;
+use tcw_experiments::runner::{ChurnSimPoint, PolicyKind, SimSettings};
+use tcw_experiments::sweep::{run_cells, run_parallel, Cell};
+use tcw_experiments::{observed_cell, CellArtifacts, PANELS};
 use tcw_mac::{ChurnPlan, FaultPlan};
+use tcw_obs::Registry;
 
 fn small() -> SimSettings {
     SimSettings {
@@ -90,6 +97,75 @@ fn parallel_sweep_csv_is_byte_identical_to_serial() {
     let parallel = csv_bytes(4, "jobs4");
     assert!(!serial.is_empty());
     assert_eq!(serial, parallel, "--jobs 4 CSV differs from --jobs 1 CSV");
+}
+
+/// Runs the grid with full telemetry capture on `jobs` workers,
+/// returning the simulated points plus the assembled artifacts exactly
+/// as `write_observability` would build them: traces concatenated and
+/// registries merged in cell order.
+fn instrumented_run(jobs: usize) -> (Vec<ChurnSimPoint>, String, String, String) {
+    let cells = grid();
+    let out: Vec<(ChurnSimPoint, CellArtifacts)> = run_parallel(&cells, jobs, |i, c| {
+        let label = format!("cell {i}");
+        let seed_s = format!("{}", c.seed);
+        let labels = [("cell", label.as_str()), ("seed", seed_s.as_str())];
+        observed_cell(
+            true, true, i, &label, &labels, c.panel, c.policy, c.k_tau, c.settings, c.seed, c.plan,
+            c.churn,
+        )
+    });
+    let (points, artifacts): (Vec<_>, Vec<_>) = out.into_iter().unzip();
+    let mut trace = String::new();
+    let mut merged = Registry::new();
+    for a in &artifacts {
+        trace.push_str(a.trace.as_deref().expect("tracing was on"));
+        merged.absorb(a.registry.as_ref().expect("metrics were on"));
+    }
+    (points, trace, merged.to_prometheus(), merged.to_json())
+}
+
+#[test]
+fn instrumented_sweep_is_byte_identical_to_plain_for_any_jobs() {
+    let plain_csv = csv_bytes(1, "plain");
+    let (points1, trace1, prom1, json1) = instrumented_run(1);
+    let (points4, trace4, prom4, json4) = instrumented_run(4);
+
+    // Telemetry capture never perturbs the simulation: the instrumented
+    // points render to the same CSV bytes as the instrumentation-free run.
+    for (tag, points) in [("jobs1", &points1), ("jobs4", &points4)] {
+        let path: PathBuf =
+            std::env::temp_dir().join(format!("tcw_sweep_determinism_obs_{tag}.csv"));
+        write_csv(
+            &path,
+            &[
+                "loss",
+                "utilization",
+                "sched_time_mean",
+                "corrupted_slots",
+                "resyncs",
+                "churn_losses",
+                "churn_reopened",
+            ],
+            &render_rows(points),
+        )
+        .expect("write csv");
+        let bytes = std::fs::read(&path).expect("read csv back");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            plain_csv, bytes,
+            "instrumented {tag} CSV differs from the instrumentation-free run"
+        );
+    }
+
+    // The artifacts themselves are byte-identical for any worker count.
+    assert!(!trace1.is_empty());
+    assert_eq!(trace1, trace4, "NDJSON trace depends on --jobs");
+    assert_eq!(prom1, prom4, "Prometheus exposition depends on --jobs");
+    assert_eq!(json1, json4, "metrics JSON depends on --jobs");
+
+    // And they are well-formed per the shipped linters.
+    tcw_obs::lint::lint_events(&trace1).expect("trace lints clean");
+    tcw_obs::lint::lint_prom(&prom1).expect("exposition lints clean");
 }
 
 #[test]

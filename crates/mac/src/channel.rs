@@ -198,6 +198,57 @@ impl ChannelStats {
         }
     }
 
+    /// Pushes the accumulated channel-time accounting into `sink` under
+    /// stable `tcw_channel_*` names (counts, ticks per category, and the
+    /// derived utilization gauge).
+    pub fn emit(&self, sink: &mut dyn tcw_sim::stats::MetricSink) {
+        sink.counter(
+            "tcw_channel_idle_slots_total",
+            "idle probe slots",
+            self.idle_slots,
+        );
+        sink.counter(
+            "tcw_channel_collision_slots_total",
+            "collision slots",
+            self.collision_slots,
+        );
+        sink.counter(
+            "tcw_channel_successes_total",
+            "successful transmissions",
+            self.successes,
+        );
+        sink.counter(
+            "tcw_channel_erased_slots_total",
+            "slots with fault-erased feedback",
+            self.erased_slots,
+        );
+        sink.counter(
+            "tcw_channel_quiet_periods_total",
+            "quiet resynchronization backoff periods",
+            self.quiet_periods,
+        );
+        sink.counter(
+            "tcw_channel_idle_ticks_total",
+            "channel time spent idle (ticks)",
+            self.idle.ticks(),
+        );
+        sink.counter(
+            "tcw_channel_collision_ticks_total",
+            "channel time destroyed by collisions (ticks)",
+            self.collision.ticks(),
+        );
+        sink.counter(
+            "tcw_channel_success_ticks_total",
+            "channel time carrying successful transmissions (ticks)",
+            self.success.ticks(),
+        );
+        sink.gauge(
+            "tcw_channel_utilization",
+            "fraction of channel time carrying successes",
+            self.utilization(),
+        );
+    }
+
     /// Mean number of overhead (idle + collision) slots per success.
     pub fn overhead_slots_per_success(&self) -> f64 {
         if self.successes == 0 {

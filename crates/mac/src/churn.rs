@@ -268,6 +268,24 @@ impl ChurnProcess {
         self.leaves
     }
 
+    /// Pushes the membership counters into `sink` under stable
+    /// `tcw_churn_*` names.
+    pub fn emit(&self, sink: &mut dyn tcw_sim::stats::MetricSink) {
+        sink.counter(
+            "tcw_churn_slots_total",
+            "probe slots stepped by the membership process",
+            self.slot,
+        );
+        sink.counter("tcw_churn_crashes_total", "station crashes", self.crashes);
+        sink.counter(
+            "tcw_churn_restarts_total",
+            "station restarts",
+            self.restarts,
+        );
+        sink.counter("tcw_churn_joins_total", "late joins", self.joins);
+        sink.counter("tcw_churn_leaves_total", "permanent leaves", self.leaves);
+    }
+
     /// Whether the station currently hears the channel and may transmit.
     /// Stations beyond the modelled population are always up.
     pub fn is_up(&self, station: StationId) -> bool {

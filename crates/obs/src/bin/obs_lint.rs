@@ -1,0 +1,52 @@
+//! Validates observability artifacts: NDJSON event streams
+//! (`.ndjson`/`.jsonl`) against the tcw-obs event schema, and `.prom`
+//! files against the Prometheus text exposition format.
+//!
+//! Usage: `obs_lint FILE...` — each file is dispatched on its extension.
+//!
+//! Exit codes: `0` all files valid, `1` usage error, `2` validation
+//! failure or unreadable file.
+
+use std::process::ExitCode;
+
+use tcw_obs::lint::{lint_events, lint_prom};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("obs_lint: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: obs_lint FILE...   (.ndjson/.jsonl = event stream, .prom = exposition)");
+        return ExitCode::from(1);
+    }
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        if path.ends_with(".ndjson") || path.ends_with(".jsonl") {
+            match lint_events(&text) {
+                Ok(s) => println!(
+                    "obs_lint: {path}: ok ({} lines, {} cells, {} events)",
+                    s.lines, s.cells, s.events
+                ),
+                Err(e) => return fail(&format!("{path}: {e}")),
+            }
+        } else if path.ends_with(".prom") {
+            match lint_prom(&text) {
+                Ok(s) => println!(
+                    "obs_lint: {path}: ok ({} families, {} samples)",
+                    s.families, s.samples
+                ),
+                Err(e) => return fail(&format!("{path}: {e}")),
+            }
+        } else {
+            eprintln!("obs_lint: {path}: unknown extension (want .ndjson, .jsonl or .prom)");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

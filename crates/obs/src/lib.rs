@@ -1,0 +1,77 @@
+//! # tcw-obs — the observability layer
+//!
+//! Production telemetry for the time-window protocol stack, built on the
+//! two seeds the workspace already had: the engine's
+//! [`tcw_window::trace::EngineObserver`] hook and the online collectors in
+//! [`tcw_sim::stats`]. Four pieces:
+//!
+//! * [`event::EventTracer`] — an `EngineObserver` that encodes
+//!   decision/probe/split/transmit/discard/fault/churn events into a
+//!   preallocated ring buffer and drains them as schema-versioned NDJSON
+//!   (the `--trace-events PATH` flag of the experiment binaries);
+//! * [`registry::Registry`] — a named-metric registry
+//!   (counters/gauges/histograms) populated through
+//!   [`tcw_sim::stats::MetricSink`] by the engine, the channel accounting,
+//!   the churn process and the divergence detector, snapshotted per sweep
+//!   cell and exportable as Prometheus text exposition format or JSON
+//!   (the `--metrics PATH[.prom|.json]` flag);
+//! * [`profile`] — log-scale latency histograms plus (behind the
+//!   `obs-profile` feature) a wall-clock slot-phase profiler for the
+//!   engine's decision/probe/reopen phases;
+//! * [`progress::Progress`] — per-cell state and worker heartbeats for the
+//!   parallel sweep executor, rendered as a stderr progress line with ETA
+//!   and stall detection.
+//!
+//! ## Determinism contract
+//!
+//! Observability is strictly read-only with respect to the simulation:
+//! observers receive event data but never touch an RNG stream, so
+//!
+//! * with tracing/metrics **disabled**, runs are bit-identical to builds
+//!   that predate this crate (the golden fingerprints pin this);
+//! * with tracing/metrics **enabled**, simulated results are byte-identical
+//!   for any `--jobs N` — every cell's telemetry is buffered worker-side
+//!   and reassembled in cell order (the `sweep_determinism` test pins
+//!   this). Only the stderr progress line is wall-clock dependent.
+//!
+//! ## Event schema (`schema_version` 1)
+//!
+//! One JSON object per line, all values scalars. Every line carries
+//! `"schema_version"` and `"ev"`; every line except the `cell` header also
+//! carries `"seq"` (line number within the cell, from 0), `"slot"` (probe
+//! slots consumed so far — non-decreasing within a cell) and `"t"` (the
+//! engine time at which the event was observed, in ticks — non-decreasing
+//! within a cell; a `transmit` line's true start tick is its `start`
+//! field, which can precede `t` because deliveries are reported at
+//! completion).
+//!
+//! | `ev` | extra fields | meaning |
+//! |---|---|---|
+//! | `cell` | `cell`, `label` | header: start of one sweep cell's stream |
+//! | `decision` | `segments`, `win_start`, `win_end` | decision point chose an initial window |
+//! | `decision_idle` | — | decision point found nothing unexamined; idle `tau` |
+//! | `probe` | `outcome` (`idle`\|`success`\|`collision`), `msg` (success), `n` (collision), `dur`, `segments` | one probe slot resolved |
+//! | `split` | `segments`, `win_start`, `win_end` | window known to hold ≥ 2 arrivals split unprobed |
+//! | `transmit` | `start`, `msg`, `station`, `paper_delay`, `true_delay` | successful delivery (started at tick `start`) |
+//! | `discard` | `msg`, `station` | sender discard (policy element 4) |
+//! | `corrupted_slot` | `dur` | slot feedback corrupted by a fault |
+//! | `backoff` | `dur` | quiet backoff before re-probe |
+//! | `round_abandoned` | — | windowing round abandoned after repeated corruption |
+//! | `reopen` | `start`, `end` | examined interval reopened for stranded arrivals |
+//! | `churn` | `what` (`crash`\|`restart`\|`join`\|`leave`), `station` | membership transition |
+//!
+//! Durations and times are integer ticks. The `obs_lint` binary validates
+//! streams against this schema.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod lint;
+pub mod profile;
+pub mod progress;
+pub mod registry;
+
+pub use event::{EventTracer, SCHEMA_VERSION};
+pub use progress::Progress;
+pub use registry::Registry;

@@ -1,0 +1,382 @@
+//! Validators for the artifacts this crate exports: the NDJSON event
+//! schema ([`lint_events`]) and the Prometheus text exposition format
+//! ([`lint_prom`]). The `obs_lint` binary wraps both for CI.
+
+use std::collections::BTreeMap;
+
+use crate::event::SCHEMA_VERSION;
+use crate::registry::valid_metric_name;
+
+/// Summary of a validated NDJSON event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Total lines.
+    pub lines: usize,
+    /// `cell` header lines.
+    pub cells: usize,
+    /// Event lines (everything but headers).
+    pub events: usize,
+}
+
+/// Scalar values the flat-JSON line parser distinguishes.
+#[derive(Clone, Debug, PartialEq)]
+enum Scalar {
+    Num(f64),
+    Str(String),
+}
+
+/// Parses one flat JSON object (`{"k":scalar,...}`, no nesting) into its
+/// fields. Returns an error describing the first malformation.
+fn parse_flat_line(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut fields = BTreeMap::new();
+    let mut rest = body.trim_start();
+    while !rest.is_empty() {
+        let (key, after_key) = parse_string(rest)?;
+        rest = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or("missing ':' after key")?
+            .trim_start();
+        let (value, after_value) = if rest.starts_with('"') {
+            let (s, r) = parse_string(rest)?;
+            (Scalar::Str(s), r)
+        } else {
+            let end = rest.find([',', '}']).unwrap_or(rest.len()).min(rest.len());
+            let token = rest[..end].trim();
+            let n: f64 = token
+                .parse()
+                .map_err(|_| format!("unparseable value {token:?}"))?;
+            (Scalar::Num(n), &rest[end..])
+        };
+        if fields.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        rest = after_value.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return Err("missing ',' between fields".to_string()),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses a leading JSON string, returning it unescaped plus the rest.
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let rest = s.strip_prefix('"').ok_or("expected '\"'")?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &rest[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    // Skip 4 hex digits; keep a placeholder.
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                    out.push('\u{fffd}');
+                }
+                Some((_, e)) => out.push(e),
+                None => return Err("dangling escape".to_string()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn num(fields: &BTreeMap<String, Scalar>, key: &str) -> Option<f64> {
+    match fields.get(key) {
+        Some(Scalar::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Validates an NDJSON event stream against the schema documented at the
+/// crate root: every line parses as a flat JSON object, carries
+/// `schema_version` == [`SCHEMA_VERSION`] and a string `ev`; event lines
+/// carry `seq` (dense from 0 per cell), `slot` and `t` (both
+/// non-decreasing per cell).
+pub fn lint_events(text: &str) -> Result<EventStats, String> {
+    let mut stats = EventStats::default();
+    let mut expected_seq: u64 = 0;
+    let mut last_slot: u64 = 0;
+    let mut last_t: u64 = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        stats.lines += 1;
+        let fields = parse_flat_line(line).map_err(|e| format!("line {n}: {e}"))?;
+        match num(&fields, "schema_version") {
+            Some(v) if v == SCHEMA_VERSION as f64 => {}
+            Some(v) => return Err(format!("line {n}: schema_version {v} != {SCHEMA_VERSION}")),
+            None => return Err(format!("line {n}: missing schema_version")),
+        }
+        let ev = match fields.get("ev") {
+            Some(Scalar::Str(s)) => s.clone(),
+            _ => return Err(format!("line {n}: missing string field \"ev\"")),
+        };
+        if ev == "cell" {
+            if num(&fields, "cell").is_none() {
+                return Err(format!("line {n}: cell header missing \"cell\""));
+            }
+            if !matches!(fields.get("label"), Some(Scalar::Str(_))) {
+                return Err(format!("line {n}: cell header missing \"label\""));
+            }
+            stats.cells += 1;
+            expected_seq = 0;
+            last_slot = 0;
+            last_t = 0;
+            continue;
+        }
+        stats.events += 1;
+        let seq = num(&fields, "seq").ok_or(format!("line {n}: missing seq"))? as u64;
+        if seq != expected_seq {
+            return Err(format!("line {n}: seq {seq}, expected {expected_seq}"));
+        }
+        expected_seq += 1;
+        let slot = num(&fields, "slot").ok_or(format!("line {n}: missing slot"))? as u64;
+        if slot < last_slot {
+            return Err(format!("line {n}: slot {slot} < previous {last_slot}"));
+        }
+        last_slot = slot;
+        let t = num(&fields, "t").ok_or(format!("line {n}: missing t"))? as u64;
+        if t < last_t {
+            return Err(format!("line {n}: t {t} < previous {last_t}"));
+        }
+        last_t = t;
+    }
+    Ok(stats)
+}
+
+/// Summary of a validated Prometheus exposition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PromStats {
+    /// Metric families declared with `# TYPE`.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+/// Minimal linter for the Prometheus text exposition format: every `TYPE`
+/// names a known kind, every sample references a declared family (with
+/// `_bucket`/`_sum`/`_count` suffixes allowed for histograms), metric
+/// names match the Prometheus grammar and values parse as floats.
+pub fn lint_prom(text: &str) -> Result<PromStats, String> {
+    let mut stats = PromStats::default();
+    let mut families: BTreeMap<String, String> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: invalid metric name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {n}: unknown TYPE {kind:?}"));
+            }
+            families.insert(name.to_string(), kind.to_string());
+            stats.families += 1;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: invalid metric name {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // arbitrary comment
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line.find(['{', ' ']).ok_or(format!("line {n}: no value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        let after = &line[name_end..];
+        let value_str = if let Some(rest) = after.strip_prefix('{') {
+            let close = rest.find('}').ok_or(format!("line {n}: unclosed labels"))?;
+            lint_labels(&rest[..close]).map_err(|e| format!("line {n}: {e}"))?;
+            rest[close + 1..].trim()
+        } else {
+            after.trim()
+        };
+        if value_str.parse::<f64>().is_err() {
+            return Err(format!("line {n}: unparseable value {value_str:?}"));
+        }
+        let family_known = families.contains_key(name)
+            || [
+                ("_bucket", "histogram"),
+                ("_sum", "histogram"),
+                ("_count", "histogram"),
+            ]
+            .iter()
+            .any(|(suffix, kind)| {
+                name.strip_suffix(suffix)
+                    .is_some_and(|base| families.get(base).map(String::as_str) == Some(*kind))
+            });
+        if !family_known {
+            return Err(format!("line {n}: sample {name:?} has no TYPE declaration"));
+        }
+        stats.samples += 1;
+    }
+    Ok(stats)
+}
+
+/// Validates a `key="value",...` label body.
+fn lint_labels(body: &str) -> Result<(), String> {
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        if !valid_metric_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value not quoted")?;
+        // Find the closing quote, skipping escapes.
+        let mut close = None;
+        let mut prev_backslash = false;
+        for (i, c) in rest.char_indices() {
+            if prev_backslash {
+                prev_backslash = false;
+            } else if c == '\\' {
+                prev_backslash = true;
+            } else if c == '"' {
+                close = Some(i);
+                break;
+            }
+        }
+        let close = close.ok_or("unterminated label value")?;
+        rest = &rest[close + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None if rest.is_empty() => break,
+            None => return Err("missing ',' between labels".to_string()),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventTracer;
+    use crate::registry::Registry;
+    use tcw_sim::stats::{Histogram, MetricSink};
+    use tcw_sim::time::{Dur, Time};
+    use tcw_window::trace::EngineObserver;
+
+    #[test]
+    fn tracer_output_passes_lint() {
+        let mut tr = EventTracer::new();
+        tr.begin_cell(0, "cell \"zero\"");
+        tr.on_decision(Time::from_ticks(0), None);
+        tr.on_probe(
+            Time::from_ticks(64),
+            &[],
+            &tcw_mac::SlotOutcome::Idle,
+            Dur::from_ticks(64),
+        );
+        tr.begin_cell(1, "one");
+        tr.on_round_abandoned(Time::from_ticks(3));
+        let stats = lint_events(&tr.finish()).unwrap();
+        assert_eq!(
+            stats,
+            EventStats {
+                lines: 5,
+                cells: 2,
+                events: 3
+            }
+        );
+    }
+
+    #[test]
+    fn lint_rejects_bad_streams() {
+        assert!(lint_events("not json\n").is_err());
+        assert!(lint_events("{\"ev\":\"decision\"}\n").is_err()); // no version
+        assert!(
+            lint_events("{\"schema_version\":99,\"ev\":\"x\",\"seq\":0,\"slot\":0,\"t\":0}\n")
+                .is_err()
+        );
+        // slot decreases
+        let bad = concat!(
+            "{\"schema_version\":1,\"seq\":0,\"slot\":5,\"t\":0,\"ev\":\"a\"}\n",
+            "{\"schema_version\":1,\"seq\":1,\"slot\":4,\"t\":1,\"ev\":\"a\"}\n",
+        );
+        let err = lint_events(bad).unwrap_err();
+        assert!(err.contains("slot 4"), "{err}");
+        // t decreases
+        let bad = concat!(
+            "{\"schema_version\":1,\"seq\":0,\"slot\":0,\"t\":9,\"ev\":\"a\"}\n",
+            "{\"schema_version\":1,\"seq\":1,\"slot\":0,\"t\":3,\"ev\":\"a\"}\n",
+        );
+        assert!(lint_events(bad).is_err());
+        // seq gap
+        let bad = "{\"schema_version\":1,\"seq\":1,\"slot\":0,\"t\":0,\"ev\":\"a\"}\n";
+        assert!(lint_events(bad).is_err());
+    }
+
+    #[test]
+    fn registry_exposition_passes_lint() {
+        let mut r = Registry::new();
+        r.set_labels(&[("panel", "rho'=0.50 M=25"), ("seed", "42")]);
+        r.counter("tcw_test_total", "counts", 3);
+        r.gauge("tcw_test_util", "gauge", 0.5);
+        let mut h = Histogram::new(0.0, 100.0, 4);
+        h.record(3.0);
+        h.record(250.0);
+        r.histogram("tcw_test_delay", "delays", &h);
+        let stats = lint_prom(&r.to_prometheus()).unwrap();
+        assert_eq!(stats.families, 3);
+        // 2 scalars + 4 finite buckets + Inf bucket + sum + count
+        assert_eq!(stats.samples, 9);
+    }
+
+    #[test]
+    fn prom_lint_rejects_malformed_expositions() {
+        assert!(lint_prom("# TYPE bad-name counter\n").is_err());
+        assert!(lint_prom("# TYPE m mystery\n").is_err());
+        assert!(lint_prom("orphan_sample 1\n").is_err());
+        assert!(lint_prom("# TYPE m counter\nm not_a_number\n").is_err());
+        assert!(lint_prom("# TYPE m counter\nm{l=\"unterminated} 1\n").is_err());
+        let ok = "# HELP m help text\n# TYPE m counter\nm{a=\"x\",b=\"y\"} 4\n";
+        assert_eq!(
+            lint_prom(ok).unwrap(),
+            PromStats {
+                families: 1,
+                samples: 1
+            }
+        );
+    }
+
+    #[test]
+    fn flat_parser_handles_escapes_and_rejects_junk() {
+        let f = parse_flat_line(r#"{"a":"x\"y","b":3.5}"#).unwrap();
+        assert_eq!(f.get("a"), Some(&Scalar::Str("x\"y".to_string())));
+        assert_eq!(f.get("b"), Some(&Scalar::Num(3.5)));
+        assert!(parse_flat_line(r#"{"a":}"#).is_err());
+        assert!(parse_flat_line(r#"{"a":1 "b":2}"#).is_err());
+        assert!(parse_flat_line(r#"{"a":1,"a":2}"#).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Live sweep progress: per-cell state and worker heartbeats rendered as
+//! a single self-overwriting stderr line with ETA and stall detection.
+//!
+//! The sweep executor calls [`Progress::cell_started`] /
+//! [`Progress::cell_done`] from worker threads; a monitor thread calls
+//! [`Progress::tick`] periodically to re-render. Everything here is
+//! wall-clock dependent by design and touches **only stderr** — no
+//! exported artifact ever includes progress state, which is what keeps
+//! instrumented runs byte-identical across `--jobs` settings.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A worker is considered stalled when its current cell has been running
+/// at least this long without completing.
+const STALL_AFTER: Duration = Duration::from_secs(30);
+
+/// Minimum interval between stderr re-renders.
+const RENDER_EVERY: Duration = Duration::from_millis(200);
+
+/// Sentinel for "worker holds no cell".
+const IDLE: usize = usize::MAX;
+
+struct WorkerSlot {
+    /// Milliseconds since `started` at the last heartbeat.
+    heartbeat_ms: AtomicU64,
+    /// Cell index currently held, or [`IDLE`].
+    cell: AtomicUsize,
+}
+
+/// Shared progress state for one parallel sweep.
+pub struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    started: Instant,
+    workers: Vec<WorkerSlot>,
+    last_render: Mutex<Instant>,
+}
+
+impl Progress {
+    /// Creates progress state for `total` cells executed by `workers`
+    /// worker threads.
+    pub fn new(total: usize, workers: usize) -> Self {
+        let started = Instant::now();
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            started,
+            workers: (0..workers)
+                .map(|_| WorkerSlot {
+                    heartbeat_ms: AtomicU64::new(0),
+                    cell: AtomicUsize::new(IDLE),
+                })
+                .collect(),
+            last_render: Mutex::new(started),
+        }
+    }
+
+    /// Number of cells completed so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Total number of cells.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Records that `worker` began executing `cell`.
+    pub fn cell_started(&self, worker: usize, cell: usize) {
+        if let Some(w) = self.workers.get(worker) {
+            w.heartbeat_ms.store(self.now_ms(), Ordering::Relaxed);
+            w.cell.store(cell, Ordering::Relaxed);
+        }
+    }
+
+    /// Records that `worker` finished its current cell.
+    pub fn cell_done(&self, worker: usize) {
+        if let Some(w) = self.workers.get(worker) {
+            w.heartbeat_ms.store(self.now_ms(), Ordering::Relaxed);
+            w.cell.store(IDLE, Ordering::Relaxed);
+        }
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cells currently held by workers, with each cell's age; used for the
+    /// render line and for stall detection.
+    fn active(&self) -> Vec<(usize, Duration)> {
+        let now = self.now_ms();
+        self.workers
+            .iter()
+            .filter_map(|w| {
+                let cell = w.cell.load(Ordering::Relaxed);
+                if cell == IDLE {
+                    None
+                } else {
+                    let hb = w.heartbeat_ms.load(Ordering::Relaxed);
+                    Some((cell, Duration::from_millis(now.saturating_sub(hb))))
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the progress line for the given elapsed time. Public so the
+    /// formatting is unit-testable without threads or a terminal.
+    pub fn render_line(&self, elapsed: Duration) -> String {
+        let done = self.completed();
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * done as f64 / self.total as f64
+        };
+        let mut line = format!(
+            "sweep: {done}/{} cells ({pct:.0}%) elapsed {}",
+            self.total,
+            fmt_dur(elapsed)
+        );
+        if done > 0 && done < self.total {
+            let per_cell = elapsed.as_secs_f64() / done as f64;
+            let eta = Duration::from_secs_f64(per_cell * (self.total - done) as f64);
+            line.push_str(&format!(" eta {}", fmt_dur(eta)));
+        }
+        let active = self.active();
+        if !active.is_empty() && done < self.total {
+            let cells: Vec<String> = active.iter().map(|(c, _)| format!("#{c}")).collect();
+            line.push_str(&format!(" running {}", cells.join(" ")));
+        }
+        let stalled: Vec<String> = active
+            .iter()
+            .filter(|(_, age)| *age >= STALL_AFTER)
+            .map(|(c, age)| format!("#{c} ({}s)", age.as_secs()))
+            .collect();
+        if !stalled.is_empty() {
+            line.push_str(&format!(" STALLED {}", stalled.join(" ")));
+        }
+        line
+    }
+
+    /// Re-renders the stderr progress line if enough time has passed since
+    /// the previous render. Safe to call from any thread.
+    pub fn tick(&self) {
+        let mut last = match self.last_render.lock() {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        if last.elapsed() < RENDER_EVERY {
+            return;
+        }
+        *last = Instant::now();
+        let line = self.render_line(self.started.elapsed());
+        // Pad then carriage-return so a shrinking line leaves no residue.
+        eprint!("\r{line:<78}");
+    }
+
+    /// Renders the final state and terminates the stderr line.
+    pub fn finish(&self) {
+        let line = self.render_line(self.started.elapsed());
+        eprintln!("\r{line:<78}");
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs();
+    if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}.{}s", s, d.subsec_millis() / 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_counts_and_eta() {
+        let p = Progress::new(10, 2);
+        p.cell_started(0, 0);
+        p.cell_done(0);
+        p.cell_started(0, 1);
+        p.cell_started(1, 2);
+        let line = p.render_line(Duration::from_secs(4));
+        assert!(line.contains("1/10"), "{line}");
+        assert!(line.contains("(10%)"), "{line}");
+        // 4s for 1 cell -> 36s for the remaining 9.
+        assert!(line.contains("eta 36"), "{line}");
+        assert!(line.contains("#1"), "{line}");
+        assert!(line.contains("#2"), "{line}");
+        assert!(!line.contains("STALLED"), "{line}");
+    }
+
+    #[test]
+    fn completed_sweep_renders_without_eta() {
+        let p = Progress::new(2, 1);
+        p.cell_started(0, 0);
+        p.cell_done(0);
+        p.cell_started(0, 1);
+        p.cell_done(0);
+        let line = p.render_line(Duration::from_secs(1));
+        assert!(line.contains("2/2"), "{line}");
+        assert!(line.contains("(100%)"), "{line}");
+        assert!(!line.contains("eta"), "{line}");
+        assert!(!line.contains("running"), "{line}");
+    }
+
+    #[test]
+    fn zero_total_is_full() {
+        let p = Progress::new(0, 1);
+        let line = p.render_line(Duration::from_millis(100));
+        assert!(line.contains("(100%)"), "{line}");
+    }
+
+    #[test]
+    fn out_of_range_worker_ids_are_ignored() {
+        let p = Progress::new(1, 1);
+        p.cell_started(5, 0);
+        p.cell_done(5);
+        assert_eq!(p.completed(), 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_millis(2500)), "2.5s");
+        assert_eq!(fmt_dur(Duration::from_secs(125)), "2m05s");
+    }
+}

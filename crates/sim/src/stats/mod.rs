@@ -13,11 +13,16 @@
 //!   simulation estimates;
 //! * [`P2Quantile`] — O(1)-memory online quantile estimation (tail-delay
 //!   percentiles).
+//!
+//! [`MetricSink`] is the push-style enumeration interface metric
+//! *producers* use to expose these collectors to an observability
+//! registry without depending on one.
 
 mod batch;
 mod counter;
 mod histogram;
 mod quantile;
+mod sink;
 mod tally;
 mod timeweighted;
 
@@ -25,5 +30,6 @@ pub use batch::BatchMeans;
 pub use counter::RatioCounter;
 pub use histogram::Histogram;
 pub use quantile::P2Quantile;
+pub use sink::MetricSink;
 pub use tally::Tally;
 pub use timeweighted::TimeWeighted;

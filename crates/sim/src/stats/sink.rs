@@ -1,0 +1,112 @@
+//! A push-style enumeration interface for metric producers.
+//!
+//! Subsystems that accumulate counters and online statistics (the engine's
+//! [`super::Tally`]s, the channel accounting, the churn process, the
+//! divergence detector) expose an `emit`-style method that pushes every
+//! named value into a [`MetricSink`]. The sink decides what to do with
+//! them — the observability registry keeps labelled samples for
+//! Prometheus/JSON export, while tests can collect them into a map.
+//!
+//! The indirection points one way only: producers know the trait, never a
+//! concrete registry, so the simulation crates stay free of any
+//! observability dependency and the hot path is untouched (emission
+//! happens once per run, after the fact).
+
+use super::{Histogram, Tally};
+
+/// Receives named metric values pushed by a producer.
+///
+/// Only [`MetricSink::counter`] and [`MetricSink::gauge`] are required;
+/// the composite methods have conservative defaults that decompose into
+/// scalar samples. Sinks that can represent richer shapes (a Prometheus
+/// histogram, say) override them.
+///
+/// Naming convention: `snake_case`, `tcw_`-prefixed, matching the
+/// Prometheus exposition-format grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub trait MetricSink {
+    /// A monotonically increasing count.
+    fn counter(&mut self, name: &str, help: &str, value: u64);
+
+    /// A point-in-time scalar.
+    fn gauge(&mut self, name: &str, help: &str, value: f64);
+
+    /// A [`Tally`] of observations. The default decomposes into a count
+    /// plus mean/min/max gauges (omitted while empty, when they are
+    /// `NaN`/infinite).
+    fn tally(&mut self, name: &str, help: &str, t: &Tally) {
+        self.counter(&format!("{name}_count"), help, t.count());
+        if t.count() > 0 {
+            self.gauge(&format!("{name}_mean"), help, t.mean());
+            self.gauge(&format!("{name}_min"), help, t.min());
+            self.gauge(&format!("{name}_max"), help, t.max());
+        }
+    }
+
+    /// A binned [`Histogram`]. The default records only the counts; the
+    /// observability registry overrides this to keep the full bin
+    /// structure.
+    fn histogram(&mut self, name: &str, help: &str, h: &Histogram) {
+        self.counter(&format!("{name}_count"), help, h.count());
+        self.counter(&format!("{name}_underflow"), help, h.underflow());
+        self.counter(&format!("{name}_overflow"), help, h.overflow());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct MapSink {
+        counters: Vec<(String, u64)>,
+        gauges: Vec<(String, f64)>,
+    }
+
+    impl MetricSink for MapSink {
+        fn counter(&mut self, name: &str, _help: &str, value: u64) {
+            self.counters.push((name.to_string(), value));
+        }
+        fn gauge(&mut self, name: &str, _help: &str, value: f64) {
+            self.gauges.push((name.to_string(), value));
+        }
+    }
+
+    #[test]
+    fn default_tally_decomposition() {
+        let mut t = Tally::new();
+        let mut s = MapSink::default();
+        s.tally("x", "help", &t);
+        assert_eq!(s.counters, vec![("x_count".to_string(), 0)]);
+        assert!(s.gauges.is_empty());
+        t.record(1.0);
+        t.record(3.0);
+        let mut s = MapSink::default();
+        s.tally("x", "help", &t);
+        assert_eq!(s.counters, vec![("x_count".to_string(), 2)]);
+        assert_eq!(
+            s.gauges,
+            vec![
+                ("x_mean".to_string(), 2.0),
+                ("x_min".to_string(), 1.0),
+                ("x_max".to_string(), 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn default_histogram_decomposition() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(1.0);
+        h.record(99.0);
+        let mut s = MapSink::default();
+        s.histogram("h", "help", &h);
+        assert_eq!(
+            s.counters,
+            vec![
+                ("h_count".to_string(), 2),
+                ("h_underflow".to_string(), 0),
+                ("h_overflow".to_string(), 1),
+            ]
+        );
+    }
+}

@@ -7,7 +7,7 @@
 
 use tcw_sim::events::EventQueue;
 use tcw_sim::rng::Rng;
-use tcw_sim::stats::{Histogram, Tally};
+use tcw_sim::stats::{Histogram, P2Quantile, RatioCounter, Tally};
 use tcw_sim::time::{Dur, Time};
 
 const CASES: u64 = 200;
@@ -140,6 +140,115 @@ fn histogram_cdf_monotone() {
                 "case {case}: cdf decreased at {q}: {c} < {prev}"
             );
             prev = c;
+        }
+    }
+}
+
+/// The exact `q`-quantile of a sorted sample (the value at rank
+/// `ceil(q*n)`, clamped into range).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Histogram quantile estimates land within one bin width of the exact
+/// sorted-sample quantile, for in-range samples (no under/overflow mass).
+#[test]
+fn histogram_quantile_matches_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0008 ^ case);
+        let n = 50 + rng.below(200) as usize;
+        let bins = 8 + rng.below(56) as usize;
+        let mut h = Histogram::new(0.0, 10.0, bins);
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.f64() * 10.0).collect();
+        for &x in &samples {
+            h.record(x);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let width = 10.0 / bins as f64;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
+            let exact = exact_quantile(&samples, q);
+            let est = h
+                .quantile(q)
+                .expect("in-range samples: quantile never falls in under/overflow");
+            assert!(
+                (est - exact).abs() <= width + 1e-9,
+                "case {case}: q={q} bins={bins}: histogram {est} vs exact {exact} \
+                 (bin width {width})"
+            );
+        }
+    }
+}
+
+/// P² streaming quantile estimates track the exact sorted-sample
+/// quantile on random inputs, and never leave the sample range.
+#[test]
+fn p2_quantile_tracks_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_0009 ^ case);
+        let n = 100 + rng.below(400) as usize;
+        for q in [0.5, 0.9, 0.95] {
+            let mut p2 = P2Quantile::new(q);
+            let mut samples: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+            for &x in &samples {
+                p2.record(x);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let exact = exact_quantile(&samples, q);
+            let est = p2.estimate().expect("n >= 100 observations");
+            assert_eq!(p2.count(), n as u64);
+            assert!(
+                (samples[0]..=samples[n - 1]).contains(&est),
+                "case {case}: q={q}: estimate {est} outside the sample range"
+            );
+            assert!(
+                (est - exact).abs() <= 0.15,
+                "case {case}: q={q} n={n}: P2 {est} vs exact {exact}"
+            );
+        }
+    }
+}
+
+/// RatioCounter::merge equals recording the concatenation, and merging
+/// is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+#[test]
+fn ratio_counter_merge_associative() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5EED_000A ^ case);
+        let draw = |rng: &mut Rng| -> Vec<bool> {
+            let n = rng.below(60) as usize;
+            (0..n).map(|_| rng.f64() < 0.3).collect()
+        };
+        let (xs, ys, zs) = (draw(&mut rng), draw(&mut rng), draw(&mut rng));
+        let fill = |marks: &[bool]| {
+            let mut c = RatioCounter::new();
+            for &m in marks {
+                c.record(m);
+            }
+            c
+        };
+        let mut whole = RatioCounter::new();
+        for &m in xs.iter().chain(ys.iter()).chain(zs.iter()) {
+            whole.record(m);
+        }
+        // Left fold: (a ⊕ b) ⊕ c.
+        let mut left = fill(&xs);
+        left.merge(&fill(&ys));
+        left.merge(&fill(&zs));
+        // Right fold: a ⊕ (b ⊕ c).
+        let mut bc = fill(&ys);
+        bc.merge(&fill(&zs));
+        let mut right = fill(&xs);
+        right.merge(&bc);
+        for c in [&left, &right] {
+            assert_eq!(c.marked(), whole.marked(), "case {case}: marked differs");
+            assert_eq!(c.total(), whole.total(), "case {case}: total differs");
+            assert_eq!(
+                c.ratio().to_bits(),
+                whole.ratio().to_bits(),
+                "case {case}: ratio differs"
+            );
         }
     }
 }

@@ -18,7 +18,7 @@
 //! receiver — the simulation measures the truth, exactly as the paper's
 //! simulation points do).
 
-use tcw_sim::stats::{Histogram, P2Quantile, RatioCounter, Tally};
+use tcw_sim::stats::{Histogram, MetricSink, P2Quantile, RatioCounter, Tally};
 use tcw_sim::time::{Dur, Time};
 
 /// Measurement window and deadline configuration for a run.
@@ -378,6 +378,126 @@ impl Metrics {
     /// Online p99 of true waiting times of transmitted messages (ticks).
     pub fn true_delay_p99(&self) -> Option<f64> {
         self.true_delay_p99.estimate()
+    }
+
+    /// Pushes every accumulated metric into `sink` under stable
+    /// `tcw_engine_*` names. Called once per run by the observability
+    /// registry; the accounting hot path is untouched.
+    pub fn emit(&self, sink: &mut dyn MetricSink) {
+        sink.counter(
+            "tcw_engine_messages_offered_total",
+            "counted messages resolved in the measurement window",
+            self.offered(),
+        );
+        sink.counter(
+            "tcw_engine_messages_sender_lost_total",
+            "messages discarded at the sender (policy element 4)",
+            self.sender_lost,
+        );
+        sink.counter(
+            "tcw_engine_messages_receiver_lost_total",
+            "messages transmitted but late at the receiver",
+            self.receiver_lost,
+        );
+        sink.counter(
+            "tcw_engine_messages_blocked_total",
+            "arrivals blocked at full single-buffer stations",
+            self.blocked,
+        );
+        sink.gauge(
+            "tcw_engine_loss_fraction",
+            "total loss fraction (the paper's headline metric)",
+            self.loss_fraction(),
+        );
+        sink.tally(
+            "tcw_engine_true_delay_ticks",
+            "true waiting time of transmitted counted messages (ticks)",
+            &self.true_delay,
+        );
+        sink.tally(
+            "tcw_engine_paper_delay_ticks",
+            "paper-definition waiting time of transmitted counted messages (ticks)",
+            &self.paper_delay,
+        );
+        sink.tally(
+            "tcw_engine_sched_overhead_slots",
+            "overhead slots per successful scheduling round",
+            &self.sched_slots,
+        );
+        sink.tally(
+            "tcw_engine_sched_time_ticks",
+            "scheduling-time component of transmitted messages' service time (ticks)",
+            &self.sched_time,
+        );
+        sink.histogram(
+            "tcw_engine_paper_delay_hist_ticks",
+            "paper-definition waiting times over [0, 2K) (ticks)",
+            &self.paper_delay_hist,
+        );
+        if let Some(p95) = self.true_delay_p95.estimate() {
+            sink.gauge(
+                "tcw_engine_true_delay_p95_ticks",
+                "online p95 of true waiting times (ticks)",
+                p95,
+            );
+        }
+        if let Some(p99) = self.true_delay_p99.estimate() {
+            sink.gauge(
+                "tcw_engine_true_delay_p99_ticks",
+                "online p99 of true waiting times (ticks)",
+                p99,
+            );
+        }
+        sink.counter(
+            "tcw_engine_corrupted_slots_total",
+            "slots with misdetected feedback",
+            self.corrupted_slots,
+        );
+        sink.counter(
+            "tcw_engine_erased_slots_total",
+            "slots with erased feedback",
+            self.erased_slots,
+        );
+        sink.counter(
+            "tcw_engine_resyncs_total",
+            "backoff/re-probe resynchronizations after detected corruption",
+            self.resyncs,
+        );
+        sink.counter(
+            "tcw_engine_rounds_abandoned_total",
+            "windowing rounds abandoned after exhausting the retry budget",
+            self.rounds_abandoned,
+        );
+        sink.counter(
+            "tcw_engine_reopened_total",
+            "examined intervals reopened for fault-stranded arrivals",
+            self.reopened,
+        );
+        sink.counter(
+            "tcw_engine_fault_losses_total",
+            "counted losses attributable to an injected fault",
+            self.fault_losses,
+        );
+        sink.counter(
+            "tcw_engine_churn_blocked_total",
+            "arrivals blocked because the station was down, absent or gone",
+            self.churn_blocked,
+        );
+        sink.counter(
+            "tcw_engine_churn_losses_total",
+            "counted messages lost to churn",
+            self.churn_losses,
+        );
+        sink.counter(
+            "tcw_engine_churn_reopened_total",
+            "examined intervals reopened to recover restarted stations' backlog",
+            self.churn_reopened,
+        );
+        sink.tally(
+            "tcw_engine_rejoin_latency_slots",
+            "rejoin latency of restarted stations (probe slots)",
+            &self.rejoin_slots,
+        );
     }
 }
 

@@ -389,6 +389,41 @@ impl DivergenceDetector {
         self.churn_repairs
     }
 
+    /// Pushes the detector's counters into `sink` under stable
+    /// `tcw_detector_*` names.
+    pub fn emit(&self, sink: &mut dyn tcw_sim::stats::MetricSink) {
+        sink.counter(
+            "tcw_detector_divergences_total",
+            "divergences detected at decision-point beacons",
+            self.divergences,
+        );
+        sink.counter(
+            "tcw_detector_resyncs_total",
+            "beacon resynchronizations performed",
+            self.resyncs,
+        );
+        sink.counter(
+            "tcw_detector_dropped_slots_total",
+            "channel slots the tracked station failed to hear",
+            self.dropped_slots,
+        );
+        sink.counter(
+            "tcw_detector_churn_repairs_total",
+            "divergence repairs attributable to a churn outage",
+            self.churn_repairs,
+        );
+        sink.counter(
+            "tcw_detector_decisions_checked_total",
+            "decision points checked against the consensus view",
+            self.mirror.decisions_checked(),
+        );
+        sink.counter(
+            "tcw_detector_probes_observed_total",
+            "probe slots the tracked station observed",
+            self.mirror.probes_observed(),
+        );
+    }
+
     /// Whether the station hears the current slot; advances the outage
     /// span and the deafness process one slot either way.
     fn hears_slot(&mut self) -> bool {
