@@ -1,0 +1,327 @@
+//! Adaptive window control under non-stationary and adversarial load.
+//!
+//! Sweeps four workloads (10x load step, flash crowds, packetized
+//! voice, bounded-burst adversarial injection) against four
+//! element-(2) choices (stale static tuning, per-segment oracle, AIMD,
+//! online rate estimator), reporting deadline loss and regret vs the
+//! oracle per cell. Results land in `results/adaptive.csv` and
+//! `results/adaptive.txt`.
+//!
+//! Every cell runs under a panic guard; a panic writes a replay
+//! artifact under `results/failures/`. Modes:
+//!
+//! ```text
+//! adaptive [--jobs N] [--trace-events P] [--metrics P] [--progress]
+//! adaptive --episode                      # AIMD/estimator load-step walk-through
+//! adaptive --record SCENARIO CONTROLLER REPLICATE PATH
+//! adaptive --replay PATH                  # must reproduce the recorded outcome
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use tcw_experiments::adaptive::{
+    episode, execute, replay, run_cell, AdaptiveRecord, CellOutcome, ControllerKind, Scenario,
+    BASE_SEED, REPLICATES,
+};
+use tcw_experiments::diag;
+use tcw_experiments::plot::{ascii_plot, write_csv, Series};
+use tcw_experiments::replay::panic_message;
+use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
+use tcw_experiments::{
+    observe_engine_cell, write_observability, CellArtifacts, ObsConfig, SweepMeta,
+};
+use tcw_sim::rng::stream_seed;
+
+/// Load-step instants at which `--episode` samples the commanded window
+/// (the step itself is at 150_000).
+const EPISODE_CHECKPOINTS: [u64; 11] = [
+    0, 50_000, 100_000, 149_999, 152_000, 155_000, 160_000, 170_000, 200_000, 250_000, 290_000,
+];
+
+fn episode_mode() -> i32 {
+    println!(
+        "load-step episode: rate 0.003 -> 0.03 msgs/tick at t=150000, stale window {} ticks\n",
+        Scenario::Step.stale_window()
+    );
+    for kind in [ControllerKind::Aimd, ControllerKind::Estimator] {
+        let (samples, shrinks, grows) = episode(kind, &EPISODE_CHECKPOINTS);
+        println!("{} commanded window (ticks) by instant:", kind.label());
+        println!("  {:>8}  {:>8}", "tick", "window");
+        for s in &samples {
+            println!("  {:>8}  {:>8}", s.tick, s.window);
+        }
+        println!("  shrinks={shrinks} grows={grows}\n");
+    }
+    0
+}
+
+fn record_mode(args: &[String]) -> i32 {
+    let [scenario, controller, replicate, path] = &args[..4] else {
+        unreachable!("caller checked arity");
+    };
+    let Some(scenario) = Scenario::parse(scenario) else {
+        diag::error("adaptive", &format!("unknown scenario {scenario:?}"));
+        return diag::EXIT_USAGE;
+    };
+    let Some(controller) = ControllerKind::parse(controller) else {
+        diag::error("adaptive", &format!("unknown controller {controller:?}"));
+        return diag::EXIT_USAGE;
+    };
+    let Ok(replicate) = replicate.parse::<u64>() else {
+        diag::error("adaptive", &format!("bad replicate index {replicate:?}"));
+        return diag::EXIT_USAGE;
+    };
+    let mut rec = AdaptiveRecord {
+        scenario,
+        controller,
+        replicate,
+        kind: String::new(),
+        detail: String::new(),
+    };
+    let (kind, detail) = execute(&rec);
+    rec.kind = kind;
+    rec.detail = detail;
+    if let Err(e) = rec.save(Path::new(path)) {
+        diag::error("adaptive", &format!("cannot write {path}: {e}"));
+        return diag::EXIT_FAILURE;
+    }
+    println!("recorded [{}] {} -> {}", rec.kind, rec.detail, path);
+    0
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, args) = match ObsConfig::split_args(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("adaptive", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if args.first().is_some_and(|a| a == "--replay") {
+        let Some(path) = args.get(1) else {
+            diag::error("adaptive", "--replay needs an artifact path");
+            std::process::exit(diag::EXIT_USAGE);
+        };
+        std::process::exit(replay(Path::new(path)));
+    }
+    if args.first().is_some_and(|a| a == "--record") {
+        if args.len() < 5 {
+            diag::error(
+                "adaptive",
+                "--record needs SCENARIO CONTROLLER REPLICATE PATH",
+            );
+            std::process::exit(diag::EXIT_USAGE);
+        }
+        std::process::exit(record_mode(&args[1..]));
+    }
+    if args.first().is_some_and(|a| a == "--episode") {
+        std::process::exit(episode_mode());
+    }
+    let jobs = jobs_from_args(&args);
+
+    let results = Path::new("results");
+    let failures_dir = results.join("failures");
+    let mut report = String::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    println!(
+        "adaptive window sweep: {} scenarios x {} controllers x {} replicates, K={} ticks\n",
+        Scenario::ALL.len(),
+        ControllerKind::ALL.len(),
+        REPLICATES,
+        tcw_experiments::adaptive::K_TICKS,
+    );
+
+    let cells: Vec<(Scenario, ControllerKind, u64)> = Scenario::ALL
+        .iter()
+        .flat_map(|&s| {
+            ControllerKind::ALL
+                .iter()
+                .flat_map(move |&c| (0..REPLICATES).map(move |r| (s, c, r)))
+        })
+        .collect();
+    let tracing = obs.trace_events.is_some();
+    let metrics = obs.metrics.is_some();
+    let progress = obs
+        .progress
+        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+    let outcomes: Vec<(Result<CellOutcome, String>, CellArtifacts)> =
+        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(s, c, r)| {
+            let label = format!("{} {} rep{r}", s.label(), c.label());
+            let s_l = s.label();
+            let c_l = c.label();
+            let r_s = format!("{r}");
+            let labels = [
+                ("scenario", s_l),
+                ("controller", c_l),
+                ("replicate", r_s.as_str()),
+            ];
+            catch_unwind(AssertUnwindSafe(|| {
+                observe_engine_cell(tracing, metrics, i, &label, &labels, |obs, sink| {
+                    run_cell(s, c, r, obs, sink)
+                })
+            }))
+            .map(|(out, art)| (Ok(out), art))
+            .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
+        });
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    let (outcomes, cell_artifacts): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
+
+    // Surface panics in deterministic cell order, writing the replay
+    // artifact for the first one.
+    let mut resolved: Vec<CellOutcome> = Vec::with_capacity(cells.len());
+    for (&(s, c, r), outcome) in cells.iter().zip(outcomes) {
+        match outcome {
+            Ok(out) => resolved.push(out),
+            Err(message) => {
+                let rec = AdaptiveRecord {
+                    scenario: s,
+                    controller: c,
+                    replicate: r,
+                    kind: "panic".to_string(),
+                    detail: message,
+                };
+                let path = failures_dir.join(format!(
+                    "adaptive_panic_{}_{}_rep{r}.json",
+                    s.label(),
+                    c.label()
+                ));
+                rec.save(&path).expect("write replay artifact");
+                diag::error(
+                    "adaptive",
+                    &format!(
+                        "cell panicked; replay artifact written to {}\n  reproduce: cargo run --release -p tcw-experiments --bin adaptive -- --replay {}",
+                        path.display(),
+                        path.display()
+                    ),
+                );
+                std::process::exit(diag::EXIT_FAILURE);
+            }
+        }
+    }
+
+    // Oracle loss per (scenario, replicate) — the regret baseline.
+    let oracle_loss = |scenario: Scenario, replicate: u64| -> f64 {
+        cells
+            .iter()
+            .zip(&resolved)
+            .find(|(&(s, c, r), _)| s == scenario && c == ControllerKind::Oracle && r == replicate)
+            .expect("oracle cell present")
+            .1
+            .loss
+    };
+
+    let glyphs = ['o', '+', 'x', '*'];
+    let mut series: Vec<Series> = ControllerKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Series {
+            label: c.label().to_string(),
+            glyph: glyphs[i % glyphs.len()],
+            points: Vec::new(),
+        })
+        .collect();
+
+    for (si, &scenario) in Scenario::ALL.iter().enumerate() {
+        println!(
+            "{} (stale window {} ticks):",
+            scenario.label(),
+            scenario.stale_window()
+        );
+        for (ci, &kind) in ControllerKind::ALL.iter().enumerate() {
+            let mut mean_loss = 0.0;
+            for r in 0..REPLICATES {
+                let idx = cells
+                    .iter()
+                    .position(|&cell| cell == (scenario, kind, r))
+                    .expect("cell present");
+                let out = resolved[idx];
+                let oracle = oracle_loss(scenario, r);
+                let regret = out.loss - oracle;
+                mean_loss += out.loss / REPLICATES as f64;
+                let line = format!(
+                    "  {:<9} rep{r}: loss={:.4} oracle={:.4} regret={:+.4} offered={} window={} shrinks={} grows={}",
+                    kind.label(),
+                    out.loss,
+                    oracle,
+                    regret,
+                    out.offered,
+                    out.window_ticks,
+                    out.shrinks,
+                    out.grows,
+                );
+                println!("{line}");
+                report.push_str(&line);
+                report.push('\n');
+                rows.push(vec![
+                    scenario.label().to_string(),
+                    kind.label().to_string(),
+                    format!("{r}"),
+                    format!("{}", stream_seed(BASE_SEED, r)),
+                    format!("{}", out.offered),
+                    format!("{}", out.loss),
+                    format!("{oracle}"),
+                    format!("{regret}"),
+                    format!("{}", out.window_ticks),
+                    format!("{}", out.shrinks),
+                    format!("{}", out.grows),
+                ]);
+            }
+            series[ci].points.push((si as f64, mean_loss));
+        }
+        println!();
+    }
+
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-3)
+        * 1.2;
+    let chart = ascii_plot(
+        "deadline loss by scenario (0=step 1=flash 2=voice 3=adversarial)",
+        &series,
+        72,
+        20,
+        0.0,
+        y_max,
+    );
+    println!("{chart}");
+    report.push('\n');
+    report.push_str(&chart);
+    report.push('\n');
+
+    write_csv(
+        &results.join("adaptive.csv"),
+        &[
+            "scenario",
+            "controller",
+            "replicate",
+            "seed",
+            "offered",
+            "loss",
+            "oracle_loss",
+            "regret",
+            "window_ticks",
+            "shrinks",
+            "grows",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    std::fs::write(results.join("adaptive.txt"), &report).expect("write report");
+    if let Err(e) = write_observability(
+        &obs,
+        &cell_artifacts,
+        SweepMeta {
+            cells: cell_artifacts.len(),
+        },
+    ) {
+        diag::error("adaptive", &e);
+        std::process::exit(diag::EXIT_FAILURE);
+    }
+    println!("\nwrote results/adaptive.csv and results/adaptive.txt");
+}

@@ -14,7 +14,11 @@
 //! * `trace_window` — the figure 1 / figure 4 operation walk-through;
 //! * `robustness` — fault-injection sweeps (imperfect channel feedback)
 //!   against the fault-free baseline, plus the deterministic
-//!   failure-replay harness (`--replay <artifact>`).
+//!   failure-replay harness (`--replay <artifact>`);
+//! * `adaptive` — adaptive window control under non-stationary and
+//!   adversarial load: stale static tuning vs per-segment oracle vs the
+//!   AIMD and rate-estimating controllers, with per-cell regret and the
+//!   `--episode` load-step walk-through.
 //!
 //! The library part hosts the simulation runners (so the `tcw-bench`
 //! criterion benches reuse exactly the code that produced EXPERIMENTS.md)
@@ -23,6 +27,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod diag;
 pub mod obs;
 pub mod panels;

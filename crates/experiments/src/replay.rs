@@ -51,7 +51,7 @@ pub struct FailureRecord {
     pub detail: String,
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -67,7 +67,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> String {
+pub(crate) fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -344,7 +344,7 @@ pub fn replay(path: &Path) -> i32 {
 
 /// Formats an `f64` so it round-trips exactly and always contains a `.`
 /// or exponent (so integers and floats stay distinguishable to readers).
-fn fmt_f64(x: f64) -> String {
+pub(crate) fn fmt_f64(x: f64) -> String {
     let s = format!("{x}");
     if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
         s
@@ -354,7 +354,7 @@ fn fmt_f64(x: f64) -> String {
 }
 
 /// Parses one flat JSON object into raw (still-escaped) value strings.
-fn parse_flat(text: &str) -> Result<BTreeMap<String, String>, String> {
+pub(crate) fn parse_flat(text: &str) -> Result<BTreeMap<String, String>, String> {
     let mut out = BTreeMap::new();
     let body = text
         .trim()

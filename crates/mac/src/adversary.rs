@@ -1,0 +1,193 @@
+//! Bounded-burst adversarial traffic injection (the restrained-channel
+//! model).
+//!
+//! The adversarial contention-resolution literature (see PAPERS.md,
+//! *"Contention resolution on a restrained channel"*) constrains the
+//! adversary by a leaky-bucket envelope: in any interval of length `T`
+//! it may inject at most `sigma + rho * T` messages. Within that budget
+//! the worst case for a windowing protocol is the greedy schedule —
+//! release the full burst `sigma` the moment the bucket fills, forcing
+//! a maximal same-instant collision cluster, then wait `sigma / rho`
+//! ticks for the next one. [`AdversarialInjector`] implements exactly
+//! that schedule; only station assignment is random, so the injector
+//! draws nothing from the RNG stream when the plan is
+//! [`AdversaryPlan::none`] and any co-merged sources stay bit-identical.
+
+use crate::arrivals::{Arrival, ArrivalSource};
+use crate::message::StationId;
+use tcw_sim::rng::Rng;
+use tcw_sim::time::Time;
+
+/// The (rho, sigma) injection envelope plus the attack phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdversaryPlan {
+    /// `rho`: long-run injection rate in messages per tick.
+    pub rate: f64,
+    /// `sigma`: messages released per burst (the same-instant cluster
+    /// size the protocol must resolve).
+    pub burst: u32,
+    /// Instant of the first burst.
+    pub start: Time,
+    /// Stations the injected messages claim to originate from, drawn
+    /// uniformly per message.
+    pub stations: u32,
+}
+
+impl AdversaryPlan {
+    /// The disabled adversary: injects nothing, draws nothing.
+    pub fn none() -> Self {
+        AdversaryPlan {
+            rate: 0.0,
+            burst: 0,
+            start: Time::ZERO,
+            stations: 1,
+        }
+    }
+
+    /// Whether this plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.rate == 0.0 || self.burst == 0
+    }
+
+    /// # Panics
+    /// Panics if an active plan has a non-finite or negative rate, or no
+    /// stations.
+    pub fn check(&self) {
+        assert!(self.rate >= 0.0 && self.rate.is_finite(), "rate >= 0");
+        assert!(self.stations > 0, "stations > 0");
+    }
+}
+
+/// Greedy bounded-burst injector: bursts of `sigma` same-instant
+/// messages every `sigma / rho` ticks from `start` — the tightest
+/// schedule the `(rho, sigma)` envelope admits.
+#[derive(Clone, Debug)]
+pub struct AdversarialInjector {
+    plan: AdversaryPlan,
+    /// Instant of the burst currently being emitted.
+    burst_time: f64,
+    /// Messages left in the current burst.
+    remaining: u32,
+    /// Whether the first burst has been scheduled.
+    started: bool,
+}
+
+impl AdversarialInjector {
+    /// Creates the injector.
+    ///
+    /// # Panics
+    /// Panics on an invalid plan (see [`AdversaryPlan::check`]).
+    pub fn new(plan: AdversaryPlan) -> Self {
+        plan.check();
+        AdversarialInjector {
+            plan,
+            burst_time: plan.start.ticks() as f64,
+            remaining: 0,
+            started: false,
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &AdversaryPlan {
+        &self.plan
+    }
+
+    /// Ticks between consecutive bursts (`sigma / rho`).
+    pub fn burst_period(&self) -> f64 {
+        self.plan.burst as f64 / self.plan.rate
+    }
+}
+
+impl ArrivalSource for AdversarialInjector {
+    fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival> {
+        if self.plan.is_none() {
+            return None;
+        }
+        if self.remaining == 0 {
+            if self.started {
+                self.burst_time += self.burst_period();
+            }
+            self.started = true;
+            self.remaining = self.plan.burst;
+        }
+        self.remaining -= 1;
+        let station = StationId(rng.below(u64::from(self.plan.stations)) as u32);
+        Some(Arrival {
+            time: Time::from_ticks(self.burst_time as u64),
+            station,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::collect_until;
+
+    #[test]
+    fn none_plan_injects_nothing_and_draws_nothing() {
+        let mut inj = AdversarialInjector::new(AdversaryPlan::none());
+        let mut rng = Rng::new(1);
+        let before = rng.next_u64();
+        let mut rng = Rng::new(1);
+        assert_eq!(inj.next_arrival(&mut rng), None);
+        assert_eq!(rng.next_u64(), before, "disabled injector drew RNG");
+    }
+
+    #[test]
+    fn greedy_schedule_respects_envelope() {
+        let plan = AdversaryPlan {
+            rate: 0.002,
+            burst: 8,
+            start: Time::from_ticks(1_000),
+            stations: 16,
+        };
+        let mut inj = AdversarialInjector::new(plan);
+        let mut rng = Rng::new(2);
+        let horizon = Time::from_ticks(100_000);
+        let arrivals = collect_until(&mut inj, &mut rng, horizon, 10_000);
+        // Any interval of length T holds at most sigma + rho * T.
+        for (i, a) in arrivals.iter().enumerate() {
+            for b in &arrivals[i..] {
+                let t = (b.time - a.time).ticks() as f64;
+                let count = arrivals[i..]
+                    .iter()
+                    .take_while(|x| x.time <= b.time)
+                    .count() as f64;
+                assert!(
+                    count <= plan.burst as f64 + plan.rate * t + 1e-9,
+                    "envelope violated over [{:?}, {:?}]",
+                    a.time,
+                    b.time
+                );
+            }
+        }
+        // Long-run rate approaches rho.
+        let rate = arrivals.len() as f64 / horizon.ticks() as f64;
+        assert!((rate - plan.rate).abs() / plan.rate < 0.1, "rate = {rate}");
+        // Bursts are same-instant clusters of exactly sigma.
+        assert_eq!(arrivals[0].time, Time::from_ticks(1_000));
+        let first_burst = arrivals
+            .iter()
+            .take_while(|a| a.time == arrivals[0].time)
+            .count();
+        assert_eq!(first_burst, plan.burst as usize);
+    }
+
+    #[test]
+    fn times_are_monotone() {
+        let mut inj = AdversarialInjector::new(AdversaryPlan {
+            rate: 0.01,
+            burst: 3,
+            start: Time::ZERO,
+            stations: 4,
+        });
+        let mut rng = Rng::new(3);
+        let mut prev = Time::ZERO;
+        for _ in 0..1_000 {
+            let a = inj.next_arrival(&mut rng).unwrap();
+            assert!(a.time >= prev);
+            prev = a.time;
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::message::StationId;
 use tcw_sim::rng::Rng;
-use tcw_sim::time::Time;
+use tcw_sim::time::{Dur, Time};
 
 /// One message arrival: when, and at which station.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,6 +67,183 @@ impl ArrivalSource for PoissonArrivals {
     fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival> {
         let gap = -rng.f64_open_left().ln() / self.rate_per_tick;
         self.clock += gap;
+        let station = StationId(rng.below(u64::from(self.stations)) as u32);
+        Some(Arrival {
+            time: Time::from_ticks(self.clock as u64),
+            station,
+        })
+    }
+}
+
+/// A rate change of a piecewise-constant arrival schedule: from `start`
+/// onward, arrivals occur at `rate_per_tick`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateStep {
+    /// Instant the rate takes effect.
+    pub start: Time,
+    /// Aggregate arrival rate from `start` (messages per tick).
+    pub rate_per_tick: f64,
+}
+
+/// Non-stationary Poisson arrivals with a piecewise-constant rate —
+/// load steps and flash crowds, the workloads an offline-tuned window
+/// length cannot anticipate.
+///
+/// Sampling uses time rescaling: one unit-exponential draw is spent
+/// across segments at each segment's rate, then one uniform draw picks
+/// the station. That is **exactly the draw pattern of
+/// [`PoissonArrivals`]** (one `f64` + one `below` per arrival), so a
+/// single-segment schedule is bit-identical to the stationary source on
+/// the same RNG stream — `none()`-style plans stay bit-identical.
+#[derive(Clone, Debug)]
+pub struct PiecewiseArrivals {
+    steps: Vec<RateStep>,
+    stations: u32,
+    /// Continuous-time position in f64 ticks (see [`PoissonArrivals`]).
+    clock: f64,
+    /// Index of the segment containing `clock`.
+    seg: usize,
+}
+
+impl PiecewiseArrivals {
+    /// Creates a source from a rate schedule.
+    ///
+    /// # Panics
+    /// Panics if the schedule is empty, does not start at time zero, has
+    /// non-increasing step instants, or any rate is not positive-finite;
+    /// or if `stations == 0`.
+    pub fn new(steps: Vec<RateStep>, stations: u32) -> Self {
+        assert!(!steps.is_empty(), "empty rate schedule");
+        assert_eq!(steps[0].start, Time::ZERO, "schedule must start at 0");
+        assert!(stations > 0);
+        for w in steps.windows(2) {
+            assert!(w[0].start < w[1].start, "step instants must increase");
+        }
+        for s in &steps {
+            assert!(
+                s.rate_per_tick > 0.0 && s.rate_per_tick.is_finite(),
+                "rates must be positive-finite"
+            );
+        }
+        PiecewiseArrivals {
+            steps,
+            stations,
+            clock: 0.0,
+            seg: 0,
+        }
+    }
+
+    /// A single-rate schedule — bit-identical to
+    /// [`PoissonArrivals::new`] on the same stream.
+    pub fn constant(rate_per_tick: f64, stations: u32) -> Self {
+        Self::new(
+            vec![RateStep {
+                start: Time::ZERO,
+                rate_per_tick,
+            }],
+            stations,
+        )
+    }
+
+    /// A one-shot load step: rate `before` until `at`, then `after`.
+    pub fn load_step(before: f64, after: f64, at: Time, stations: u32) -> Self {
+        Self::new(
+            vec![
+                RateStep {
+                    start: Time::ZERO,
+                    rate_per_tick: before,
+                },
+                RateStep {
+                    start: at,
+                    rate_per_tick: after,
+                },
+            ],
+            stations,
+        )
+    }
+
+    /// Flash crowds: `base` rate, multiplied by `surge` for each
+    /// `(start, duration)` burst (bursts must be disjoint and in order).
+    pub fn flash_crowd(base: f64, surge: f64, bursts: &[(Time, Dur)], stations: u32) -> Self {
+        assert!(surge > 0.0 && surge.is_finite());
+        let mut steps = vec![RateStep {
+            start: Time::ZERO,
+            rate_per_tick: base,
+        }];
+        for &(start, dur) in bursts {
+            assert!(!dur.is_zero(), "zero-length burst");
+            if start == Time::ZERO {
+                steps[0].rate_per_tick = base * surge;
+            } else {
+                steps.push(RateStep {
+                    start,
+                    rate_per_tick: base * surge,
+                });
+            }
+            steps.push(RateStep {
+                start: start + dur,
+                rate_per_tick: base,
+            });
+        }
+        Self::new(steps, stations)
+    }
+
+    /// The configured rate at `time` (messages per tick).
+    pub fn rate_at(&self, time: Time) -> f64 {
+        self.steps
+            .iter()
+            .rev()
+            .find(|s| s.start <= time)
+            .expect("schedule starts at 0")
+            .rate_per_tick
+    }
+
+    /// The rate schedule.
+    pub fn steps(&self) -> &[RateStep] {
+        &self.steps
+    }
+
+    /// Long-run mean rate up to `horizon` (messages per tick).
+    pub fn mean_rate_until(&self, horizon: Time) -> f64 {
+        let h = horizon.ticks() as f64;
+        let mut mass = 0.0;
+        for (i, s) in self.steps.iter().enumerate() {
+            let lo = (s.start.ticks() as f64).min(h);
+            let hi = self
+                .steps
+                .get(i + 1)
+                .map(|n| (n.start.ticks() as f64).min(h))
+                .unwrap_or(h);
+            mass += (hi - lo) * s.rate_per_tick;
+        }
+        mass / h
+    }
+}
+
+impl ArrivalSource for PiecewiseArrivals {
+    fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival> {
+        // One unit-exponential draw, rescaled through the schedule.
+        let mut e = -rng.f64_open_left().ln();
+        loop {
+            let rate = self.steps[self.seg].rate_per_tick;
+            match self.steps.get(self.seg + 1) {
+                Some(next) => {
+                    let boundary = next.start.ticks() as f64;
+                    let capacity = (boundary - self.clock) * rate;
+                    if e < capacity {
+                        self.clock += e / rate;
+                        break;
+                    }
+                    e -= capacity;
+                    self.clock = boundary;
+                    self.seg += 1;
+                }
+                None => {
+                    self.clock += e / rate;
+                    break;
+                }
+            }
+        }
         let station = StationId(rng.below(u64::from(self.stations)) as u32);
         Some(Arrival {
             time: Time::from_ticks(self.clock as u64),
@@ -234,6 +411,90 @@ mod tests {
         }
         let cv = tally.std_dev() / tally.mean();
         assert!((cv - 1.0).abs() < 0.05, "cv = {cv}");
+    }
+
+    #[test]
+    fn piecewise_single_segment_is_bit_identical_to_poisson() {
+        let mut poisson = PoissonArrivals::new(0.02, 7);
+        let mut piece = PiecewiseArrivals::constant(0.02, 7);
+        let mut rng_a = Rng::new(99);
+        let mut rng_b = Rng::new(99);
+        for _ in 0..5_000 {
+            assert_eq!(
+                poisson.next_arrival(&mut rng_a),
+                piece.next_arrival(&mut rng_b)
+            );
+        }
+    }
+
+    #[test]
+    fn piecewise_rate_steps_take_effect() {
+        let at = Time::from_ticks(100_000);
+        let mut src = PiecewiseArrivals::load_step(0.001, 0.01, at, 5);
+        assert_eq!(src.rate_at(Time::from_ticks(0)), 0.001);
+        assert_eq!(src.rate_at(at), 0.01);
+        let mut rng = Rng::new(5);
+        let (mut before, mut after) = (0u64, 0u64);
+        loop {
+            let a = src.next_arrival(&mut rng).unwrap();
+            if a.time.ticks() >= 200_000 {
+                break;
+            }
+            if a.time < at {
+                before += 1;
+            } else {
+                after += 1;
+            }
+        }
+        // Expect ~100 before, ~1000 after.
+        assert!((before as f64 - 100.0).abs() < 50.0, "before = {before}");
+        assert!((after as f64 - 1000.0).abs() < 150.0, "after = {after}");
+    }
+
+    #[test]
+    fn piecewise_times_monotone_across_many_steps() {
+        let steps: Vec<RateStep> = (0..20)
+            .map(|i| RateStep {
+                start: Time::from_ticks(i * 1_000),
+                rate_per_tick: if i % 2 == 0 { 0.001 } else { 0.05 },
+            })
+            .collect();
+        let mut src = PiecewiseArrivals::new(steps, 3);
+        let mut rng = Rng::new(8);
+        let mut prev = Time::ZERO;
+        for _ in 0..5_000 {
+            let a = src.next_arrival(&mut rng).unwrap();
+            assert!(a.time >= prev);
+            prev = a.time;
+        }
+    }
+
+    #[test]
+    fn flash_crowd_surges_during_bursts() {
+        let bursts = [(Time::from_ticks(50_000), Dur::from_ticks(10_000))];
+        let src = PiecewiseArrivals::flash_crowd(0.001, 10.0, &bursts, 4);
+        assert_eq!(src.rate_at(Time::from_ticks(0)), 0.001);
+        assert_eq!(src.rate_at(Time::from_ticks(55_000)), 0.01);
+        assert_eq!(src.rate_at(Time::from_ticks(60_000)), 0.001);
+        let mean = src.mean_rate_until(Time::from_ticks(100_000));
+        let expect = (90_000.0 * 0.001 + 10_000.0 * 0.01) / 100_000.0;
+        assert!((mean - expect).abs() < 1e-12, "{mean} vs {expect}");
+    }
+
+    #[test]
+    fn piecewise_rejects_bad_schedules() {
+        use std::panic::catch_unwind;
+        assert!(catch_unwind(|| PiecewiseArrivals::new(vec![], 3)).is_err());
+        assert!(catch_unwind(|| PiecewiseArrivals::new(
+            vec![RateStep {
+                start: Time::from_ticks(5),
+                rate_per_tick: 0.1,
+            }],
+            3
+        ))
+        .is_err());
+        assert!(catch_unwind(|| PiecewiseArrivals::constant(0.0, 3)).is_err());
+        assert!(catch_unwind(|| PiecewiseArrivals::constant(0.1, 0)).is_err());
     }
 
     #[test]

@@ -19,9 +19,12 @@
 //! * [`churn`] — dynamic station membership: a [`churn::ChurnPlan`]
 //!   drives crash/restart, late-join and scheduled-leave transitions
 //!   through a deterministic [`churn::ChurnProcess`];
-//! * [`arrivals`] — arrival processes: aggregate Poisson, deterministic
+//! * [`arrivals`] — arrival processes: aggregate Poisson, non-stationary
+//!   piecewise-rate schedules (load steps, flash crowds), deterministic
 //!   traces (for reproducing the paper's Figure 1 walk-through), and
 //!   merged/composite sources;
+//! * [`adversary`] — bounded-burst adversarial injection under a
+//!   `(rho, sigma)` leaky-bucket envelope (the restrained-channel model);
 //! * [`traffic`] — time-constrained application workloads motivating the
 //!   paper: packetized voice (on/off talkspurts) and distributed-sensor
 //!   event bursts.
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod arrivals;
 pub mod channel;
 pub mod churn;
@@ -36,7 +40,11 @@ pub mod fault;
 pub mod message;
 pub mod traffic;
 
-pub use arrivals::{Arrival, ArrivalSource, MergedSource, PoissonArrivals, TraceArrivals};
+pub use adversary::{AdversarialInjector, AdversaryPlan};
+pub use arrivals::{
+    Arrival, ArrivalSource, MergedSource, PiecewiseArrivals, PoissonArrivals, RateStep,
+    TraceArrivals,
+};
 pub use channel::{ChannelConfig, ChannelStats, Medium, SlotOutcome};
 pub use churn::{ChurnEvent, ChurnPlan, ChurnProcess};
 pub use fault::{FaultKind, FaultPlan, FaultyMedium, Feedback, ProbeReport};

@@ -4,12 +4,15 @@
 //! failure reproduces from its case index (the repository builds offline,
 //! without an external property-testing framework).
 
-use tcw_mac::arrivals::{ArrivalSource, MergedSource, PoissonArrivals, TraceArrivals};
+use tcw_mac::adversary::{AdversarialInjector, AdversaryPlan};
+use tcw_mac::arrivals::{
+    collect_until, ArrivalSource, MergedSource, PiecewiseArrivals, PoissonArrivals, TraceArrivals,
+};
 use tcw_mac::channel::{ChannelConfig, ChannelStats, Medium, SlotOutcome};
 use tcw_mac::message::MessageId;
 use tcw_mac::traffic::{SensorConfig, SensorSource, VoiceConfig, VoiceSource};
 use tcw_sim::rng::Rng;
-use tcw_sim::time::Dur;
+use tcw_sim::time::{Dur, Time};
 
 const CASES: u64 = 150;
 
@@ -18,7 +21,7 @@ const CASES: u64 = 150;
 fn sources_are_time_monotone() {
     for case in 0..CASES {
         let mut rng = Rng::new(0xACC0_0001 ^ case);
-        let which = rng.below(4) as usize;
+        let which = rng.below(6) as usize;
         let mut src: Box<dyn ArrivalSource> = match which {
             0 => Box::new(PoissonArrivals::new(0.05, 7)),
             1 => Box::new(VoiceSource::new(VoiceConfig {
@@ -32,6 +35,21 @@ fn sources_are_time_monotone() {
                 mean_event_gap: Dur::from_ticks(900),
                 mean_reports: 2.5,
                 jitter: Dur::from_ticks(50),
+            })),
+            3 => Box::new(PiecewiseArrivals::flash_crowd(
+                0.01 + 0.04 * rng.f64(),
+                1.0 + 7.0 * rng.f64(),
+                &[
+                    (Time::from_ticks(1_000), Dur::from_ticks(500)),
+                    (Time::from_ticks(4_000), Dur::from_ticks(800)),
+                ],
+                5,
+            )),
+            4 => Box::new(AdversarialInjector::new(AdversaryPlan {
+                rate: 0.005 + 0.02 * rng.f64(),
+                burst: 1 + rng.below(12) as u32,
+                start: Time::from_ticks(rng.below(5_000)),
+                stations: 6,
             })),
             _ => Box::new(MergedSource::new(vec![
                 Box::new(PoissonArrivals::new(0.02, 3)),
@@ -48,6 +66,72 @@ fn sources_are_time_monotone() {
             }
             prev = Some(a.time);
         }
+    }
+}
+
+/// Every rate-parameterized source delivers its configured long-run
+/// rate empirically (within sampling tolerance over a long horizon).
+#[test]
+fn sources_match_their_configured_rates() {
+    for case in 0..30 {
+        let mut rng = Rng::new(0xACC0_0004 ^ case);
+        let horizon = Time::from_ticks(400_000);
+        let which = case % 5;
+        let (mut src, expected, tol): (Box<dyn ArrivalSource>, f64, f64) = match which {
+            0 => {
+                let rate = 0.005 + 0.03 * rng.f64();
+                (Box::new(PoissonArrivals::new(rate, 7)), rate, 0.05)
+            }
+            1 => {
+                let before = 0.004 + 0.01 * rng.f64();
+                let after = before * (2.0 + 8.0 * rng.f64());
+                let at = Time::from_ticks(100_000 + rng.below(200_000));
+                let pw = PiecewiseArrivals::load_step(before, after, at, 5);
+                let mean = pw.mean_rate_until(horizon);
+                (Box::new(pw), mean, 0.05)
+            }
+            2 => {
+                let base = 0.004 + 0.008 * rng.f64();
+                let surge = 2.0 + 6.0 * rng.f64();
+                let pw = PiecewiseArrivals::flash_crowd(
+                    base,
+                    surge,
+                    &[
+                        (Time::from_ticks(50_000), Dur::from_ticks(20_000)),
+                        (Time::from_ticks(200_000), Dur::from_ticks(30_000)),
+                    ],
+                    5,
+                );
+                let mean = pw.mean_rate_until(horizon);
+                (Box::new(pw), mean, 0.05)
+            }
+            3 => {
+                let cfg = VoiceConfig {
+                    stations: 20,
+                    mean_talkspurt: Dur::from_ticks(2_000),
+                    mean_silence: Dur::from_ticks(6_000),
+                    packet_interval: Dur::from_ticks(200),
+                };
+                // On/off phases correlate packets, so the empirical rate
+                // converges far slower than for Poisson streams.
+                (Box::new(VoiceSource::new(cfg)), cfg.aggregate_rate(), 0.15)
+            }
+            _ => {
+                let plan = AdversaryPlan {
+                    rate: 0.002 + 0.01 * rng.f64(),
+                    burst: 2 + rng.below(10) as u32,
+                    start: Time::ZERO,
+                    stations: 6,
+                };
+                (Box::new(AdversarialInjector::new(plan)), plan.rate, 0.05)
+            }
+        };
+        let arrivals = collect_until(&mut *src, &mut rng, horizon, usize::MAX);
+        let empirical = arrivals.len() as f64 / horizon.ticks() as f64;
+        assert!(
+            (empirical - expected).abs() / expected < tol,
+            "case {case} (kind {which}): empirical rate {empirical:.5}, expected {expected:.5}"
+        );
     }
 }
 

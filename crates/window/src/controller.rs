@@ -1,0 +1,595 @@
+//! Online window-length control (adaptive policy element 2).
+//!
+//! The paper chooses the window length offline from a *known, stationary*
+//! Poisson rate (§4.1: `w* = mu*/lambda`). That is the one knob the
+//! protocol cannot defend at runtime: under a load step, a flash crowd or
+//! adversarial injection the tuned length goes stale and the collision
+//! cascade eats the deadline budget. A [`WindowController`] closes the
+//! loop: it observes the same ternary channel feedback every station
+//! already shares and re-chooses element (2) at each decision point.
+//!
+//! ## Determinism contract
+//!
+//! Controllers consume **only cleanly observed slot outcomes** — exactly
+//! the events the engine reports to observers via `on_probe`. Detectably
+//! corrupted slots (erasures, transmitter-flagged misreads) feed nothing;
+//! undetectable misreads fool every station identically and are consumed
+//! as observed. No controller draws from an RNG stream. Every window
+//! decision is therefore a deterministic function of shared channel
+//! history, so the distributed-realizability argument of [`crate::mirror`]
+//! extends unchanged: any station (or mirror) replaying the feedback
+//! sequence reproduces the controller state bit for bit.
+//!
+//! [`StaticController`] (the default) defers entirely to
+//! [`ControlPolicy::window_length`] and keeps the engine bit-identical to
+//! a controller-free build — pinned by the golden-fingerprint tests.
+
+use crate::analysis::optimal_mu;
+use crate::policy::ControlPolicy;
+use tcw_mac::SlotOutcome;
+use tcw_sim::stats::MetricSink;
+use tcw_sim::time::{Dur, Time};
+
+/// Where a cleanly observed slot sat in the protocol's round structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotContext {
+    /// The probe of a round's *initial* window; `width` is the probed
+    /// pseudo width in ticks (the commanded length clipped to the
+    /// backlog). Initial probes carry the arrival-rate information: the
+    /// window was chosen blind, so its occupancy is an unbiased sample of
+    /// `lambda * width`.
+    Initial {
+        /// Probed pseudo width in ticks.
+        width: u64,
+    },
+    /// A later probe of the same round: a split half, an immediate-split
+    /// sibling, or a sub-tick coin round. Conditioned on the collision
+    /// that caused it, so useless for rate estimation (but still evidence
+    /// of contention for AIMD).
+    Resolution,
+    /// The idle slot taken at a decision point that found no unexamined
+    /// time (zero backlog).
+    IdleDecision,
+}
+
+/// An online chooser for policy element (2), the window length.
+///
+/// The engine calls [`next_length`](Self::next_length) once per decision
+/// point and feeds back every cleanly observed slot through
+/// [`on_slot`](Self::on_slot). Implementations must be deterministic
+/// functions of that feedback (no RNG, no wall clock) — see the module
+/// docs for why.
+pub trait WindowController {
+    /// The window length (ticks) to command for the next initial window.
+    /// `backlog` is the current unexamined pseudo time; `policy` supplies
+    /// the static element-(2) table for controllers that defer to it.
+    fn next_length(&mut self, now: Time, backlog: Dur, policy: &ControlPolicy) -> u64;
+
+    /// A cleanly observed slot completed.
+    fn on_slot(&mut self, ctx: SlotContext, outcome: &SlotOutcome);
+
+    /// The most recently commanded window length in ticks (gauge).
+    fn window_ticks(&self) -> u64;
+
+    /// Number of feedback events that shrank the commanded window.
+    fn shrinks(&self) -> u64 {
+        0
+    }
+
+    /// Number of feedback events that grew the commanded window.
+    fn grows(&self) -> u64 {
+        0
+    }
+
+    /// Exports controller telemetry (`tcw_controller_*`).
+    fn emit(&self, sink: &mut dyn MetricSink) {
+        sink.gauge(
+            "tcw_controller_window_ticks",
+            "commanded window length",
+            self.window_ticks() as f64,
+        );
+        sink.counter(
+            "tcw_controller_shrinks_total",
+            "feedback events that shrank the window",
+            self.shrinks(),
+        );
+        sink.counter(
+            "tcw_controller_grows_total",
+            "feedback events that grew the window",
+            self.grows(),
+        );
+    }
+}
+
+/// The static oracle: element (2) exactly as configured in the
+/// [`ControlPolicy`]. Feedback is ignored; the engine behaves
+/// bit-identically to a controller-free build.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticController {
+    last: u64,
+}
+
+impl StaticController {
+    /// Creates the static controller.
+    pub fn new() -> Self {
+        StaticController::default()
+    }
+}
+
+impl WindowController for StaticController {
+    fn next_length(&mut self, _now: Time, backlog: Dur, policy: &ControlPolicy) -> u64 {
+        self.last = policy.window_length(backlog);
+        self.last
+    }
+
+    fn on_slot(&mut self, _ctx: SlotContext, _outcome: &SlotOutcome) {}
+
+    fn window_ticks(&self) -> u64 {
+        self.last
+    }
+}
+
+/// Parameters of the [`AimdController`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AimdConfig {
+    /// Initial commanded length in ticks.
+    pub initial: u64,
+    /// Lower clamp in ticks.
+    pub min: u64,
+    /// Upper clamp in ticks.
+    pub max: u64,
+    /// Multiplicative factor applied on a collision (`0 < shrink < 1`).
+    pub shrink: f64,
+    /// Ticks added per cleanly observed idle or success slot.
+    pub grow: f64,
+}
+
+impl AimdConfig {
+    /// A reasonable default around a starting length `initial` (ticks):
+    /// halving-style shrink (0.7), quarter-tick additive growth, clamped
+    /// to `[1, 32 * initial]`.
+    pub fn around(initial: u64) -> Self {
+        AimdConfig {
+            initial: initial.max(1),
+            min: 1,
+            max: initial.max(1).saturating_mul(32),
+            shrink: 0.7,
+            grow: 0.25,
+        }
+    }
+
+    /// # Panics
+    /// Panics unless `0 < shrink < 1`, `grow > 0` and `min <= initial <=
+    /// max` with `min >= 1`.
+    pub fn check(&self) {
+        assert!(self.shrink > 0.0 && self.shrink < 1.0, "shrink in (0,1)");
+        assert!(self.grow > 0.0 && self.grow.is_finite(), "grow > 0");
+        assert!(self.min >= 1, "min >= 1");
+        assert!(
+            self.min <= self.initial && self.initial <= self.max,
+            "min <= initial <= max"
+        );
+    }
+}
+
+/// Additive-increase / multiplicative-decrease control of the window
+/// length, in the spirit of congestion-window MACs (see PAPERS.md,
+/// "Tournament MAC with Constant Size Congestion Window"): every cleanly
+/// observed collision multiplies the length by `shrink`, every cleanly
+/// observed idle or success slot adds `grow` ticks, clamped to
+/// `[min, max]`. Pure feedback control — no rate model, no RNG.
+#[derive(Clone, Debug)]
+pub struct AimdController {
+    cfg: AimdConfig,
+    /// Continuous internal length; commanded length is the rounding.
+    window: f64,
+    shrinks: u64,
+    grows: u64,
+}
+
+impl AimdController {
+    /// Creates the controller.
+    ///
+    /// # Panics
+    /// Panics on an invalid config (see [`AimdConfig::check`]).
+    pub fn new(cfg: AimdConfig) -> Self {
+        cfg.check();
+        AimdController {
+            cfg,
+            window: cfg.initial as f64,
+            shrinks: 0,
+            grows: 0,
+        }
+    }
+
+    fn commanded(&self) -> u64 {
+        (self.window.round() as u64).clamp(self.cfg.min, self.cfg.max)
+    }
+}
+
+impl WindowController for AimdController {
+    fn next_length(&mut self, _now: Time, _backlog: Dur, _policy: &ControlPolicy) -> u64 {
+        self.commanded()
+    }
+
+    fn on_slot(&mut self, _ctx: SlotContext, outcome: &SlotOutcome) {
+        let before = self.commanded();
+        match outcome {
+            SlotOutcome::Collision(_) => {
+                self.window = (self.window * self.cfg.shrink).max(self.cfg.min as f64);
+            }
+            SlotOutcome::Idle | SlotOutcome::Success(_) => {
+                self.window = (self.window + self.cfg.grow).min(self.cfg.max as f64);
+            }
+        }
+        let after = self.commanded();
+        if after < before {
+            self.shrinks += 1;
+        } else if after > before {
+            self.grows += 1;
+        }
+    }
+
+    fn window_ticks(&self) -> u64 {
+        self.commanded()
+    }
+
+    fn shrinks(&self) -> u64 {
+        self.shrinks
+    }
+
+    fn grows(&self) -> u64 {
+        self.grows
+    }
+}
+
+/// Parameters of the [`EstimatorController`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EstimatorConfig {
+    /// Initial commanded length in ticks (also seeds the rate estimate at
+    /// `mu*/initial`).
+    pub initial: u64,
+    /// Lower clamp in ticks.
+    pub min: u64,
+    /// Upper clamp in ticks.
+    pub max: u64,
+    /// EWMA gain in `(0, 1]`; smaller tracks slower but less noisily.
+    pub gain: f64,
+}
+
+impl EstimatorConfig {
+    /// A reasonable default around a starting length `initial` (ticks).
+    pub fn around(initial: u64) -> Self {
+        EstimatorConfig {
+            initial: initial.max(1),
+            min: 1,
+            max: initial.max(1).saturating_mul(32),
+            gain: 0.05,
+        }
+    }
+
+    /// # Panics
+    /// Panics unless `0 < gain <= 1` and `min <= initial <= max` with
+    /// `min >= 1`.
+    pub fn check(&self) {
+        assert!(self.gain > 0.0 && self.gain <= 1.0, "gain in (0,1]");
+        assert!(self.min >= 1, "min >= 1");
+        assert!(
+            self.min <= self.initial && self.initial <= self.max,
+            "min <= initial <= max"
+        );
+    }
+}
+
+/// Rate-estimating control: tracks the arrival rate from initial-probe
+/// occupancy and re-solves the paper's §4.1 window recurrence online,
+/// commanding `w = mu*/lambda_hat` each decision point.
+///
+/// An initial window of pseudo width `W` was chosen blind, so its
+/// occupancy `N ~ Poisson(lambda * W)`; the ternary feedback reveals `N =
+/// 0`, `N = 1` or `N >= 2`. The controller keeps EWMAs of occupancy and
+/// width over initial probes only (resolution probes are conditioned on
+/// the collision that caused them and would bias the estimate) and
+/// imputes a collision's occupancy as `E[N | N >= 2]` under the current
+/// estimate — real stations cannot count colliders, so the simulator's
+/// collision multiplicity is deliberately not consulted.
+#[derive(Clone, Debug)]
+pub struct EstimatorController {
+    cfg: EstimatorConfig,
+    mu_star: f64,
+    occ_ewma: f64,
+    width_ewma: f64,
+    last: u64,
+    shrinks: u64,
+    grows: u64,
+}
+
+impl EstimatorController {
+    /// Creates the controller.
+    ///
+    /// # Panics
+    /// Panics on an invalid config (see [`EstimatorConfig::check`]).
+    pub fn new(cfg: EstimatorConfig) -> Self {
+        cfg.check();
+        let mu_star = optimal_mu();
+        EstimatorController {
+            cfg,
+            mu_star,
+            // Seeded so lambda_hat = mu*/initial, i.e. the first command
+            // equals the configured initial length.
+            occ_ewma: mu_star,
+            width_ewma: cfg.initial as f64,
+            last: cfg.initial,
+            shrinks: 0,
+            grows: 0,
+        }
+    }
+
+    /// The current arrival-rate estimate (messages per tick).
+    pub fn lambda_hat(&self) -> f64 {
+        self.occ_ewma / self.width_ewma
+    }
+
+    /// `E[N | N >= 2]` for `N ~ Poisson(mu)` — the imputed occupancy of a
+    /// collided window. Tends to 2 as `mu -> 0` and to `mu` as
+    /// `mu -> inf`.
+    fn imputed_collision_occupancy(mu: f64) -> f64 {
+        let mu = mu.clamp(1e-9, 60.0);
+        let e = (-mu).exp();
+        let denom = 1.0 - e - mu * e;
+        if denom <= 1e-12 {
+            2.0
+        } else {
+            (mu * (1.0 - e) / denom).max(2.0)
+        }
+    }
+
+    fn commanded(&self) -> u64 {
+        let w = self.mu_star / self.lambda_hat();
+        (w.round() as u64).clamp(self.cfg.min, self.cfg.max)
+    }
+}
+
+impl WindowController for EstimatorController {
+    fn next_length(&mut self, _now: Time, _backlog: Dur, _policy: &ControlPolicy) -> u64 {
+        self.last = self.commanded();
+        self.last
+    }
+
+    fn on_slot(&mut self, ctx: SlotContext, outcome: &SlotOutcome) {
+        let SlotContext::Initial { width } = ctx else {
+            return;
+        };
+        let before = self.commanded();
+        let w = width as f64;
+        let occ = match outcome {
+            SlotOutcome::Idle => 0.0,
+            SlotOutcome::Success(_) => 1.0,
+            SlotOutcome::Collision(_) => Self::imputed_collision_occupancy(self.lambda_hat() * w),
+        };
+        let g = self.cfg.gain;
+        self.occ_ewma = (1.0 - g) * self.occ_ewma + g * occ;
+        self.width_ewma = (1.0 - g) * self.width_ewma + g * w;
+        let after = self.commanded();
+        if after < before {
+            self.shrinks += 1;
+        } else if after > before {
+            self.grows += 1;
+        }
+    }
+
+    fn window_ticks(&self) -> u64 {
+        self.last
+    }
+
+    fn shrinks(&self) -> u64 {
+        self.shrinks
+    }
+
+    fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    fn emit(&self, sink: &mut dyn MetricSink) {
+        sink.gauge(
+            "tcw_controller_window_ticks",
+            "commanded window length",
+            self.window_ticks() as f64,
+        );
+        sink.counter(
+            "tcw_controller_shrinks_total",
+            "feedback events that shrank the window",
+            self.shrinks(),
+        );
+        sink.counter(
+            "tcw_controller_grows_total",
+            "feedback events that grew the window",
+            self.grows(),
+        );
+        sink.gauge(
+            "tcw_controller_lambda_hat",
+            "estimated arrival rate (messages per tick)",
+            self.lambda_hat(),
+        );
+    }
+}
+
+/// A serializable controller selection, for experiment configs and replay
+/// artifacts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControllerConfig {
+    /// [`StaticController`] — element (2) from the policy, bit-identical
+    /// to a controller-free build.
+    Static,
+    /// [`AimdController`].
+    Aimd(AimdConfig),
+    /// [`EstimatorController`].
+    Estimator(EstimatorConfig),
+}
+
+impl ControllerConfig {
+    /// Builds the selected controller.
+    ///
+    /// # Panics
+    /// Panics on an invalid embedded config.
+    pub fn build(&self) -> Box<dyn WindowController> {
+        match self {
+            ControllerConfig::Static => Box::new(StaticController::new()),
+            ControllerConfig::Aimd(cfg) => Box::new(AimdController::new(*cfg)),
+            ControllerConfig::Estimator(cfg) => Box::new(EstimatorController::new(*cfg)),
+        }
+    }
+
+    /// Stable short name (`static` / `aimd` / `estimator`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ControllerConfig::Static => "static",
+            ControllerConfig::Aimd(_) => "aimd",
+            ControllerConfig::Estimator(_) => "estimator",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcw_mac::MessageId;
+
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    fn policy() -> ControlPolicy {
+        ControlPolicy::controlled(d(300), d(12))
+    }
+
+    #[test]
+    fn static_controller_defers_to_policy() {
+        let mut c = StaticController::new();
+        let p = policy();
+        assert_eq!(c.next_length(Time::ZERO, d(100), &p), 12);
+        c.on_slot(SlotContext::Resolution, &SlotOutcome::Collision(5));
+        assert_eq!(c.next_length(Time::ZERO, d(100), &p), 12);
+        assert_eq!(c.window_ticks(), 12);
+        assert_eq!(c.shrinks() + c.grows(), 0);
+    }
+
+    #[test]
+    fn aimd_shrinks_on_collision_and_grows_on_quiet() {
+        let mut c = AimdController::new(AimdConfig {
+            initial: 100,
+            min: 2,
+            max: 200,
+            shrink: 0.5,
+            grow: 1.0,
+        });
+        let p = policy();
+        assert_eq!(c.next_length(Time::ZERO, d(1000), &p), 100);
+        c.on_slot(
+            SlotContext::Initial { width: 100 },
+            &SlotOutcome::Collision(3),
+        );
+        assert_eq!(c.window_ticks(), 50);
+        c.on_slot(SlotContext::Resolution, &SlotOutcome::Idle);
+        c.on_slot(SlotContext::Resolution, &SlotOutcome::Success(MessageId(0)));
+        assert_eq!(c.window_ticks(), 52);
+        assert_eq!(c.shrinks(), 1);
+        assert_eq!(c.grows(), 2);
+    }
+
+    #[test]
+    fn aimd_respects_bounds() {
+        let mut c = AimdController::new(AimdConfig {
+            initial: 4,
+            min: 2,
+            max: 6,
+            shrink: 0.5,
+            grow: 1.0,
+        });
+        for _ in 0..10 {
+            c.on_slot(SlotContext::Resolution, &SlotOutcome::Collision(2));
+        }
+        assert_eq!(c.window_ticks(), 2);
+        for _ in 0..100 {
+            c.on_slot(SlotContext::Resolution, &SlotOutcome::Idle);
+        }
+        assert_eq!(c.window_ticks(), 6);
+    }
+
+    #[test]
+    fn aimd_config_validation() {
+        let bad = AimdConfig {
+            shrink: 1.5,
+            ..AimdConfig::around(10)
+        };
+        assert!(std::panic::catch_unwind(|| AimdController::new(bad)).is_err());
+    }
+
+    #[test]
+    fn estimator_converges_to_optimal_window_under_known_rate() {
+        // Feed the controller synthetic initial probes from a known
+        // Bernoulli-ized Poisson occupancy at lambda = 0.03/tick; the
+        // commanded window must approach mu*/lambda ≈ 42 ticks.
+        let lambda = 0.03;
+        let mut c = EstimatorController::new(EstimatorConfig {
+            initial: 400,
+            min: 1,
+            max: 4096,
+            gain: 0.05,
+        });
+        let p = policy();
+        let mut rng = tcw_sim::rng::Rng::new(7);
+        for _ in 0..4000 {
+            let w = c.next_length(Time::ZERO, d(100_000), &p);
+            // Sample a Poisson(lambda * w) occupancy via thinning.
+            let mu = lambda * w as f64;
+            let mut n = 0u32;
+            let mut acc = -rng.f64_open_left().ln();
+            while acc < mu {
+                n += 1;
+                acc += -rng.f64_open_left().ln();
+            }
+            let outcome = match n {
+                0 => SlotOutcome::Idle,
+                1 => SlotOutcome::Success(MessageId(0)),
+                k => SlotOutcome::Collision(k),
+            };
+            c.on_slot(SlotContext::Initial { width: w }, &outcome);
+        }
+        let target = optimal_mu() / lambda;
+        let got = c.window_ticks() as f64;
+        assert!(
+            (got - target).abs() / target < 0.25,
+            "commanded {got}, target {target}"
+        );
+        assert!(c.shrinks() > 0);
+    }
+
+    #[test]
+    fn estimator_ignores_resolution_and_idle_decision_slots() {
+        let mut c = EstimatorController::new(EstimatorConfig::around(50));
+        let before = c.lambda_hat();
+        c.on_slot(SlotContext::Resolution, &SlotOutcome::Collision(4));
+        c.on_slot(SlotContext::IdleDecision, &SlotOutcome::Idle);
+        assert_eq!(c.lambda_hat().to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn imputed_collision_occupancy_limits() {
+        let small = EstimatorController::imputed_collision_occupancy(1e-6);
+        assert!((small - 2.0).abs() < 1e-3, "{small}");
+        let large = EstimatorController::imputed_collision_occupancy(30.0);
+        assert!((large - 30.0).abs() < 0.1, "{large}");
+    }
+
+    #[test]
+    fn config_labels_and_build() {
+        assert_eq!(ControllerConfig::Static.label(), "static");
+        let a = ControllerConfig::Aimd(AimdConfig::around(10));
+        assert_eq!(a.label(), "aimd");
+        assert_eq!(a.build().window_ticks(), 10);
+        let e = ControllerConfig::Estimator(EstimatorConfig::around(10));
+        assert_eq!(e.label(), "estimator");
+        assert_eq!(e.build().window_ticks(), 10);
+    }
+}

@@ -78,6 +78,7 @@
 //! nothing from its stream and the run is bit-identical to a
 //! static-population build.
 
+use crate::controller::{SlotContext, StaticController, WindowController};
 use crate::interval::Interval;
 use crate::metrics::{MeasureConfig, Metrics};
 use crate::policy::ControlPolicy;
@@ -203,6 +204,10 @@ pub struct Engine<S: ArrivalSource> {
     /// Stations that restarted since the last decision point, with the
     /// probe slot of their restart (for rejoin-latency accounting).
     rejoining: Vec<(StationId, u64)>,
+    /// Online window-length control (adaptive element 2); the default
+    /// [`StaticController`] defers to the policy and keeps the run
+    /// bit-identical to a controller-free build.
+    controller: Box<dyn WindowController>,
     /// Per-round scratch buffers (see [`RoundScratch`]).
     scratch: RoundScratch,
     /// Reused pseudo-time snapshot; rebuilt in place at every decision
@@ -259,6 +264,7 @@ impl<S: ArrivalSource> Engine<S> {
             churn_events: Vec::new(),
             churn_touched: HashSet::new(),
             rejoining: Vec::new(),
+            controller: Box::new(StaticController::new()),
             scratch: RoundScratch::default(),
             pseudo: PseudoMap::default(),
             sweep_keys: Vec::new(),
@@ -295,6 +301,21 @@ impl<S: ArrivalSource> Engine<S> {
     /// Overrides the retry/backoff budget for detectably corrupted slots.
     pub fn set_resync_policy(&mut self, resync: ResyncPolicy) {
         self.resync = resync;
+    }
+
+    /// Installs an online window-length controller (adaptive element 2).
+    /// The default [`StaticController`] defers to the policy's
+    /// element (2) and leaves the run bit-identical to a controller-free
+    /// build (pinned by the golden-fingerprint tests). Controllers draw
+    /// no RNG, so installing one never perturbs the fork order or any
+    /// stream.
+    pub fn set_controller(&mut self, controller: Box<dyn WindowController>) {
+        self.controller = controller;
+    }
+
+    /// The active window-length controller (telemetry access).
+    pub fn controller(&self) -> &dyn WindowController {
+        &*self.controller
     }
 
     /// Enables the finite-population sensitivity model: each station can
@@ -492,9 +513,11 @@ impl<S: ArrivalSource> Engine<S> {
 
         let mut pm = std::mem::take(&mut self.pseudo);
         pm.rebuild(&self.timeline);
+        let backlog = pm.backlog();
+        let length = self.controller.next_length(now, backlog, &self.policy);
         let window = self
             .policy
-            .choose_window(pm.backlog(), &mut self.rng_policy);
+            .choose_window_with_length(backlog, length, &mut self.rng_policy);
         match window {
             None => {
                 obs.on_decision(now, None);
@@ -516,6 +539,7 @@ impl<S: ArrivalSource> Engine<S> {
                         }
                         self.channel_stats.record(&outcome, report.dur);
                         obs.on_probe(now, &[], &outcome, report.dur);
+                        self.controller.on_slot(SlotContext::IdleDecision, &outcome);
                     }
                 }
                 self.timeline.advance(now + report.dur);
@@ -575,6 +599,9 @@ impl<S: ArrivalSource> Engine<S> {
     ) {
         let round_start = self.timeline.now();
         let mut overhead: u64 = 0;
+        // The round's first clean probe examines the blindly chosen
+        // initial window — the rate-information slot for controllers.
+        let mut first_probe = true;
         let mut current = initial;
         // `Some(s)` means: current ∪ s is known to contain >= 2 arrivals,
         // so if current is empty then s contains >= 2.
@@ -642,6 +669,15 @@ impl<S: ArrivalSource> Engine<S> {
             retries = 0;
             self.channel_stats.record(&outcome, report.dur);
             obs.on_probe(now, &bufs.segments, &outcome, report.dur);
+            let ctx = if first_probe {
+                SlotContext::Initial {
+                    width: initial.width(),
+                }
+            } else {
+                SlotContext::Resolution
+            };
+            first_probe = false;
+            self.controller.on_slot(ctx, &outcome);
             self.timeline.advance(now + report.dur);
             self.churn_step(obs);
 
@@ -922,6 +958,7 @@ impl<S: ArrivalSource> Engine<S> {
             }
             self.channel_stats.record(&outcome, report.dur);
             obs.on_probe(now, &[], &outcome, report.dur);
+            self.controller.on_slot(SlotContext::Resolution, &outcome);
             self.timeline.advance(now + report.dur);
             self.churn_step(obs);
             match outcome {
@@ -1360,6 +1397,120 @@ mod tests {
         eng.run_until(Time::from_ticks(200_000), &mut NoopObserver);
         eng.drain(&mut NoopObserver);
         assert_eq!(eng.metrics.blocked(), 0);
+    }
+
+    #[test]
+    fn adaptive_controllers_are_deterministic_and_complete() {
+        use crate::controller::{AimdConfig, ControllerConfig, EstimatorConfig};
+        for cfg in [
+            ControllerConfig::Aimd(AimdConfig::around(12)),
+            ControllerConfig::Estimator(EstimatorConfig::around(12)),
+        ] {
+            let run = |cfg: &ControllerConfig| {
+                let mut eng = poisson_engine(
+                    channel(),
+                    ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
+                    measure(300),
+                    0.6,
+                    20,
+                    47,
+                );
+                eng.set_controller(cfg.build());
+                eng.run_until(Time::from_ticks(100_000), &mut NoopObserver);
+                eng.drain(&mut NoopObserver);
+                (
+                    eng.metrics.offered(),
+                    eng.metrics.loss_fraction().to_bits(),
+                    eng.controller().window_ticks(),
+                    eng.controller().shrinks(),
+                    eng.controller().grows(),
+                )
+            };
+            let a = run(&cfg);
+            let b = run(&cfg);
+            assert_eq!(a, b, "{} not deterministic", cfg.label());
+            assert!(a.0 > 100, "{}: too few messages", cfg.label());
+            assert!(
+                a.3 + a.4 > 0,
+                "{}: controller never adapted under load",
+                cfg.label()
+            );
+        }
+    }
+
+    #[test]
+    fn static_controller_explicitly_installed_is_bit_identical() {
+        use crate::controller::ControllerConfig;
+        let run = |install: bool| {
+            let mut eng = poisson_engine(
+                channel(),
+                ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
+                measure(300),
+                0.6,
+                20,
+                11,
+            );
+            if install {
+                eng.set_controller(ControllerConfig::Static.build());
+            }
+            let mut rec = TraceRecorder::new(100_000);
+            eng.run_until(Time::from_ticks(80_000), &mut rec);
+            eng.drain(&mut rec);
+            (
+                eng.metrics.offered(),
+                eng.metrics.loss_fraction().to_bits(),
+                rec.text(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn aimd_state_is_reproducible_from_observed_feedback() {
+        // The distributed-realizability argument for adaptive control:
+        // every slot the controller consumed was reported to observers,
+        // so replaying the observed outcome sequence through a fresh
+        // controller must land in the identical state. (AIMD is
+        // context-free, so the clean `on_probe` stream is exactly its
+        // input; the estimator additionally needs the initial-probe
+        // widths, which are the decision windows all stations computed.)
+        use crate::controller::{AimdConfig, AimdController, SlotContext, WindowController};
+
+        #[derive(Default)]
+        struct OutcomeLog(Vec<SlotOutcome>);
+        impl EngineObserver for OutcomeLog {
+            fn on_probe(
+                &mut self,
+                _start: Time,
+                _segments: &[Interval],
+                outcome: &SlotOutcome,
+                _dur: Dur,
+            ) {
+                self.0.push(*outcome);
+            }
+        }
+
+        let cfg = AimdConfig::around(12);
+        let mut eng = poisson_engine(
+            channel(),
+            ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
+            measure(300),
+            0.6,
+            20,
+            23,
+        );
+        eng.set_controller(Box::new(AimdController::new(cfg)));
+        let mut log = OutcomeLog::default();
+        eng.run_until(Time::from_ticks(60_000), &mut log);
+
+        let mut shadow = AimdController::new(cfg);
+        for o in &log.0 {
+            shadow.on_slot(SlotContext::Resolution, o);
+        }
+        assert_eq!(shadow.window_ticks(), eng.controller().window_ticks());
+        assert_eq!(shadow.shrinks(), eng.controller().shrinks());
+        assert_eq!(shadow.grows(), eng.controller().grows());
+        assert!(!log.0.is_empty());
     }
 
     #[test]

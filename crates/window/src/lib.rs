@@ -51,12 +51,16 @@
 //!   (regenerates the paper's figs. 1 and 4);
 //! * [`mirror`] — a *distributed consistency checker*: an independent
 //!   station model that sees only channel outcomes and must reproduce every
-//!   window decision, proving the protocol needs no central state.
+//!   window decision, proving the protocol needs no central state;
+//! * [`controller`] — online control of element (2): static oracle, AIMD
+//!   feedback control, and a rate estimator re-solving §4.1's recurrence
+//!   at runtime, for loads the offline tuning never anticipated.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod controller;
 pub mod engine;
 pub mod interval;
 pub mod metrics;
@@ -67,6 +71,10 @@ pub mod pseudo;
 pub mod timeline;
 pub mod trace;
 
+pub use controller::{
+    AimdConfig, AimdController, ControllerConfig, EstimatorConfig, EstimatorController,
+    SlotContext, StaticController, WindowController,
+};
 pub use engine::{Engine, EngineConfig, ResyncPolicy};
 pub use interval::Interval;
 pub use metrics::Metrics;

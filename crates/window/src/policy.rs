@@ -150,11 +150,26 @@ impl ControlPolicy {
     /// shared backlog and, for the RANDOM discipline, on the shared
     /// pseudo-random stream `rng`.
     pub fn choose_window(&self, backlog: Dur, rng: &mut Rng) -> Option<PseudoInterval> {
+        self.choose_window_with_length(backlog, self.window_length(backlog), rng)
+    }
+
+    /// [`choose_window`](Self::choose_window) with an externally supplied
+    /// length (ticks) in place of element (2) — the entry point for
+    /// adaptive window control ([`crate::controller`]). Position and the
+    /// RNG draw pattern are exactly those of `choose_window`, so a
+    /// controller that returns [`Self::window_length`] is bit-identical
+    /// to the static policy.
+    pub fn choose_window_with_length(
+        &self,
+        backlog: Dur,
+        length: u64,
+        rng: &mut Rng,
+    ) -> Option<PseudoInterval> {
         let b = backlog.ticks();
         if b == 0 {
             return None;
         }
-        let w = self.window_length(backlog);
+        let w = length.max(1);
         Some(match self.position {
             WindowPosition::Oldest => PseudoInterval::new(0, w.min(b)),
             WindowPosition::Newest => PseudoInterval::new(b - w.min(b), b),
@@ -292,6 +307,40 @@ mod tests {
             saw[(first == older) as usize] = true;
         }
         assert!(saw[0] && saw[1]);
+    }
+
+    #[test]
+    fn with_length_matches_choose_window_for_policy_length() {
+        let mut rng_a = Rng::new(77);
+        let mut rng_b = Rng::new(77);
+        for p in [
+            ControlPolicy::fcfs(d(10)),
+            ControlPolicy::lcfs(d(10)),
+            ControlPolicy::random(d(10)),
+        ] {
+            for b in [0u64, 3, 50, 200] {
+                let len = p.window_length(d(b));
+                assert_eq!(
+                    p.choose_window(d(b), &mut rng_a),
+                    p.choose_window_with_length(d(b), len, &mut rng_b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_length_overrides_element_two() {
+        let p = ControlPolicy::fcfs(d(10));
+        let mut rng = Rng::new(0);
+        assert_eq!(
+            p.choose_window_with_length(d(70), 25, &mut rng),
+            Some(PseudoInterval::new(0, 25))
+        );
+        // Zero commanded length clamps to one tick, like the static path.
+        assert_eq!(
+            p.choose_window_with_length(d(70), 0, &mut rng),
+            Some(PseudoInterval::new(0, 1))
+        );
     }
 
     #[test]
