@@ -8,11 +8,14 @@
 //! * fields containing `allocs` are costs — lower is better; a
 //!   regression is `fresh > 1.2 * committed + 0.01` (the additive slack
 //!   keeps near-zero steady-state counts from tripping on noise);
-//! * `sweep_parallel_speedup` is gated as a rate, but **skipped with a
-//!   note when either snapshot records `host_parallelism == 1`** — on a
-//!   single-core host the executor cannot speed anything up (the
-//!   committed snapshot records speedup 0.987 on such a host), so the
-//!   comparison would spuriously fail any real regression gate;
+//! * `sweep_parallel_speedup` is gated as a rate when both snapshots
+//!   come from multi-core hosts. When the **fresh** run is single-core
+//!   the gate is skipped with a note — the executor cannot speed
+//!   anything up there. When only the **committed** baseline is
+//!   single-core (it records speedup 0.984 on such a host), a relative
+//!   comparison is meaningless, so a multi-core fresh run is instead
+//!   held to an absolute floor: the parallel executor must deliver at
+//!   least 1.1x, or the parallelism claim has regressed;
 //! * `host_parallelism` describes the host, not the code, and is
 //!   reported but never gated.
 //!
@@ -60,6 +63,10 @@ fn environmental(key: &str) -> bool {
     key == "host_parallelism"
 }
 
+/// Minimum parallel-sweep speedup demanded of a multi-core host when
+/// the committed baseline is single-core and offers no reference.
+const SPEEDUP_FLOOR: f64 = 1.1;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [committed_path, fresh_path] = &args[..] else {
@@ -102,9 +109,23 @@ fn main() -> ExitCode {
             continue;
         }
         if key == "sweep_parallel_speedup" && !speedup_gated {
-            println!(
-                "  ok {key}: {base} -> {now} (skipped: single-core host, speedup not meaningful)"
-            );
+            if single_core(&fresh) {
+                println!(
+                    "  ok {key}: {base} -> {now} (skipped: single-core host, speedup not meaningful)"
+                );
+            } else if now < SPEEDUP_FLOOR {
+                diag::error(
+                    "check_bench",
+                    &format!(
+                        "FAIL {key}: fresh {now} on a multi-core host (absolute floor {SPEEDUP_FLOOR}; committed baseline is single-core)"
+                    ),
+                );
+                failed = true;
+            } else {
+                println!(
+                    "  ok {key}: {base} -> {now} (absolute floor {SPEEDUP_FLOOR}; committed baseline is single-core)"
+                );
+            }
             continue;
         }
         let (bad, rule) = if key.contains("allocs") {

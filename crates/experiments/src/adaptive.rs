@@ -24,12 +24,11 @@
 //! [`AdaptiveRecord`] so any failure (or any cell, via `--record`)
 //! replays bit-for-bit.
 
-use std::fs;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 
-use crate::replay::{escape, panic_message, parse_flat, unescape, ARTIFACT_VERSION};
+use crate::replay::{load_artifact, panic_message, save_artifact, ArtifactReader, ArtifactWriter};
 use tcw_mac::traffic::{VoiceConfig, VoiceSource};
 use tcw_mac::{
     AdversarialInjector, AdversaryPlan, ArrivalSource, ChannelConfig, MergedSource,
@@ -446,81 +445,41 @@ pub struct AdaptiveRecord {
 impl AdaptiveRecord {
     /// Serializes the record as one flat JSON object.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let mut field = |key: &str, value: String| {
-            out.push_str(&format!("  \"{key}\": {value},\n"));
-        };
-        field("version", format!("\"{ARTIFACT_VERSION}\""));
-        field("experiment", "\"adaptive\"".to_string());
-        field("scenario", format!("\"{}\"", self.scenario.label()));
-        field("controller", format!("\"{}\"", self.controller.label()));
-        field("replicate", self.replicate.to_string());
-        field("kind", format!("\"{}\"", escape(&self.kind)));
-        field("detail", format!("\"{}\"", escape(&self.detail)));
-        out.truncate(out.len() - 2);
-        out.push_str("\n}\n");
-        out
+        let mut w = ArtifactWriter::new(Some("adaptive"));
+        w.str("scenario", self.scenario.label());
+        w.str("controller", self.controller.label());
+        w.u64("replicate", self.replicate);
+        w.str("kind", &self.kind);
+        w.str("detail", &self.detail);
+        w.finish()
     }
 
     /// Parses a record previously written by [`AdaptiveRecord::to_json`].
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let fields = parse_flat(text)?;
-        match fields.get("version").map(String::as_str) {
-            None => {
-                return Err(format!(
-                    "artifact has no version stamp (predates {ARTIFACT_VERSION}); \
-                     regenerate it with the current binaries"
-                ))
-            }
-            Some(v) if v != ARTIFACT_VERSION => {
-                return Err(format!(
-                    "artifact was written by version {v}, this binary is \
-                     {ARTIFACT_VERSION}; regenerate it with the current binaries"
-                ))
-            }
-            Some(_) => {}
-        }
-        match fields.get("experiment").map(String::as_str) {
-            Some("adaptive") => {}
-            other => return Err(format!("not an adaptive artifact: {other:?}")),
-        }
-        let string = |key: &str| -> Result<String, String> {
-            Ok(unescape(
-                fields
-                    .get(key)
-                    .ok_or_else(|| format!("missing field {key:?}"))?,
-            ))
-        };
-        let scenario_label = string("scenario")?;
+        let r = ArtifactReader::parse(text, Some("adaptive"))?;
+        let scenario_label = r.str("scenario")?;
         let scenario = Scenario::parse(&scenario_label)
             .ok_or_else(|| format!("unknown scenario {scenario_label:?}"))?;
-        let controller_label = string("controller")?;
+        let controller_label = r.str("controller")?;
         let controller = ControllerKind::parse(&controller_label)
             .ok_or_else(|| format!("unknown controller {controller_label:?}"))?;
-        let replicate = string("replicate")?
-            .parse::<u64>()
-            .map_err(|e| format!("field \"replicate\": {e}"))?;
         Ok(AdaptiveRecord {
             scenario,
             controller,
-            replicate,
-            kind: string("kind")?,
-            detail: string("detail")?,
+            replicate: r.u64("replicate")?,
+            kind: r.str("kind")?,
+            detail: r.str("detail")?,
         })
     }
 
     /// Writes the record to `path`, creating parent directories.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir)?;
-        }
-        fs::write(path, self.to_json())
+        save_artifact(path, &self.to_json())
     }
 
     /// Loads a record from `path`.
     pub fn load(path: &Path) -> Result<Self, String> {
-        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        Self::from_json(&text)
+        Self::from_json(&load_artifact(path)?)
     }
 }
 
@@ -637,7 +596,7 @@ mod tests {
         };
         let parsed = AdaptiveRecord::from_json(&rec.to_json()).expect("parse");
         assert_eq!(parsed, rec);
-        let stamp = format!("\"version\": \"{ARTIFACT_VERSION}\"");
+        let stamp = format!("\"version\": \"{}\"", crate::replay::ARTIFACT_VERSION);
         let stale = rec
             .to_json()
             .replace(&stamp, "\"version\": \"0.0.0-stale\"");

@@ -1,0 +1,318 @@
+//! Chaos harness: composed stress sweeps under the invariant monitor.
+//!
+//! Samples thousands of seeded configs composing fault injection,
+//! membership churn, piecewise/adversarial load and all three window
+//! controllers, runs each under the `tcw-window` runtime invariant
+//! monitor (with the mirror divergence detector as a differential check
+//! where it is sound), and delta-debugs any failure down to a minimal
+//! version-stamped replay artifact. Results land in `results/chaos.csv`
+//! and `results/chaos.txt`; failure artifacts under `results/failures/`.
+//!
+//! ```text
+//! chaos [--configs N] [--jobs N] [--trace-events P] [--metrics P] [--progress]
+//! chaos --replay PATH             # must reproduce the recorded outcome
+//! chaos --inject MUTATION [PATH]  # seed a violation, shrink it, verify replay
+//! ```
+//!
+//! `MUTATION` is one of `drop_delivery`, `reorder_pair`, `stale_clock`.
+//! Exit codes follow the shared convention: `0` clean, `1` usage,
+//! `2` failure (violation found, replay diverged, artifact stale).
+
+use std::path::Path;
+use tcw_experiments::chaos::{
+    execute, inject_config, replay, run_observed, shrink, ChaosConfig, ChaosOutcome, ChaosRecord,
+    Mutation, BASE_SEED, DEFAULT_CONFIGS,
+};
+use tcw_experiments::diag;
+use tcw_experiments::plot::write_csv;
+use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
+use tcw_experiments::{
+    observe_engine_cell, write_observability, CellArtifacts, ObsConfig, SweepMeta,
+};
+
+fn shrink_report(orig: &ChaosConfig, out: &ChaosOutcome) -> (ChaosRecord, String) {
+    let mut log = String::new();
+    log.push_str(&format!(
+        "shrinking [{}/{}] seed={} ({} trials max)\n",
+        out.kind,
+        out.class,
+        orig.seed,
+        tcw_experiments::chaos::SHRINK_BUDGET
+    ));
+    let res = shrink(orig, &out.kind, &out.class);
+    for step in &res.steps {
+        log.push_str(&format!(
+            "  {} {}\n",
+            if step.kept { "KEEP" } else { "drop" },
+            step.action
+        ));
+    }
+    let min_out = execute(&res.config);
+    log.push_str(&format!(
+        "  fixpoint after {} trials: horizon={} stations={} segments={} controller={} -> [{}/{}] {}\n",
+        res.trials,
+        res.config.horizon_ticks,
+        res.config.stations,
+        res.config.segments.len(),
+        res.config.controller.label(),
+        min_out.kind,
+        min_out.class,
+        min_out.detail,
+    ));
+    let rec = ChaosRecord {
+        config: res.config,
+        kind: min_out.kind,
+        class: min_out.class,
+        detail: min_out.detail,
+    };
+    (rec, log)
+}
+
+fn inject_mode(args: &[String]) -> i32 {
+    let Some(mutation) = args.first().and_then(|s| Mutation::parse(s)) else {
+        diag::error(
+            "chaos",
+            "--inject needs a mutation: drop_delivery | reorder_pair | stale_clock",
+        );
+        return diag::EXIT_USAGE;
+    };
+    let Some(expected) = mutation.expected_class() else {
+        diag::error(
+            "chaos",
+            "--inject none is a no-op; pick a corrupting mutation",
+        );
+        return diag::EXIT_USAGE;
+    };
+    let default_path = format!("results/failures/chaos_injected_{}.json", mutation.label());
+    let path = args.get(1).cloned().unwrap_or(default_path);
+    let cfg = inject_config(mutation);
+    println!(
+        "injecting {} into a clean static-controller run (seed {})",
+        mutation.label(),
+        cfg.seed
+    );
+    let out = execute(&cfg);
+    if out.kind != "violation" || out.class != expected {
+        diag::error(
+            "chaos",
+            &format!(
+                "seeded mutation was NOT caught: expected violation/{expected}, got [{}/{}] {}",
+                out.kind, out.class, out.detail
+            ),
+        );
+        return diag::EXIT_FAILURE;
+    }
+    println!(
+        "monitor caught it: [{}/{}] {}",
+        out.kind, out.class, out.detail
+    );
+    let (rec, log) = shrink_report(&cfg, &out);
+    print!("{log}");
+    if rec.kind != "violation" || rec.class != expected {
+        diag::error(
+            "chaos",
+            "shrunk config no longer reproduces the violation class",
+        );
+        return diag::EXIT_FAILURE;
+    }
+    let path = Path::new(&path);
+    if let Err(e) = rec.save(path) {
+        diag::error("chaos", &format!("cannot write {}: {e}", path.display()));
+        return diag::EXIT_FAILURE;
+    }
+    println!("minimal artifact written to {}", path.display());
+    // Verify the artifact replays before handing it to CI: a faithful
+    // reproduction of a violation exits EXIT_FAILURE by convention.
+    let code = replay(path);
+    if code != diag::EXIT_FAILURE {
+        diag::error(
+            "chaos",
+            &format!("replay of the minimal artifact exited {code}, want EXIT_FAILURE"),
+        );
+        return diag::EXIT_FAILURE;
+    }
+    println!("replay verified (exit {code} on reproduced violation, as specified)");
+    0
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, args) = match ObsConfig::split_args(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("chaos", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if args.first().is_some_and(|a| a == "--replay") {
+        let Some(path) = args.get(1) else {
+            diag::error("chaos", "--replay needs an artifact path");
+            std::process::exit(diag::EXIT_USAGE);
+        };
+        std::process::exit(replay(Path::new(path)));
+    }
+    if args.first().is_some_and(|a| a == "--inject") {
+        std::process::exit(inject_mode(&args[1..]));
+    }
+    let jobs = jobs_from_args(&args);
+    let configs = args
+        .iter()
+        .position(|a| a == "--configs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                diag::error("chaos", &format!("bad --configs value {v:?}"));
+                std::process::exit(diag::EXIT_USAGE);
+            })
+        })
+        .unwrap_or(DEFAULT_CONFIGS);
+
+    let results = Path::new("results");
+    let failures_dir = results.join("failures");
+    println!(
+        "chaos sweep: {configs} composed configs (faults x churn x load x controllers), \
+         invariant monitor on, base seed {BASE_SEED:#x}\n"
+    );
+
+    let cells: Vec<u64> = (0..configs as u64).collect();
+    let tracing = obs.trace_events.is_some();
+    let metrics = obs.metrics.is_some();
+    let progress = obs
+        .progress
+        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+    let outcomes: Vec<(ChaosConfig, ChaosOutcome, CellArtifacts)> =
+        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &index| {
+            let cfg = ChaosConfig::sample(BASE_SEED, index);
+            let label = format!("config {index} ({})", cfg.controller.label());
+            let idx_s = format!("{index}");
+            let labels = [
+                ("config", idx_s.as_str()),
+                ("controller", cfg.controller.label()),
+            ];
+            if tracing || metrics {
+                let (out, art) = observe_engine_cell(tracing, metrics, i, &label, &labels, {
+                    let cfg = cfg.clone();
+                    move |obs, sink| run_observed(&cfg, obs, sink)
+                });
+                (cfg, out, art)
+            } else {
+                let out = execute(&cfg);
+                (cfg, out, CellArtifacts::default())
+            }
+        });
+    if let Some(p) = &progress {
+        p.finish();
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut report = String::new();
+    let mut failures: Vec<(u64, ChaosConfig, ChaosOutcome)> = Vec::new();
+    let mut kind_counts = [0u64; 4];
+    for (&index, (cfg, out, _art)) in cells.iter().zip(&outcomes) {
+        let kind_idx = match out.kind.as_str() {
+            "ok" => 0,
+            "violation" => 1,
+            "divergence" => 2,
+            _ => 3,
+        };
+        kind_counts[kind_idx] += 1;
+        rows.push(vec![
+            format!("{index}"),
+            format!("{}", cfg.seed),
+            cfg.controller.label().to_string(),
+            format!("{}", cfg.stations),
+            format!("{}", cfg.horizon_ticks),
+            format!("{}", u8::from(!cfg.plan.is_none())),
+            format!("{}", u8::from(cfg.churn != tcw_mac::ChurnPlan::none())),
+            format!("{}", cfg.segments.len()),
+            format!("{}", u8::from(cfg.adv_burst > 0)),
+            out.kind.clone(),
+            out.class.clone(),
+            format!("{}", out.checks),
+            format!("{}", out.violations),
+            format!("{}", out.divergences),
+            format!("{}", out.offered),
+            format!("{}", out.deliveries),
+            format!("{}", out.loss),
+        ]);
+        if out.kind != "ok" {
+            failures.push((index, cfg.clone(), out.clone()));
+        }
+    }
+
+    let summary = format!(
+        "configs={} ok={} violations={} divergences={} panics={}\n",
+        configs, kind_counts[0], kind_counts[1], kind_counts[2], kind_counts[3]
+    );
+    println!("{summary}");
+    report.push_str(&summary);
+    let total_checks: u64 = outcomes.iter().map(|(_, o, _)| o.checks).sum();
+    let total_deliveries: u64 = outcomes.iter().map(|(_, o, _)| o.deliveries).sum();
+    let detail = format!(
+        "monitor checks={total_checks} deliveries={total_deliveries} (base seed {BASE_SEED:#x})\n"
+    );
+    print!("{detail}");
+    report.push_str(&detail);
+
+    // Shrink failures serially in index order so artifacts and the
+    // report are deterministic regardless of --jobs.
+    for (index, cfg, out) in &failures {
+        let (rec, log) = shrink_report(cfg, out);
+        print!("{log}");
+        report.push_str(&log);
+        let path = failures_dir.join(format!("chaos_{index}_{}.json", out.kind));
+        rec.save(&path).expect("write replay artifact");
+        let line = format!(
+            "  artifact: {}\n  reproduce: cargo run --release -p tcw-experiments --bin chaos -- --replay {}\n",
+            path.display(),
+            path.display()
+        );
+        print!("{line}");
+        report.push_str(&line);
+    }
+
+    write_csv(
+        &results.join("chaos.csv"),
+        &[
+            "config",
+            "seed",
+            "controller",
+            "stations",
+            "horizon_ticks",
+            "faults",
+            "churn",
+            "segments",
+            "adversary",
+            "kind",
+            "class",
+            "checks",
+            "violations",
+            "divergences",
+            "offered",
+            "deliveries",
+            "loss",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    std::fs::write(results.join("chaos.txt"), &report).expect("write report");
+    let cell_artifacts: Vec<CellArtifacts> = outcomes.into_iter().map(|(_, _, art)| art).collect();
+    if let Err(e) = write_observability(
+        &obs,
+        &cell_artifacts,
+        SweepMeta {
+            cells: cell_artifacts.len(),
+        },
+    ) {
+        diag::error("chaos", &e);
+        std::process::exit(diag::EXIT_FAILURE);
+    }
+    println!("wrote results/chaos.csv and results/chaos.txt");
+    if !failures.is_empty() {
+        diag::error(
+            "chaos",
+            &format!("{} config(s) failed invariants", failures.len()),
+        );
+        std::process::exit(diag::EXIT_FAILURE);
+    }
+}

@@ -18,7 +18,10 @@
 //! * `adaptive` — adaptive window control under non-stationary and
 //!   adversarial load: stale static tuning vs per-segment oracle vs the
 //!   AIMD and rate-estimating controllers, with per-cell regret and the
-//!   `--episode` load-step walk-through.
+//!   `--episode` load-step walk-through;
+//! * `chaos` — composed stress sweeps (faults × churn × load ×
+//!   controllers) run under the `tcw-window` invariant monitor, with
+//!   delta-debugging shrinking of failures to minimal replay artifacts.
 //!
 //! The library part hosts the simulation runners (so the `tcw-bench`
 //! criterion benches reuse exactly the code that produced EXPERIMENTS.md)
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod chaos;
 pub mod diag;
 pub mod obs;
 pub mod panels;
@@ -36,6 +40,10 @@ pub mod replay;
 pub mod runner;
 pub mod sweep;
 
+pub use chaos::{
+    execute as chaos_execute, shrink, ChaosConfig, ChaosController, ChaosOutcome, ChaosRecord,
+    Mutation, ShrinkResult, ShrinkStep,
+};
 pub use obs::{
     observe_engine_cell, observed_cell, write_observability, CellArtifacts, ObsConfig, SweepMeta,
 };

@@ -92,14 +92,163 @@ pub(crate) fn unescape(s: &str) -> String {
     out
 }
 
+/// Incremental writer for the flat-JSON artifact envelope shared by every
+/// record/replay binary (`robustness`, `churn`, `adaptive`, `chaos`).
+///
+/// Opens the object and stamps [`ARTIFACT_VERSION`] (plus an optional
+/// `experiment` tag distinguishing artifact families); [`ArtifactWriter::finish`]
+/// closes it. Byte layout matches the historical hand-rolled writers, so
+/// previously committed artifacts stay byte-identical on regeneration.
+pub struct ArtifactWriter {
+    out: String,
+}
+
+impl ArtifactWriter {
+    /// Starts an envelope; `experiment` tags the artifact family
+    /// (`None` for the original robustness/churn format).
+    pub fn new(experiment: Option<&str>) -> Self {
+        let mut w = ArtifactWriter {
+            out: String::from("{\n"),
+        };
+        w.raw("version", &format!("\"{ARTIFACT_VERSION}\""));
+        if let Some(tag) = experiment {
+            w.str("experiment", tag);
+        }
+        w
+    }
+
+    /// Appends a field with an already-JSON-formatted value.
+    pub fn raw(&mut self, key: &str, value: &str) {
+        self.out.push_str(&format!("  \"{key}\": {value},\n"));
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) {
+        self.raw(key, &value.to_string());
+    }
+
+    /// Appends a float field (round-trip exact, always distinguishable
+    /// from integers).
+    pub fn f64(&mut self, key: &str, value: f64) {
+        self.raw(key, &fmt_f64(value));
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) {
+        self.raw(key, if value { "true" } else { "false" });
+    }
+
+    /// Appends an escaped, quoted string field.
+    pub fn str(&mut self, key: &str, value: &str) {
+        self.raw(key, &format!("\"{}\"", escape(value)));
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        // Trailing comma is invalid JSON; replace with a closing brace.
+        self.out.truncate(self.out.len() - 2);
+        self.out.push_str("\n}\n");
+        self.out
+    }
+}
+
+/// Typed reader over a parsed artifact envelope.
+///
+/// [`ArtifactReader::parse`] enforces the version stamp (and the
+/// `experiment` family tag when one is expected) *before* any field is
+/// read — a stale or corrupted artifact would replay a different
+/// timeline, so every loader rejects it up front (the binaries then exit
+/// with [`crate::diag::EXIT_FAILURE`]).
+pub struct ArtifactReader {
+    fields: BTreeMap<String, String>,
+}
+
+impl ArtifactReader {
+    /// Parses the envelope and verifies version + family tag.
+    pub fn parse(text: &str, experiment: Option<&str>) -> Result<Self, String> {
+        let fields = parse_flat(text)?;
+        match fields.get("version").map(String::as_str) {
+            None => {
+                return Err(format!(
+                    "artifact has no version stamp (predates {ARTIFACT_VERSION}); \
+                     regenerate it with the current binaries"
+                ))
+            }
+            Some(v) if v != ARTIFACT_VERSION => {
+                return Err(format!(
+                    "artifact was written by version {v}, this binary is \
+                     {ARTIFACT_VERSION}; regenerate it with the current binaries"
+                ))
+            }
+            Some(_) => {}
+        }
+        if let Some(tag) = experiment {
+            match fields.get("experiment").map(String::as_str) {
+                Some(t) if t == tag => {}
+                other => return Err(format!("not a {tag} artifact: {other:?}")),
+            }
+        }
+        Ok(ArtifactReader { fields })
+    }
+
+    /// A float field.
+    pub fn f64(&self, key: &str) -> Result<f64, String> {
+        self.fields
+            .get(key)
+            .ok_or_else(|| format!("missing field {key:?}"))?
+            .parse::<f64>()
+            .map_err(|e| format!("field {key:?}: {e}"))
+    }
+
+    /// An unsigned integer field (accepts the float spelling too, as the
+    /// historical readers did).
+    pub fn u64(&self, key: &str) -> Result<u64, String> {
+        // Parse the raw token directly when possible: the f64 path loses
+        // precision above 2^53 (e.g. stream seeds).
+        if let Some(raw) = self.fields.get(key) {
+            if let Ok(v) = raw.parse::<u64>() {
+                return Ok(v);
+            }
+        }
+        Ok(self.f64(key)? as u64)
+    }
+
+    /// An unescaped string field.
+    pub fn str(&self, key: &str) -> Result<String, String> {
+        Ok(unescape(
+            self.fields
+                .get(key)
+                .ok_or_else(|| format!("missing field {key:?}"))?,
+        ))
+    }
+
+    /// A boolean field, defaulting when absent.
+    pub fn bool_or(&self, key: &str, default: bool) -> bool {
+        self.fields.get(key).map(|v| v == "true").unwrap_or(default)
+    }
+}
+
+/// Writes artifact text to `path`, creating parent directories.
+pub fn save_artifact(path: &Path, text: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, text)
+}
+
+/// Reads artifact text from `path`.
+pub fn load_artifact(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 impl FailureRecord {
     /// Serializes the record as one flat JSON object.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
+        let mut w = ArtifactWriter::new(None);
+        let out = &mut w;
         let mut field = |key: &str, value: String| {
-            out.push_str(&format!("  \"{key}\": {value},\n"));
+            out.raw(key, &value);
         };
-        field("version", format!("\"{ARTIFACT_VERSION}\""));
         field("seed", self.seed.to_string());
         field(
             "success_to_collision",
@@ -137,10 +286,7 @@ impl FailureRecord {
         field("guard", self.settings.guard.to_string());
         field("kind", format!("\"{}\"", escape(&self.kind)));
         field("detail", format!("\"{}\"", escape(&self.detail)));
-        // Trailing comma is invalid JSON; replace with a closing brace.
-        out.truncate(out.len() - 2);
-        out.push_str("\n}\n");
-        out
+        w.finish()
     }
 
     /// Parses a record previously written by [`FailureRecord::to_json`].
@@ -150,37 +296,10 @@ impl FailureRecord {
     /// stale or corrupted artifact would replay a *different* timeline and
     /// report a spurious divergence.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let fields = parse_flat(text)?;
-        let num = |key: &str| -> Result<f64, String> {
-            fields
-                .get(key)
-                .ok_or_else(|| format!("missing field {key:?}"))?
-                .parse::<f64>()
-                .map_err(|e| format!("field {key:?}: {e}"))
-        };
-        let int = |key: &str| -> Result<u64, String> { Ok(num(key)? as u64) };
-        let string = |key: &str| -> Result<String, String> {
-            Ok(unescape(
-                fields
-                    .get(key)
-                    .ok_or_else(|| format!("missing field {key:?}"))?,
-            ))
-        };
-        match fields.get("version").map(String::as_str) {
-            None => {
-                return Err(format!(
-                    "artifact has no version stamp (predates {ARTIFACT_VERSION}); \
-                     regenerate it with the current binaries"
-                ))
-            }
-            Some(v) if v != ARTIFACT_VERSION => {
-                return Err(format!(
-                    "artifact was written by version {v}, this binary is \
-                     {ARTIFACT_VERSION}; regenerate it with the current binaries"
-                ))
-            }
-            Some(_) => {}
-        }
+        let r = ArtifactReader::parse(text, None)?;
+        let num = |key: &str| -> Result<f64, String> { r.f64(key) };
+        let int = |key: &str| -> Result<u64, String> { r.u64(key) };
+        let string = |key: &str| -> Result<String, String> { r.str(key) };
         let policy = match string("policy")?.as_str() {
             "controlled" => PolicyKind::Controlled,
             "fcfs" => PolicyKind::Fcfs,
@@ -228,7 +347,7 @@ impl FailureRecord {
                 messages: int("messages")?,
                 warmup: int("warmup")?,
                 stations: int("stations")? as u32,
-                guard: fields.get("guard").map(|v| v == "true").unwrap_or(false),
+                guard: r.bool_or("guard", false),
             },
             kind: string("kind")?,
             detail: string("detail")?,
@@ -237,16 +356,12 @@ impl FailureRecord {
 
     /// Writes the record to `path`, creating parent directories.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir)?;
-        }
-        fs::write(path, self.to_json())
+        save_artifact(path, &self.to_json())
     }
 
     /// Loads a record from `path`.
     pub fn load(path: &Path) -> Result<Self, String> {
-        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        Self::from_json(&text)
+        Self::from_json(&load_artifact(path)?)
     }
 }
 

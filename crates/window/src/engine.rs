@@ -154,8 +154,10 @@ struct RoundScratch {
 
 /// How a sub-tick cluster resolution ended.
 enum ClusterEnd {
-    /// One message was isolated and delivered.
-    Winner(Message),
+    /// One message was isolated and delivered (the transmission is
+    /// completed inside the resolution loop, before that slot's churn
+    /// transitions can touch the winner's pending entry).
+    Delivered,
     /// A collision was misread as a success: stations believe the cluster
     /// resolved, nothing was delivered; the tick stays unexamined so the
     /// messages remain reachable.
@@ -679,6 +681,17 @@ impl<S: ArrivalSource> Engine<S> {
             first_probe = false;
             self.controller.on_slot(ctx, &outcome);
             self.timeline.advance(now + report.dur);
+            // A delivered success happened *during* this slot, so it
+            // completes before the end-of-slot churn transitions: a
+            // station leaving at this exact boundary has already
+            // transmitted, and dropping its backlog first would strand
+            // a message the channel carried.
+            let delivered =
+                matches!(outcome, SlotOutcome::Success(_)) && report.delivered().is_some();
+            if delivered {
+                debug_assert_eq!(bufs.txs.len(), 1);
+                self.complete_transmission(bufs.txs[0], now, round_start, overhead, obs);
+            }
             self.churn_step(obs);
 
             match outcome {
@@ -718,10 +731,7 @@ impl<S: ArrivalSource> Engine<S> {
                     for s in &bufs.segments {
                         self.timeline.mark_examined(*s);
                     }
-                    if report.delivered().is_some() {
-                        debug_assert_eq!(bufs.txs.len(), 1);
-                        self.complete_transmission(bufs.txs[0], now, round_start, overhead, obs);
-                    } else {
+                    if !delivered {
                         // Phantom success (collision misread): all
                         // stations believe the window resolved, nothing
                         // was delivered. The colliding messages are
@@ -745,23 +755,8 @@ impl<S: ArrivalSource> Engine<S> {
                         }
                         None => {
                             // Sub-tick cluster: resolve by fair coins.
-                            match self.resolve_cluster(bufs, &mut overhead, obs) {
-                                ClusterEnd::Winner(winner) => {
-                                    let tx_start = self.timeline.now()
-                                        - self.medium.config().message_duration()
-                                        - if self.medium.config().guard {
-                                            self.medium.config().tau()
-                                        } else {
-                                            Dur::ZERO
-                                        };
-                                    self.complete_transmission(
-                                        winner,
-                                        tx_start,
-                                        round_start,
-                                        overhead,
-                                        obs,
-                                    );
-                                }
+                            match self.resolve_cluster(bufs, &mut overhead, round_start, obs) {
+                                ClusterEnd::Delivered => {}
                                 ClusterEnd::PhantomSuccess => {
                                     // Stations saw a success; the tick is
                                     // not marked examined, so the cluster
@@ -878,6 +873,7 @@ impl<S: ArrivalSource> Engine<S> {
         &mut self,
         bufs: &mut RoundScratch,
         overhead: &mut u64,
+        round_start: Time,
         obs: &mut dyn EngineObserver,
     ) -> ClusterEnd {
         // Slots wasted by injected faults during this resolution. Bounded
@@ -960,6 +956,29 @@ impl<S: ArrivalSource> Engine<S> {
             obs.on_probe(now, &[], &outcome, report.dur);
             self.controller.on_slot(SlotContext::Resolution, &outcome);
             self.timeline.advance(now + report.dur);
+            // As in the round loop: a delivered success completes
+            // before this slot's churn transitions can drop the
+            // winner's pending entry.
+            if matches!(outcome, SlotOutcome::Success(_)) {
+                if let Some(id) = report.delivered() {
+                    let winner = bufs
+                        .older
+                        .iter()
+                        .copied()
+                        .find(|m| m.id == id)
+                        .expect("delivered message came from the probed set");
+                    let tx_start = self.timeline.now()
+                        - self.medium.config().message_duration()
+                        - if self.medium.config().guard {
+                            self.medium.config().tau()
+                        } else {
+                            Dur::ZERO
+                        };
+                    self.complete_transmission(winner, tx_start, round_start, *overhead, obs);
+                    self.churn_step(obs);
+                    return ClusterEnd::Delivered;
+                }
+            }
             self.churn_step(obs);
             match outcome {
                 SlotOutcome::Idle => {
@@ -968,15 +987,6 @@ impl<S: ArrivalSource> Engine<S> {
                     *overhead += 1;
                 }
                 SlotOutcome::Success(_) => {
-                    if let Some(id) = report.delivered() {
-                        let winner = bufs
-                            .older
-                            .iter()
-                            .copied()
-                            .find(|m| m.id == id)
-                            .expect("delivered message came from the probed set");
-                        return ClusterEnd::Winner(winner);
-                    }
                     // Phantom success: every station believes the cluster
                     // resolved; nothing was delivered and the tick stays
                     // unexamined, so the messages remain reachable.

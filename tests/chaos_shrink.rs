@@ -1,0 +1,120 @@
+//! End-to-end tests of the chaos shrinker and its replay artifacts.
+
+use tcw_experiments::chaos::{inject_config, ChaosController, Mutation, BASE_SEED};
+use tcw_experiments::chaos_execute as execute;
+use tcw_experiments::{shrink, ChaosConfig, ChaosRecord};
+
+/// Shrinking a seeded violation preserves the failure, strictly reduces
+/// the config, and lands on a 1-minimal fixpoint: no single remaining
+/// candidate transformation still reproduces the violation.
+#[test]
+fn shrinker_minimizes_seeded_violation() {
+    let cfg = inject_config(Mutation::ReorderPair);
+    let out = execute(&cfg);
+    assert_eq!(out.kind, "violation");
+    assert_eq!(out.class, "fcfs");
+
+    let res = shrink(&cfg, &out.kind, &out.class);
+    let min_out = execute(&res.config);
+    assert_eq!(min_out.kind, "violation", "shrunk config lost the failure");
+    assert_eq!(min_out.class, "fcfs");
+    assert!(res.trials > 0);
+    assert!(res.steps.iter().any(|s| s.kept), "nothing was shrunk");
+
+    // Strictly smaller on at least one axis.
+    assert!(
+        res.config.horizon_ticks < cfg.horizon_ticks
+            || res.config.stations < cfg.stations
+            || res.config.segments.len() < cfg.segments.len()
+            || (cfg.adv_burst > 0 && res.config.adv_burst == 0),
+        "shrinker accepted nothing: {:?}",
+        res.config
+    );
+
+    // 1-minimality: every candidate applied to the fixpoint must lose
+    // the failure (this re-runs the shrinker's own final pass).
+    let again = shrink(&res.config, &out.kind, &out.class);
+    assert_eq!(
+        again.config, res.config,
+        "fixpoint not stable under re-shrinking"
+    );
+    assert!(
+        again.steps.iter().all(|s| !s.kept),
+        "a candidate still reproduced after the fixpoint"
+    );
+}
+
+/// The mutation is never shrunk away: it is the seeded failure cause.
+#[test]
+fn shrinker_keeps_the_mutation() {
+    let cfg = inject_config(Mutation::DropDelivery);
+    let out = execute(&cfg);
+    assert_eq!(out.kind, "violation");
+    let res = shrink(&cfg, &out.kind, &out.class);
+    assert_eq!(res.config.mutation, Mutation::DropDelivery);
+}
+
+/// Records round-trip exactly and replay reproduces bit-identically.
+#[test]
+fn record_roundtrip_and_replay_reproduce() {
+    let cfg = inject_config(Mutation::StaleClock);
+    let out = execute(&cfg);
+    let rec = ChaosRecord {
+        config: cfg,
+        kind: out.kind.clone(),
+        class: out.class.clone(),
+        detail: out.detail.clone(),
+    };
+    let parsed = ChaosRecord::from_json(&rec.to_json()).expect("roundtrip");
+    assert_eq!(parsed, rec);
+    let replayed = execute(&parsed.config);
+    assert_eq!(replayed.kind, rec.kind);
+    assert_eq!(replayed.class, rec.class);
+    assert_eq!(replayed.detail, rec.detail, "replay must be bit-identical");
+}
+
+/// Stale or foreign artifacts are rejected with an error, never a panic
+/// (the shared exit-2 convention depends on it).
+#[test]
+fn stale_or_foreign_artifacts_are_rejected() {
+    let rec = ChaosRecord {
+        config: ChaosConfig::sample(BASE_SEED, 1),
+        kind: "ok".to_string(),
+        class: String::new(),
+        detail: "d".to_string(),
+    };
+    let json = rec.to_json();
+    let stale = json.replacen("\"version\": \"", "\"version\": \"stale-", 1);
+    assert!(ChaosRecord::from_json(&stale).is_err());
+    assert!(ChaosRecord::from_json("{}").is_err());
+    assert!(ChaosRecord::from_json(&json.replace("\"chaos\"", "\"robustness\"")).is_err());
+    // Out-of-range parameters degrade to an error via ChaosConfig::check.
+    let bad = json.replace("\"stations\":", "\"stations_gone\":");
+    assert!(ChaosRecord::from_json(&bad).is_err());
+}
+
+/// A shrunk clean config stays clean: the shrinker predicate compares
+/// (kind, class), so shrinking an "ok" run is a no-op fixpoint search
+/// that never fabricates a failure.
+#[test]
+fn shrinking_a_clean_run_never_fabricates_failure() {
+    let cfg = ChaosConfig::sample(BASE_SEED, 2);
+    let out = execute(&cfg);
+    assert_eq!(out.kind, "ok");
+    let res = shrink(&cfg, &out.kind, &out.class);
+    let min_out = execute(&res.config);
+    assert_eq!(min_out.kind, "ok");
+}
+
+/// Candidate transformations preserve config validity (check() passes at
+/// every accepted step), including controller downgrades.
+#[test]
+fn shrunk_configs_stay_valid() {
+    let mut cfg = inject_config(Mutation::ReorderPair);
+    cfg.controller = ChaosController::Aimd;
+    let out = execute(&cfg);
+    if out.kind == "violation" {
+        let res = shrink(&cfg, &out.kind, &out.class);
+        res.config.check().expect("shrunk config valid");
+    }
+}
