@@ -13,7 +13,14 @@
 //!   a small cell grid at `--jobs 1` and at the host parallelism, plus
 //!   the resulting speedup. `host_parallelism` is recorded so the
 //!   speedup can be judged against the cores actually available (on a
-//!   single-core host the two rates coincide).
+//!   single-core host the two rates coincide);
+//! * **snapshot+restore round trips/sec** — the cost of one crash-safe
+//!   checkpoint: `Engine::snapshot()` on a warmed engine followed by
+//!   `Engine::restore()` into a freshly built one. Checkpointing is
+//!   opt-in and off the probe-slot hot path, so this is a capacity
+//!   number for supervisors, not a hot-path gate — the zero-overhead
+//!   claim for non-checkpointing runs rests on `allocs_per_slot` and
+//!   `steps_per_sec_clean` staying put.
 //!
 //! Pass `--quick` for the CI smoke mode (shorter horizon, fewer
 //! samples; the JSON fields keep the same meaning).
@@ -118,6 +125,30 @@ fn allocs_per_slot(horizon: u64) -> f64 {
     measured_allocs as f64 / measured_slots.max(1) as f64
 }
 
+/// Median snapshot+restore round trips per second on a warmed engine.
+/// Each round trip serializes the full engine state (arrival cursor,
+/// per-station windows, metrics, scratch buffers) and revives it in a
+/// freshly built engine, exactly what a supervisor pays per checkpoint.
+fn snapshot_restore_per_sec(samples: usize, horizon: u64) -> f64 {
+    let mut eng = build();
+    eng.run_until(Time::from_ticks(horizon / 4), &mut NoopObserver);
+    let rounds: u64 = 200;
+    let mut rates: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..rounds {
+                let words = eng.snapshot().expect("snapshot a warmed engine");
+                let mut fresh = build();
+                fresh.restore(&words).expect("restore a fresh snapshot");
+                std::hint::black_box(slots(&fresh));
+            }
+            rounds as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
+
 fn sweep_grid(cells: usize) -> Vec<Cell> {
     let settings = SimSettings {
         ticks_per_tau: 8,
@@ -178,10 +209,13 @@ fn main() {
         "engine/sweep_parallel_speedup     {speedup:>14.2} x ({parallel_jobs} workers available)"
     );
 
+    let snap = snapshot_restore_per_sec(samples, horizon);
+    println!("engine/snapshot_restore_per_sec   {snap:>14.0} round trips/s ({samples} samples)");
+
     // Flat JSON, manual formatting (the workspace has no serialization
     // dependency); CI parses it and compares against the committed copy.
     let json = format!(
-        "{{\n  \"engine_steps_per_sec_clean\": {steps:.0},\n  \"engine_allocs_per_slot\": {allocs:.4},\n  \"sweep_cells_per_sec_serial\": {serial:.3},\n  \"sweep_cells_per_sec_parallel\": {parallel:.3},\n  \"sweep_parallel_speedup\": {speedup:.3},\n  \"host_parallelism\": {parallel_jobs}\n}}\n"
+        "{{\n  \"engine_steps_per_sec_clean\": {steps:.0},\n  \"engine_allocs_per_slot\": {allocs:.4},\n  \"sweep_cells_per_sec_serial\": {serial:.3},\n  \"sweep_cells_per_sec_parallel\": {parallel:.3},\n  \"sweep_parallel_speedup\": {speedup:.3},\n  \"engine_snapshot_restore_per_sec\": {snap:.0},\n  \"host_parallelism\": {parallel_jobs}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");

@@ -264,6 +264,18 @@ impl WindowController for OracleController {
     fn window_ticks(&self) -> u64 {
         self.last
     }
+
+    fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        w.push(self.last);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<(), tcw_sim::snap::SnapError> {
+        self.last = r.take()?;
+        Ok(())
+    }
 }
 
 /// The element-(2) choice a cell runs under.

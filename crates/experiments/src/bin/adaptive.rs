@@ -26,6 +26,7 @@ use tcw_experiments::adaptive::{
 use tcw_experiments::diag;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
 use tcw_experiments::replay::panic_message;
+use tcw_experiments::supervise::{supervised_cells, SupervisorOptions};
 use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
 use tcw_experiments::{
     observe_engine_cell, write_observability, CellArtifacts, ObsConfig, SweepMeta,
@@ -98,6 +99,20 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
+    let (sup, args) = match SupervisorOptions::split_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("adaptive", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+        diag::error(
+            "adaptive",
+            "supervision flags are incompatible with --trace-events/--metrics",
+        );
+        std::process::exit(diag::EXIT_USAGE);
+    }
     if args.first().is_some_and(|a| a == "--replay") {
         let Some(path) = args.get(1) else {
             diag::error("adaptive", "--replay needs an artifact path");
@@ -141,34 +156,77 @@ fn main() {
                 .flat_map(move |&c| (0..REPLICATES).map(move |r| (s, c, r)))
         })
         .collect();
-    let tracing = obs.trace_events.is_some();
-    let metrics = obs.metrics.is_some();
-    let progress = obs
-        .progress
-        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
-    let outcomes: Vec<(Result<CellOutcome, String>, CellArtifacts)> =
-        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(s, c, r)| {
-            let label = format!("{} {} rep{r}", s.label(), c.label());
-            let s_l = s.label();
-            let c_l = c.label();
-            let r_s = format!("{r}");
-            let labels = [
-                ("scenario", s_l),
-                ("controller", c_l),
-                ("replicate", r_s.as_str()),
-            ];
-            catch_unwind(AssertUnwindSafe(|| {
-                observe_engine_cell(tracing, metrics, i, &label, &labels, |obs, sink| {
-                    run_cell(s, c, r, obs, sink)
-                })
-            }))
-            .map(|(out, art)| (Ok(out), art))
-            .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
-        });
-    if let Some(p) = &progress {
-        p.finish();
-    }
-    let (outcomes, cell_artifacts): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
+    let (outcomes, cell_artifacts): (Vec<Result<CellOutcome, String>>, Vec<CellArtifacts>) =
+        if let Some(sup) = &sup {
+            // Base seed, replicate count, deadline and grid size define the
+            // cells; any change invalidates a resume journal.
+            let fingerprint = tcw_sim::snap::checksum(&[
+                BASE_SEED,
+                REPLICATES,
+                tcw_experiments::adaptive::K_TICKS,
+                cells.len() as u64,
+            ]);
+            let sup_cells = cells.clone();
+            let points = supervised_cells(
+                "adaptive",
+                "adaptive",
+                cells.len(),
+                jobs,
+                sup,
+                obs.progress,
+                fingerprint,
+                |cell| {
+                    let (s, c, r) = cells[cell];
+                    format!(
+                        "{} {} rep{r} seed {}",
+                        s.label(),
+                        c.label(),
+                        stream_seed(BASE_SEED, r)
+                    )
+                },
+                move |i| {
+                    let (s, c, r) = sup_cells[i];
+                    observe_engine_cell(false, false, i, "", &[], |obs, sink| {
+                        run_cell(s, c, r, obs, sink)
+                    })
+                    .0
+                },
+            );
+            let n = points.len();
+            (
+                points.into_iter().map(Ok).collect(),
+                (0..n).map(|_| CellArtifacts::default()).collect(),
+            )
+        } else {
+            let tracing = obs.trace_events.is_some();
+            let metrics = obs.metrics.is_some();
+            let progress = obs
+                .progress
+                .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+            let outcomes: Vec<(Result<CellOutcome, String>, CellArtifacts)> =
+                run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(s, c, r)| {
+                    let label = format!("{} {} rep{r}", s.label(), c.label());
+                    let s_l = s.label();
+                    let c_l = c.label();
+                    let r_s = format!("{r}");
+                    let labels = [
+                        ("scenario", s_l),
+                        ("controller", c_l),
+                        ("replicate", r_s.as_str()),
+                    ];
+                    catch_unwind(AssertUnwindSafe(|| {
+                        observe_engine_cell(tracing, metrics, i, &label, &labels, |obs, sink| {
+                            run_cell(s, c, r, obs, sink)
+                        })
+                    }))
+                    .map(|(out, art)| (Ok(out), art))
+                    .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
+                });
+            if let Some(p) = &progress {
+                p.finish();
+            }
+            outcomes.into_iter().unzip()
+        };
 
     // Surface panics in deterministic cell order, writing the replay
     // artifact for the first one.

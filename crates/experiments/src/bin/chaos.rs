@@ -14,9 +14,15 @@
 //! chaos --inject MUTATION [PATH]  # seed a violation, shrink it, verify replay
 //! ```
 //!
+//! Crash-safe supervision (`--resume PATH`, `--cell-timeout SECS`,
+//! `--retries N`) journals completed cells and quarantines hopeless ones
+//! instead of aborting the sweep; `--inject-panic CELL` /
+//! `--inject-slow CELL` exist to exercise exactly that machinery from CI.
+//!
 //! `MUTATION` is one of `drop_delivery`, `reorder_pair`, `stale_clock`.
 //! Exit codes follow the shared convention: `0` clean, `1` usage,
-//! `2` failure (violation found, replay diverged, artifact stale).
+//! `2` failure (violation found, replay diverged, artifact stale,
+//! quarantined cells).
 
 use std::path::Path;
 use tcw_experiments::chaos::{
@@ -25,6 +31,7 @@ use tcw_experiments::chaos::{
 };
 use tcw_experiments::diag;
 use tcw_experiments::plot::write_csv;
+use tcw_experiments::supervise::{supervised_cells, SupervisorOptions};
 use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
 use tcw_experiments::{
     observe_engine_cell, write_observability, CellArtifacts, ObsConfig, SweepMeta,
@@ -135,6 +142,69 @@ fn inject_mode(args: &[String]) -> i32 {
     0
 }
 
+/// Parses `NAME CELL` out of `args`, removing both tokens.
+fn take_cell_flag(args: &mut Vec<String>, name: &str) -> Option<usize> {
+    let i = args.iter().position(|a| a == name)?;
+    let Some(v) = args.get(i + 1) else {
+        diag::error("chaos", &format!("{name} needs a cell index"));
+        std::process::exit(diag::EXIT_USAGE);
+    };
+    let cell = v.parse::<usize>().unwrap_or_else(|_| {
+        diag::error("chaos", &format!("bad {name} value {v:?}"));
+        std::process::exit(diag::EXIT_USAGE);
+    });
+    args.drain(i..=i + 1);
+    Some(cell)
+}
+
+/// Runs the sweep under the crash-safe supervisor: journaled cells are
+/// skipped, failures retried then quarantined. Exits with
+/// [`diag::EXIT_FAILURE`] (outputs unwritten, journal intact) when any
+/// cell is quarantined, so a later `--resume` run can finish the sweep
+/// byte-identically.
+fn supervised_outcomes(
+    configs: usize,
+    jobs: usize,
+    sup: &SupervisorOptions,
+    show_progress: bool,
+    inject_panic: Option<usize>,
+    inject_slow: Option<usize>,
+) -> Vec<(ChaosConfig, ChaosOutcome, CellArtifacts)> {
+    // The fingerprint covers everything that defines the cell grid; the
+    // inject flags are deliberately excluded so a clean resume can reuse
+    // the journal of an injected (crashed) run.
+    let fingerprint = tcw_sim::snap::checksum(&[BASE_SEED, configs as u64]);
+    supervised_cells(
+        "chaos",
+        "chaos",
+        configs,
+        jobs,
+        sup,
+        show_progress,
+        fingerprint,
+        |cell| format!("seed {}", ChaosConfig::sample(BASE_SEED, cell as u64).seed),
+        move |i| {
+            if inject_panic == Some(i) {
+                panic!("injected panic in cell {i}");
+            }
+            if inject_slow == Some(i) {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+            execute(&ChaosConfig::sample(BASE_SEED, i as u64))
+        },
+    )
+    .into_iter()
+    .enumerate()
+    .map(|(i, out)| {
+        (
+            ChaosConfig::sample(BASE_SEED, i as u64),
+            out,
+            CellArtifacts::default(),
+        )
+    })
+    .collect()
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (obs, args) = match ObsConfig::split_args(&raw) {
@@ -144,6 +214,29 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
+    let (sup, mut args) = match SupervisorOptions::split_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("chaos", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+        diag::error(
+            "chaos",
+            "supervision flags are incompatible with --trace-events/--metrics",
+        );
+        std::process::exit(diag::EXIT_USAGE);
+    }
+    let inject_panic = take_cell_flag(&mut args, "--inject-panic");
+    let inject_slow = take_cell_flag(&mut args, "--inject-slow");
+    if (inject_panic.is_some() || inject_slow.is_some()) && sup.is_none() {
+        diag::error(
+            "chaos",
+            "--inject-panic/--inject-slow need a supervision flag (--resume/--cell-timeout/--retries)",
+        );
+        std::process::exit(diag::EXIT_USAGE);
+    }
     if args.first().is_some_and(|a| a == "--replay") {
         let Some(path) = args.get(1) else {
             diag::error("chaos", "--replay needs an artifact path");
@@ -174,14 +267,16 @@ fn main() {
          invariant monitor on, base seed {BASE_SEED:#x}\n"
     );
 
-    let cells: Vec<u64> = (0..configs as u64).collect();
-    let tracing = obs.trace_events.is_some();
-    let metrics = obs.metrics.is_some();
-    let progress = obs
-        .progress
-        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
-    let outcomes: Vec<(ChaosConfig, ChaosOutcome, CellArtifacts)> =
-        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &index| {
+    let outcomes: Vec<(ChaosConfig, ChaosOutcome, CellArtifacts)> = if let Some(sup) = &sup {
+        supervised_outcomes(configs, jobs, sup, obs.progress, inject_panic, inject_slow)
+    } else {
+        let cells: Vec<u64> = (0..configs as u64).collect();
+        let tracing = obs.trace_events.is_some();
+        let metrics = obs.metrics.is_some();
+        let progress = obs
+            .progress
+            .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+        let outcomes = run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &index| {
             let cfg = ChaosConfig::sample(BASE_SEED, index);
             let label = format!("config {index} ({})", cfg.controller.label());
             let idx_s = format!("{index}");
@@ -200,15 +295,18 @@ fn main() {
                 (cfg, out, CellArtifacts::default())
             }
         });
-    if let Some(p) = &progress {
-        p.finish();
-    }
+        if let Some(p) = &progress {
+            p.finish();
+        }
+        outcomes
+    };
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut report = String::new();
     let mut failures: Vec<(u64, ChaosConfig, ChaosOutcome)> = Vec::new();
     let mut kind_counts = [0u64; 4];
-    for (&index, (cfg, out, _art)) in cells.iter().zip(&outcomes) {
+    for (i, (cfg, out, _art)) in outcomes.iter().enumerate() {
+        let index = i as u64;
         let kind_idx = match out.kind.as_str() {
             "ok" => 0,
             "violation" => 1,

@@ -25,6 +25,7 @@ use tcw_experiments::diag;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
 use tcw_experiments::replay::{execute, panic_message, replay, FailureRecord};
 use tcw_experiments::runner::{ChurnSimPoint, PolicyKind, SimSettings};
+use tcw_experiments::supervise::{supervised_cells, SupervisorOptions};
 use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
 use tcw_experiments::{
     observed_cell, write_observability, CellArtifacts, ObsConfig, Panel, SweepMeta,
@@ -84,6 +85,20 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
+    let (sup, args) = match SupervisorOptions::split_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("churn", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+        diag::error(
+            "churn",
+            "supervision flags are incompatible with --trace-events/--metrics",
+        );
+        std::process::exit(diag::EXIT_USAGE);
+    }
     if args.first().is_some_and(|a| a == "--replay") {
         let Some(path) = args.get(1) else {
             diag::error("churn", "--replay needs an artifact path");
@@ -109,41 +124,88 @@ fn main() {
         .iter()
         .flat_map(|&rho| CRASH_RATES.iter().map(move |&c| (rho, c)))
         .collect();
-    let tracing = obs.trace_events.is_some();
-    let metrics = obs.metrics.is_some();
-    let progress = obs
-        .progress
-        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
-    let outcomes: Vec<(Result<ChurnSimPoint, String>, CellArtifacts)> =
-        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(rho, c)| {
-            let rec = base_record(rho, sweep_plan(c));
-            let label = format!("rho={rho:.2} crash={c:.4}");
-            let rho_s = format!("{rho}");
-            let c_s = format!("{c}");
-            let labels = [("rho", rho_s.as_str()), ("crash_rate", c_s.as_str())];
-            catch_unwind(AssertUnwindSafe(|| {
-                observed_cell(
-                    tracing,
-                    metrics,
-                    i,
-                    &label,
-                    &labels,
-                    rec.panel,
-                    rec.policy,
-                    rec.k_tau,
-                    rec.settings,
-                    rec.seed,
-                    rec.plan,
-                    rec.churn,
-                )
-            }))
-            .map(|(csp, art)| (Ok(csp), art))
-            .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
-        });
-    if let Some(p) = &progress {
-        p.finish();
-    }
-    let (outcomes, cell_artifacts): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
+    let (outcomes, cell_artifacts): (Vec<Result<ChurnSimPoint, String>>, Vec<CellArtifacts>) =
+        if let Some(sup) = &sup {
+            // The seed, panel shape and grid size define the cells; any
+            // change to them invalidates a resume journal.
+            let fingerprint = tcw_sim::snap::checksum(&[
+                SEED,
+                M,
+                K_TAU.to_bits(),
+                DOWN_SLOTS,
+                CATCH_UP_SLOTS,
+                cells.len() as u64,
+            ]);
+            let points = supervised_cells(
+                "churn",
+                "churn",
+                cells.len(),
+                jobs,
+                sup,
+                obs.progress,
+                fingerprint,
+                |cell| {
+                    let rho = LOADS[cell / CRASH_RATES.len()];
+                    let c = CRASH_RATES[cell % CRASH_RATES.len()];
+                    format!("rho'={rho:.2} crash={c:.4} seed {SEED}")
+                },
+                |i| {
+                    let rho = LOADS[i / CRASH_RATES.len()];
+                    let c = CRASH_RATES[i % CRASH_RATES.len()];
+                    let rec = base_record(rho, sweep_plan(c));
+                    tcw_experiments::runner::simulate_churn(
+                        rec.panel,
+                        rec.policy,
+                        rec.k_tau,
+                        rec.settings,
+                        rec.seed,
+                        rec.plan,
+                        rec.churn,
+                    )
+                },
+            );
+            let n = points.len();
+            (
+                points.into_iter().map(Ok).collect(),
+                (0..n).map(|_| CellArtifacts::default()).collect(),
+            )
+        } else {
+            let tracing = obs.trace_events.is_some();
+            let metrics = obs.metrics.is_some();
+            let progress = obs
+                .progress
+                .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+            let outcomes: Vec<(Result<ChurnSimPoint, String>, CellArtifacts)> =
+                run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(rho, c)| {
+                    let rec = base_record(rho, sweep_plan(c));
+                    let label = format!("rho={rho:.2} crash={c:.4}");
+                    let rho_s = format!("{rho}");
+                    let c_s = format!("{c}");
+                    let labels = [("rho", rho_s.as_str()), ("crash_rate", c_s.as_str())];
+                    catch_unwind(AssertUnwindSafe(|| {
+                        observed_cell(
+                            tracing,
+                            metrics,
+                            i,
+                            &label,
+                            &labels,
+                            rec.panel,
+                            rec.policy,
+                            rec.k_tau,
+                            rec.settings,
+                            rec.seed,
+                            rec.plan,
+                            rec.churn,
+                        )
+                    }))
+                    .map(|(csp, art)| (Ok(csp), art))
+                    .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
+                });
+            if let Some(p) = &progress {
+                p.finish();
+            }
+            outcomes.into_iter().unzip()
+        };
 
     let mut outcome_iter = outcomes.into_iter();
     for (li, &rho) in LOADS.iter().enumerate() {

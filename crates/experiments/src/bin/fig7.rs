@@ -25,6 +25,7 @@
 use std::path::{Path, PathBuf};
 use tcw_experiments::diag;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
+use tcw_experiments::supervise::{supervised_cells, SupervisorOptions};
 use tcw_experiments::sweep::run_parallel_with_progress;
 use tcw_experiments::{
     observed_cell, write_observability, CellArtifacts, ObsConfig, Panel, PolicyKind, SimPoint,
@@ -46,6 +47,7 @@ struct PanelResult {
 
 /// One simulated point of the Figure-7 grid, fully specified (the seed
 /// mixes the panel salt and K exactly like the historical serial loop).
+#[derive(Clone, Copy)]
 struct Job {
     panel: Panel,
     kind: PolicyKind,
@@ -69,6 +71,7 @@ fn run_panels(
     seed: u64,
     jobs: usize,
     obs: &ObsConfig,
+    sup: Option<&SupervisorOptions>,
 ) -> (Vec<PanelResult>, Vec<CellArtifacts>) {
     let mut cells = Vec::new();
     for &panel in panels {
@@ -83,47 +86,99 @@ fn run_panels(
             }
         }
     }
-    let tracing = obs.trace_events.is_some();
-    let metrics = obs.metrics.is_some();
-    let progress = obs
-        .progress
-        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
-    let outcomes = run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, j| {
-        let id = j.panel.id();
-        let label = format!("{id} {} K={}", j.kind.label(), j.k);
-        let k = format!("{}", j.k);
-        let seed_str = format!("{}", j.seed);
-        let labels = [
-            ("panel", id.as_str()),
-            ("policy", j.kind.label()),
-            ("k", k.as_str()),
-            ("seed", seed_str.as_str()),
+    let (points, artifacts): (Vec<SimPoint>, Vec<CellArtifacts>) = if let Some(sup) = sup {
+        // The settings plus every job's full specification define the
+        // grid; any change invalidates a resume journal. The per-job seed
+        // already mixes in the policy salt, so the policy is covered.
+        let mut words = vec![
+            settings.ticks_per_tau,
+            settings.messages,
+            settings.warmup,
+            u64::from(settings.stations),
+            u64::from(settings.guard),
         ];
-        let (p, art) = observed_cell(
-            tracing,
-            metrics,
-            i,
-            &label,
-            &labels,
-            j.panel,
-            j.kind,
-            j.k,
-            settings,
-            j.seed,
-            FaultPlan::none(),
-            ChurnPlan::none(),
+        for j in &cells {
+            words.extend([
+                j.panel.rho_prime.to_bits(),
+                j.panel.m,
+                j.k.to_bits(),
+                j.seed,
+            ]);
+        }
+        let fingerprint = tcw_sim::snap::checksum(&words);
+        let sup_jobs = cells.clone();
+        let points = supervised_cells(
+            "fig7",
+            "fig7",
+            cells.len(),
+            jobs,
+            sup,
+            obs.progress,
+            fingerprint,
+            |cell| {
+                let j = &cells[cell];
+                format!(
+                    "{} {} K={} seed {}",
+                    j.panel.id(),
+                    j.kind.label(),
+                    j.k,
+                    j.seed
+                )
+            },
+            move |i| {
+                let j = sup_jobs[i];
+                tcw_experiments::runner::simulate_churn(
+                    j.panel,
+                    j.kind,
+                    j.k,
+                    settings,
+                    j.seed,
+                    FaultPlan::none(),
+                    ChurnPlan::none(),
+                )
+                .point
+            },
         );
-        (p.point, art)
-    });
-    if let Some(p) = &progress {
-        p.finish();
-    }
-    let mut points = Vec::with_capacity(outcomes.len());
-    let mut artifacts = Vec::with_capacity(outcomes.len());
-    for (p, art) in outcomes {
-        points.push(p);
-        artifacts.push(art);
-    }
+        let n = points.len();
+        (points, (0..n).map(|_| CellArtifacts::default()).collect())
+    } else {
+        let tracing = obs.trace_events.is_some();
+        let metrics = obs.metrics.is_some();
+        let progress = obs
+            .progress
+            .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+        let outcomes = run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, j| {
+            let id = j.panel.id();
+            let label = format!("{id} {} K={}", j.kind.label(), j.k);
+            let k = format!("{}", j.k);
+            let seed_str = format!("{}", j.seed);
+            let labels = [
+                ("panel", id.as_str()),
+                ("policy", j.kind.label()),
+                ("k", k.as_str()),
+                ("seed", seed_str.as_str()),
+            ];
+            let (p, art) = observed_cell(
+                tracing,
+                metrics,
+                i,
+                &label,
+                &labels,
+                j.panel,
+                j.kind,
+                j.k,
+                settings,
+                j.seed,
+                FaultPlan::none(),
+                ChurnPlan::none(),
+            );
+            (p.point, art)
+        });
+        if let Some(p) = &progress {
+            p.finish();
+        }
+        outcomes.into_iter().unzip()
+    };
 
     let mut results = Vec::new();
     let mut cursor = points.into_iter();
@@ -375,6 +430,20 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
+    let (sup, args) = match SupervisorOptions::split_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("fig7", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+        diag::error(
+            "fig7",
+            "supervision flags are incompatible with --trace-events/--metrics",
+        );
+        std::process::exit(diag::EXIT_USAGE);
+    }
     if args.iter().any(|a| a == "--obs-cell") {
         std::process::exit(run_obs_cell(&obs));
     }
@@ -403,7 +472,7 @@ fn main() {
         .into_iter()
         .filter(|panel| panel_filter.is_empty() || panel_filter.iter().any(|f| **f == panel.id()))
         .collect();
-    let (results, artifacts) = run_panels(&panels, settings, 42, jobs, &obs);
+    let (results, artifacts) = run_panels(&panels, settings, 42, jobs, &obs, sup.as_ref());
     for result in &results {
         emit(result, &out_dir);
     }

@@ -24,6 +24,7 @@ use tcw_experiments::diag;
 use tcw_experiments::plot::{ascii_plot, write_csv, Series};
 use tcw_experiments::replay::{execute, panic_message, replay, FailureRecord};
 use tcw_experiments::runner::{FaultSimPoint, PolicyKind, SimSettings};
+use tcw_experiments::supervise::{supervised_cells, SupervisorOptions};
 use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
 use tcw_experiments::{
     observed_cell, write_observability, CellArtifacts, ObsConfig, Panel, SweepMeta,
@@ -88,6 +89,20 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
+    let (sup, args) = match SupervisorOptions::split_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            diag::error("robustness", &e);
+            std::process::exit(diag::EXIT_USAGE);
+        }
+    };
+    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+        diag::error(
+            "robustness",
+            "supervision flags are incompatible with --trace-events/--metrics",
+        );
+        std::process::exit(diag::EXIT_USAGE);
+    }
     if args.first().is_some_and(|a| a == "--replay") {
         let Some(path) = args.get(1) else {
             diag::error("robustness", "--replay needs an artifact path");
@@ -114,48 +129,93 @@ fn main() {
         .iter()
         .flat_map(|&rho| FAULT_PROBS.iter().map(move |&p| (rho, p)))
         .collect();
-    let tracing = obs.trace_events.is_some();
-    let metrics = obs.metrics.is_some();
-    let progress = obs
-        .progress
-        .then(|| tcw_obs::Progress::new(cells.len(), jobs));
-    let outcomes: Vec<(Result<FaultSimPoint, String>, CellArtifacts)> =
-        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(rho, p)| {
-            let rec = base_record(rho, FaultPlan::uniform(p));
-            let label = format!("rho={rho:.2} p={p:.2}");
-            let rho_s = format!("{rho}");
-            let p_s = format!("{p}");
-            let labels = [("rho", rho_s.as_str()), ("fault_prob", p_s.as_str())];
-            catch_unwind(AssertUnwindSafe(|| {
-                let (point, art) = observed_cell(
-                    tracing,
-                    metrics,
-                    i,
-                    &label,
-                    &labels,
-                    rec.panel,
-                    rec.policy,
-                    rec.k_tau,
-                    rec.settings,
-                    rec.seed,
-                    rec.plan,
-                    ChurnPlan::none(),
-                );
-                (
+    let (outcomes, cell_artifacts): (Vec<Result<FaultSimPoint, String>>, Vec<CellArtifacts>) =
+        if let Some(sup) = &sup {
+            // The seed, panel shape and grid size define the cells; any
+            // change to them invalidates a resume journal.
+            let fingerprint =
+                tcw_sim::snap::checksum(&[SEED, M, K_TAU.to_bits(), cells.len() as u64]);
+            let points = supervised_cells(
+                "robustness",
+                "robustness",
+                cells.len(),
+                jobs,
+                sup,
+                obs.progress,
+                fingerprint,
+                |cell| {
+                    let rho = LOADS[cell / FAULT_PROBS.len()];
+                    let p = FAULT_PROBS[cell % FAULT_PROBS.len()];
+                    format!("rho'={rho:.2} p={p:.2} seed {SEED}")
+                },
+                |i| {
+                    let rho = LOADS[i / FAULT_PROBS.len()];
+                    let p = FAULT_PROBS[i % FAULT_PROBS.len()];
+                    let rec = base_record(rho, FaultPlan::uniform(p));
+                    let point = tcw_experiments::runner::simulate_churn(
+                        rec.panel,
+                        rec.policy,
+                        rec.k_tau,
+                        rec.settings,
+                        rec.seed,
+                        rec.plan,
+                        ChurnPlan::none(),
+                    );
                     FaultSimPoint {
                         point: point.point,
                         faults: point.faults,
-                    },
-                    art,
-                )
-            }))
-            .map(|(fsp, art)| (Ok(fsp), art))
-            .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
-        });
-    if let Some(p) = &progress {
-        p.finish();
-    }
-    let (outcomes, cell_artifacts): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
+                    }
+                },
+            );
+            let n = points.len();
+            (
+                points.into_iter().map(Ok).collect(),
+                (0..n).map(|_| CellArtifacts::default()).collect(),
+            )
+        } else {
+            let tracing = obs.trace_events.is_some();
+            let metrics = obs.metrics.is_some();
+            let progress = obs
+                .progress
+                .then(|| tcw_obs::Progress::new(cells.len(), jobs));
+            let outcomes: Vec<(Result<FaultSimPoint, String>, CellArtifacts)> =
+                run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, &(rho, p)| {
+                    let rec = base_record(rho, FaultPlan::uniform(p));
+                    let label = format!("rho={rho:.2} p={p:.2}");
+                    let rho_s = format!("{rho}");
+                    let p_s = format!("{p}");
+                    let labels = [("rho", rho_s.as_str()), ("fault_prob", p_s.as_str())];
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let (point, art) = observed_cell(
+                            tracing,
+                            metrics,
+                            i,
+                            &label,
+                            &labels,
+                            rec.panel,
+                            rec.policy,
+                            rec.k_tau,
+                            rec.settings,
+                            rec.seed,
+                            rec.plan,
+                            ChurnPlan::none(),
+                        );
+                        (
+                            FaultSimPoint {
+                                point: point.point,
+                                faults: point.faults,
+                            },
+                            art,
+                        )
+                    }))
+                    .map(|(fsp, art)| (Ok(fsp), art))
+                    .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
+                });
+            if let Some(p) = &progress {
+                p.finish();
+            }
+            outcomes.into_iter().unzip()
+        };
 
     let mut outcome_iter = outcomes.into_iter();
     for (li, &rho) in LOADS.iter().enumerate() {

@@ -38,6 +38,7 @@ pub mod panels;
 pub mod plot;
 pub mod replay;
 pub mod runner;
+pub mod supervise;
 pub mod sweep;
 
 pub use chaos::{
@@ -52,5 +53,10 @@ pub use replay::FailureRecord;
 pub use runner::{
     simulate_panel, simulate_panel_faulty, simulate_with_detector, DetectorReport, FaultCounters,
     FaultSimPoint, PolicyKind, SimPoint, SimSettings,
+};
+pub use supervise::{
+    load_engine_snapshot, run_supervised, save_engine_snapshot, snapshot_from_artifact,
+    snapshot_to_artifact, supervised_cells, Journal, JournalItem, Quarantined, SupervisorOptions,
+    SweepOutcome,
 };
 pub use sweep::{jobs_from_args, run_parallel, run_parallel_with_progress, Cell};

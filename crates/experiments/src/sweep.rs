@@ -24,8 +24,10 @@
 //! Binaries expose the pool width as `--jobs N` (parsed by
 //! [`jobs_from_args`]; default: available parallelism).
 
+use crate::replay::panic_message;
 use crate::runner::{simulate_churn, ChurnSimPoint, PolicyKind, SimSettings};
 use crate::Panel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -88,17 +90,29 @@ impl Cell {
 }
 
 /// Runs every cell and reassembles the results in cell order.
+///
+/// A panicking cell aborts the sweep with a message naming both the
+/// cell index and its master seed, so the failure can be replayed
+/// without guessing which grid point died.
 pub fn run_cells(cells: &[Cell], jobs: usize) -> Vec<ChurnSimPoint> {
-    run_parallel(cells, jobs, |_, c| c.run())
+    run_parallel(cells, jobs, |_, c| {
+        catch_unwind(AssertUnwindSafe(|| c.run()))
+            .unwrap_or_else(|e| panic!("cell with seed {} panicked: {}", c.seed, panic_message(e)))
+    })
 }
 
 /// Executes `f` over `items` on `jobs` worker threads (work-stealing via
 /// a shared index counter) and returns the results **in item order**.
 ///
 /// `f` receives `(index, &item)`. With `jobs <= 1` the items run inline
-/// on the calling thread in order, with no thread machinery at all. A
-/// panic inside `f` propagates to the caller in both modes (callers
-/// that must survive cell panics wrap `f`'s body in `catch_unwind`).
+/// on the calling thread in order, with no thread machinery at all.
+///
+/// A panic inside `f` is contained by the executor in both modes: the
+/// worker that hit it keeps draining the remaining cells, and once the
+/// sweep ends the caller's thread panics with the **lowest failing cell
+/// index** and the original panic message. A panicking cell can
+/// therefore never wedge or silently kill the pool (callers that must
+/// survive cell panics still wrap `f`'s body in `catch_unwind`).
 pub fn run_parallel<I, T, F>(items: &[I], jobs: usize, f: F) -> Vec<T>
 where
     I: Sync,
@@ -136,7 +150,8 @@ where
                 if let Some(p) = progress {
                     p.cell_started(0, i);
                 }
-                let r = f(i, it);
+                let r = catch_unwind(AssertUnwindSafe(|| f(i, it)))
+                    .unwrap_or_else(|e| panic!("sweep cell {i} panicked: {}", panic_message(e)));
                 if let Some(p) = progress {
                     p.cell_done(0);
                     p.tick();
@@ -155,7 +170,7 @@ where
             self.0.fetch_sub(1, Ordering::Relaxed);
         }
     }
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
     std::thread::scope(|s| {
         for w in 0..jobs {
             let tx = tx.clone();
@@ -172,7 +187,10 @@ where
                     if let Some(p) = progress {
                         p.cell_started(w, i);
                     }
-                    let r = f(i, &items[i]);
+                    // Contain a cell panic inside the worker: the pool
+                    // keeps draining the grid and the failure is re-raised
+                    // with its cell index after reassembly.
+                    let r = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
                     if let Some(p) = progress {
                         p.cell_done(w);
                     }
@@ -195,13 +213,17 @@ where
         }
         drop(tx);
     });
-    let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
+    let mut out: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     for (i, r) in rx {
         out[i] = Some(r);
     }
     out.into_iter()
-        .map(|o| o.expect("every cell index was claimed by exactly one worker"))
+        .enumerate()
+        .map(|(i, o)| {
+            o.expect("every cell index was claimed by exactly one worker")
+                .unwrap_or_else(|e| panic!("sweep cell {i} panicked: {}", panic_message(e)))
+        })
         .collect()
 }
 
@@ -266,6 +288,72 @@ mod tests {
         assert_eq!(jobs_from_args(&args(&["--quick", "--jobs", "3"])), 3);
         assert_eq!(jobs_from_args(&args(&["--jobs=7"])), 7);
         assert_eq!(jobs_from_args(&args(&["--quick"])), default_jobs());
+    }
+
+    #[test]
+    fn panicking_cell_surfaces_its_index_in_both_modes() {
+        for jobs in [1usize, 4] {
+            let items: Vec<u64> = (0..16).collect();
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                run_parallel(&items, jobs, |i, x| {
+                    if i == 7 {
+                        panic!("boom at {x}");
+                    }
+                    *x
+                })
+            }))
+            .expect_err("cell 7 must abort the sweep");
+            let msg = panic_message(err);
+            assert!(msg.contains("sweep cell 7"), "jobs={jobs}: {msg}");
+            assert!(msg.contains("boom at 7"), "jobs={jobs}: {msg}");
+        }
+    }
+
+    #[test]
+    fn panicking_cell_does_not_kill_the_worker_pool() {
+        // With one worker and an early panicking cell, the same worker
+        // must still drain every later cell before the failure surfaces.
+        let items: Vec<u64> = (0..8).collect();
+        let seen = AtomicUsize::new(0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_parallel(&items, 2, |i, x| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    panic!("first cell dies");
+                }
+                *x
+            })
+        }))
+        .expect_err("sweep re-raises the contained panic");
+        assert!(panic_message(err).contains("sweep cell 0"));
+        assert_eq!(seen.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn panicking_run_cells_names_the_seed() {
+        let settings = SimSettings {
+            messages: 10,
+            warmup: 0,
+            ticks_per_tau: 8,
+            ..Default::default()
+        };
+        // A negative rho' yields a non-positive Poisson rate, which the
+        // arrival source asserts on — a deterministic in-cell panic.
+        let bad = Panel {
+            rho_prime: -1.0,
+            m: 25,
+        };
+        let cells = vec![Cell::clean(
+            bad,
+            PolicyKind::Controlled,
+            100.0,
+            settings,
+            4242,
+        )];
+        let err = catch_unwind(AssertUnwindSafe(|| run_cells(&cells, 1)))
+            .expect_err("invalid panel must panic");
+        let msg = panic_message(err);
+        assert!(msg.contains("seed 4242"), "{msg}");
     }
 
     #[test]

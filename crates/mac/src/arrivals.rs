@@ -2,6 +2,7 @@
 
 use crate::message::StationId;
 use tcw_sim::rng::Rng;
+use tcw_sim::snap::SnapError;
 use tcw_sim::time::{Dur, Time};
 
 /// One message arrival: when, and at which station.
@@ -20,6 +21,24 @@ pub struct Arrival {
 pub trait ArrivalSource {
     /// Produces the next arrival, or `None` when the source is exhausted.
     fn next_arrival(&mut self, rng: &mut Rng) -> Option<Arrival>;
+
+    /// Captures the source's mutable cursor for an engine checkpoint, or
+    /// `None` when the source kind does not support checkpointing (the
+    /// engine then refuses to snapshot rather than silently skewing the
+    /// arrival stream on restore). Configuration — rates, schedules, trace
+    /// contents — is *not* captured: a restore target must be built from
+    /// the same configuration.
+    fn save_cursor(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restores a cursor captured by [`ArrivalSource::save_cursor`] on a
+    /// source built from the same configuration.
+    fn load_cursor(&mut self, _words: &[u64]) -> Result<(), SnapError> {
+        Err(SnapError::new(
+            "arrival source does not support checkpointing",
+        ))
+    }
 }
 
 /// Aggregate Poisson arrivals at rate `lambda` (messages per tick),
@@ -72,6 +91,20 @@ impl ArrivalSource for PoissonArrivals {
             time: Time::from_ticks(self.clock as u64),
             station,
         })
+    }
+
+    fn save_cursor(&self) -> Option<Vec<u64>> {
+        Some(vec![self.clock.to_bits()])
+    }
+
+    fn load_cursor(&mut self, words: &[u64]) -> Result<(), SnapError> {
+        match words {
+            [clock] => {
+                self.clock = f64::from_bits(*clock);
+                Ok(())
+            }
+            _ => Err(SnapError::new("malformed Poisson cursor")),
+        }
     }
 }
 
@@ -250,6 +283,25 @@ impl ArrivalSource for PiecewiseArrivals {
             station,
         })
     }
+
+    fn save_cursor(&self) -> Option<Vec<u64>> {
+        Some(vec![self.clock.to_bits(), self.seg as u64])
+    }
+
+    fn load_cursor(&mut self, words: &[u64]) -> Result<(), SnapError> {
+        match words {
+            [clock, seg] => {
+                let seg = usize::try_from(*seg)
+                    .ok()
+                    .filter(|&s| s < self.steps.len())
+                    .ok_or_else(|| SnapError::new("piecewise cursor segment out of range"))?;
+                self.clock = f64::from_bits(*clock);
+                self.seg = seg;
+                Ok(())
+            }
+            _ => Err(SnapError::new("malformed piecewise cursor")),
+        }
+    }
 }
 
 /// A deterministic, finite arrival trace — used for unit tests and for the
@@ -294,6 +346,23 @@ impl ArrivalSource for TraceArrivals {
             self.next += 1;
         }
         a
+    }
+
+    fn save_cursor(&self) -> Option<Vec<u64>> {
+        Some(vec![self.next as u64])
+    }
+
+    fn load_cursor(&mut self, words: &[u64]) -> Result<(), SnapError> {
+        match words {
+            [next] => {
+                self.next = usize::try_from(*next)
+                    .ok()
+                    .filter(|&n| n <= self.arrivals.len())
+                    .ok_or_else(|| SnapError::new("trace cursor out of range"))?;
+                Ok(())
+            }
+            _ => Err(SnapError::new("malformed trace cursor")),
+        }
     }
 }
 

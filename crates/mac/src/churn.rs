@@ -365,6 +365,102 @@ impl ChurnProcess {
     }
 }
 
+impl ChurnProcess {
+    /// Serializes the full membership state (plan, RNG position, per-station
+    /// states, leave schedule, slot clock, event counters) for an engine
+    /// checkpoint.
+    pub fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        w.push_f64(self.plan.crash);
+        w.push(self.plan.down_slots);
+        w.push_f64(self.plan.late_join_frac);
+        w.push(self.plan.join_slot);
+        w.push_f64(self.plan.leave_frac);
+        w.push(self.plan.leave_slot);
+        w.push(self.plan.catch_up_slots);
+        w.push(self.plan.outage_start_slot);
+        w.push(self.plan.outage_slots);
+        for s in self.rng.state() {
+            w.push(s);
+        }
+        w.push_usize(self.state.len());
+        for m in &self.state {
+            // Fixed two words per member: discriminant + payload.
+            let (tag, payload) = match m {
+                MemberState::Up => (0u64, 0u64),
+                MemberState::Down { remaining } => (1, *remaining),
+                MemberState::Absent => (2, 0),
+                MemberState::Left => (3, 0),
+            };
+            w.push(tag);
+            w.push(payload);
+        }
+        for &l in &self.leave_at {
+            w.push(l);
+        }
+        w.push(self.slot);
+        w.push(self.crashes);
+        w.push(self.restarts);
+        w.push(self.joins);
+        w.push(self.leaves);
+    }
+
+    /// Rebuilds a process from checkpoint state written by
+    /// [`ChurnProcess::save_state`].
+    pub fn load_state(
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, tcw_sim::snap::SnapError> {
+        let plan = ChurnPlan {
+            crash: r.take_f64()?,
+            down_slots: r.take()?,
+            late_join_frac: r.take_f64()?,
+            join_slot: r.take()?,
+            leave_frac: r.take_f64()?,
+            leave_slot: r.take()?,
+            catch_up_slots: r.take()?,
+            outage_start_slot: r.take()?,
+            outage_slots: r.take()?,
+        };
+        plan.check().map_err(tcw_sim::snap::SnapError::new)?;
+        let mut s = [0u64; 4];
+        for x in s.iter_mut() {
+            *x = r.take()?;
+        }
+        let rng = Rng::from_state(s);
+        let n = r.take_len()?;
+        let mut state = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = r.take()?;
+            let payload = r.take()?;
+            state.push(match tag {
+                0 => MemberState::Up,
+                1 => MemberState::Down { remaining: payload },
+                2 => MemberState::Absent,
+                3 => MemberState::Left,
+                t => {
+                    return Err(tcw_sim::snap::SnapError::new(format!(
+                        "invalid member-state tag {t}"
+                    )))
+                }
+            });
+        }
+        let mut leave_at = Vec::with_capacity(n);
+        for _ in 0..n {
+            leave_at.push(r.take()?);
+        }
+        Ok(ChurnProcess {
+            plan,
+            rng,
+            state,
+            leave_at,
+            slot: r.take()?,
+            crashes: r.take()?,
+            restarts: r.take()?,
+            joins: r.take()?,
+            leaves: r.take()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -322,6 +322,48 @@ impl FaultyMedium {
     }
 }
 
+impl FaultyMedium {
+    /// Serializes the medium's mutable state (plan + injection RNG) for an
+    /// engine checkpoint. The wrapped channel config is *not* captured: a
+    /// restore target must be built over the same configuration.
+    pub fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        w.push_f64(self.plan.success_to_collision);
+        w.push_f64(self.plan.collision_to_success);
+        w.push_f64(self.plan.collision_to_idle);
+        w.push_f64(self.plan.idle_to_collision);
+        w.push_f64(self.plan.erasure);
+        w.push_f64(self.plan.deafness);
+        w.push(self.plan.deaf_slots);
+        for s in self.rng.state() {
+            w.push(s);
+        }
+    }
+
+    /// Restores plan + RNG state written by [`FaultyMedium::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<(), tcw_sim::snap::SnapError> {
+        let plan = FaultPlan {
+            success_to_collision: r.take_f64()?,
+            collision_to_success: r.take_f64()?,
+            collision_to_idle: r.take_f64()?,
+            idle_to_collision: r.take_f64()?,
+            erasure: r.take_f64()?,
+            deafness: r.take_f64()?,
+            deaf_slots: r.take()?,
+        };
+        plan.check().map_err(tcw_sim::snap::SnapError::new)?;
+        let mut s = [0u64; 4];
+        for x in s.iter_mut() {
+            *x = r.take()?;
+        }
+        self.plan = plan;
+        self.rng = Rng::from_state(s);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,15 @@ pub struct Progress {
     started: Instant,
     workers: Vec<WorkerSlot>,
     last_render: Mutex<Instant>,
+    /// Supervisor counters (crash-safe sweeps): cells skipped because the
+    /// resume journal already held them, attempts retried after a panic
+    /// or timeout, attempts cut off by the watchdog, and cells
+    /// quarantined after exhausting their retry budget. All zero outside
+    /// supervised mode, in which case the render line omits them.
+    skipped: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl Progress {
@@ -54,7 +63,31 @@ impl Progress {
                 })
                 .collect(),
             last_render: Mutex::new(started),
+            skipped: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
+    }
+
+    /// Records `n` cells satisfied straight from the resume journal.
+    pub fn note_resume_skipped(&self, n: u64) {
+        self.skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one supervised attempt retried after a failure.
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one supervised attempt cut off by the watchdog.
+    pub fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cell quarantined after exhausting its retries.
+    pub fn note_quarantine(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of cells completed so far.
@@ -138,6 +171,17 @@ impl Progress {
         if !stalled.is_empty() {
             line.push_str(&format!(" STALLED {}", stalled.join(" ")));
         }
+        let (skipped, retries, timeouts, quarantined) = (
+            self.skipped.load(Ordering::Relaxed),
+            self.retries.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+            self.quarantined.load(Ordering::Relaxed),
+        );
+        if skipped + retries + timeouts + quarantined > 0 {
+            line.push_str(&format!(
+                " [sup: {skipped} skipped {retries} retries {timeouts} timeouts {quarantined} quarantined]"
+            ));
+        }
         line
     }
 
@@ -206,6 +250,22 @@ mod tests {
         assert!(line.contains("(100%)"), "{line}");
         assert!(!line.contains("eta"), "{line}");
         assert!(!line.contains("running"), "{line}");
+    }
+
+    #[test]
+    fn supervisor_counters_render_only_when_used() {
+        let p = Progress::new(4, 1);
+        let quiet = p.render_line(Duration::from_secs(1));
+        assert!(!quiet.contains("[sup:"), "{quiet}");
+        p.note_resume_skipped(2);
+        p.note_retry();
+        p.note_timeout();
+        p.note_quarantine();
+        let line = p.render_line(Duration::from_secs(1));
+        assert!(
+            line.contains("[sup: 2 skipped 1 retries 1 timeouts 1 quarantined]"),
+            "{line}"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   geometric, Poisson, Erlang, hyperexponential, empirical);
 //! * [`stats`] — online statistics: Welford tallies, time-weighted averages,
 //!   histograms with quantiles, ratio/loss counters, batch-means confidence
-//!   intervals.
+//!   intervals;
+//! * [`snap`] — the flat word-stream codec engine checkpoints are encoded
+//!   with ([`snap::SnapWriter`], [`snap::SnapReader`], FNV checksum).
 //!
 //! Determinism is a design requirement (the paper's Figure 7 simulation
 //! points must be regenerable bit-for-bit), which is why the RNG is
@@ -41,6 +43,7 @@
 
 pub mod events;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod variates;

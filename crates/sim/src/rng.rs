@@ -69,6 +69,23 @@ impl Rng {
         Rng { s }
     }
 
+    /// Returns the raw xoshiro256++ state, for engine checkpoints.
+    ///
+    /// Paired with [`Rng::from_state`]; the captured generator resumes its
+    /// stream exactly where this one stands.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`Rng::state`].
+    ///
+    /// Only states that came from `state()` are meaningful; in particular
+    /// the all-zero state (which `new` can never produce) yields a stuck
+    /// generator, so snapshot decoders guard it behind a checksum.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+
     /// Derives an independent substream for component `label`.
     ///
     /// The label is mixed with fresh output of this generator, so two forks

@@ -1,0 +1,328 @@
+//! Word-stream codec for engine checkpoints.
+//!
+//! A snapshot is a flat `Vec<u64>` produced by [`SnapWriter`] and consumed
+//! by [`SnapReader`]. Every stateful type in the workspace serializes its
+//! *mutable* state (never its configuration, which the restore target is
+//! required to share) into this stream; `f64`s travel as raw IEEE-754 bits
+//! so round-trips are exact, and container lengths are written before their
+//! elements so a reader can reject structurally truncated input.
+//!
+//! The codec is deliberately dumb — no tags, no schema — because the
+//! snapshot format version plus the [`checksum`] word written at the end of
+//! the stream make any layout drift or bit corruption detectable, and the
+//! encoder/decoder pairs live side by side in each type's own module.
+
+use std::fmt;
+
+/// Error raised when a snapshot word stream is truncated, corrupt, or
+/// structurally inconsistent with what the decoder expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapError(String);
+
+impl SnapError {
+    /// Creates an error with the given human-readable reason.
+    pub fn new(msg: impl Into<String>) -> Self {
+        SnapError(msg.into())
+    }
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Appends state words to a snapshot stream.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    words: Vec<u64>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        SnapWriter { words: Vec::new() }
+    }
+
+    /// Appends one raw word.
+    pub fn push(&mut self, w: u64) {
+        self.words.push(w);
+    }
+
+    /// Appends an `f64` as its raw bit pattern (exact round-trip).
+    pub fn push_f64(&mut self, x: f64) {
+        self.words.push(x.to_bits());
+    }
+
+    /// Appends a `usize` (lossless: `usize` is at most 64 bits here).
+    pub fn push_usize(&mut self, n: usize) {
+        self.words.push(n as u64);
+    }
+
+    /// Appends a boolean as 0/1.
+    pub fn push_bool(&mut self, b: bool) {
+        self.words.push(u64::from(b));
+    }
+
+    /// Appends a length-prefixed sub-stream, so the matching reader can
+    /// check that a delegated decoder consumed exactly its own section.
+    pub fn push_section(&mut self, words: &[u64]) {
+        self.push_usize(words.len());
+        self.words.extend_from_slice(words);
+    }
+
+    /// Appends a byte string: its length in bytes, then the bytes packed
+    /// little-endian into words (the final word zero-padded).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.push_usize(bytes.len());
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.words.push(u64::from_le_bytes(buf));
+        }
+    }
+
+    /// Appends a UTF-8 string via [`SnapWriter::push_bytes`].
+    pub fn push_str(&mut self, s: &str) {
+        self.push_bytes(s.as_bytes());
+    }
+
+    /// Number of words written so far.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Consumes the writer and returns the word stream.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+}
+
+/// Reads state words back from a snapshot stream, failing loudly on
+/// truncation or malformed values.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a reader over the given stream.
+    pub fn new(words: &'a [u64]) -> Self {
+        SnapReader { words, pos: 0 }
+    }
+
+    /// Reads one raw word.
+    pub fn take(&mut self) -> Result<u64, SnapError> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| SnapError::new(format!("truncated at word {}", self.pos)))?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    /// Reads an `f64` stored as raw bits.
+    pub fn take_f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.take()?))
+    }
+
+    /// Reads a `usize`, rejecting values that cannot fit.
+    pub fn take_usize(&mut self) -> Result<usize, SnapError> {
+        let w = self.take()?;
+        usize::try_from(w).map_err(|_| SnapError::new(format!("length overflows usize: {w}")))
+    }
+
+    /// Reads a length field, additionally bounding it by the words that
+    /// actually remain (so a corrupt length cannot drive huge allocations).
+    pub fn take_len(&mut self) -> Result<usize, SnapError> {
+        let n = self.take_usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::new(format!(
+                "declared length {n} exceeds {} remaining words",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a boolean, rejecting anything but 0/1.
+    pub fn take_bool(&mut self) -> Result<bool, SnapError> {
+        match self.take()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            w => Err(SnapError::new(format!("invalid bool word: {w}"))),
+        }
+    }
+
+    /// Reads a length-prefixed sub-stream written by
+    /// [`SnapWriter::push_section`].
+    pub fn take_section(&mut self) -> Result<&'a [u64], SnapError> {
+        let n = self.take_len()?;
+        let s = &self.words[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a byte string written by [`SnapWriter::push_bytes`],
+    /// rejecting declared lengths the remaining words cannot hold and
+    /// nonzero padding in the final word.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, SnapError> {
+        let n = self.take_usize()?;
+        let words_needed = n.div_ceil(8);
+        if words_needed > self.remaining() {
+            return Err(SnapError::new(format!(
+                "declared byte length {n} exceeds {} remaining words",
+                self.remaining()
+            )));
+        }
+        let mut bytes = Vec::with_capacity(n);
+        for _ in 0..words_needed {
+            bytes.extend_from_slice(&self.take()?.to_le_bytes());
+        }
+        for &pad in &bytes[n..] {
+            if pad != 0 {
+                return Err(SnapError::new("nonzero padding in byte string"));
+            }
+        }
+        bytes.truncate(n);
+        Ok(bytes)
+    }
+
+    /// Reads a UTF-8 string written by [`SnapWriter::push_str`].
+    pub fn take_str(&mut self) -> Result<String, SnapError> {
+        String::from_utf8(self.take_bytes()?)
+            .map_err(|_| SnapError::new("byte string is not valid UTF-8"))
+    }
+
+    /// Words not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    /// Asserts the stream was consumed exactly; trailing garbage means the
+    /// encoder and decoder disagree about the layout.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(SnapError::new(format!(
+                "{} trailing words after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the little-endian bytes of the word stream; used as the
+/// snapshot's integrity checksum.
+pub fn checksum(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_kinds() {
+        let mut w = SnapWriter::new();
+        w.push(42);
+        w.push_f64(-0.75);
+        w.push_usize(7);
+        w.push_bool(true);
+        w.push_section(&[1, 2, 3]);
+        let words = w.into_words();
+        let mut r = SnapReader::new(&words);
+        assert_eq!(r.take().unwrap(), 42);
+        assert_eq!(r.take_f64().unwrap(), -0.75);
+        assert_eq!(r.take_usize().unwrap(), 7);
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_section().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let words = vec![5u64];
+        let mut r = SnapReader::new(&words);
+        // Declared length 5 with no payload left.
+        assert!(r.take_len().is_err());
+
+        let words = vec![1, 2];
+        let mut r = SnapReader::new(&words);
+        r.take().unwrap();
+        assert!(r.finish().is_err());
+
+        let words = vec![3u64];
+        let mut r = SnapReader::new(&words);
+        assert!(r.take_bool().is_err());
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_corruption() {
+        for s in ["", "x", "exactly8", "nine char", "tcw: панель"] {
+            let mut w = SnapWriter::new();
+            w.push_str(s);
+            w.push(77);
+            let words = w.into_words();
+            let mut r = SnapReader::new(&words);
+            assert_eq!(r.take_str().unwrap(), s);
+            assert_eq!(r.take().unwrap(), 77);
+            r.finish().unwrap();
+        }
+        // Truncated payload.
+        let mut w = SnapWriter::new();
+        w.push_str("hello world");
+        let mut words = w.into_words();
+        words.pop();
+        assert!(SnapReader::new(&words).take_str().is_err());
+        // Invalid UTF-8.
+        let mut w = SnapWriter::new();
+        w.push_bytes(&[0xff, 0xfe]);
+        let words = w.into_words();
+        assert!(SnapReader::new(&words).take_str().is_err());
+        // Corrupt padding bits.
+        let mut w = SnapWriter::new();
+        w.push_str("abc");
+        let mut words = w.into_words();
+        words[1] |= 1 << 60;
+        assert!(SnapReader::new(&words).take_bytes().is_err());
+    }
+
+    #[test]
+    fn checksum_detects_bit_flips() {
+        let words = vec![0xdead_beef, 0x1234_5678_9abc_def0];
+        let c = checksum(&words);
+        let mut flipped = words.clone();
+        flipped[1] ^= 1 << 17;
+        assert_ne!(c, checksum(&flipped));
+    }
+
+    #[test]
+    fn nan_round_trips_exactly() {
+        let mut w = SnapWriter::new();
+        w.push_f64(f64::NAN);
+        w.push_f64(f64::INFINITY);
+        w.push_f64(f64::NEG_INFINITY);
+        let words = w.into_words();
+        let mut r = SnapReader::new(&words);
+        assert!(r.take_f64().unwrap().is_nan());
+        assert_eq!(r.take_f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.take_f64().unwrap(), f64::NEG_INFINITY);
+    }
+}

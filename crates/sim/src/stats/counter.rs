@@ -71,6 +71,23 @@ impl RatioCounter {
     }
 }
 
+impl RatioCounter {
+    /// Serializes the counter's state for an engine checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.push(self.marked);
+        w.push(self.total);
+    }
+
+    /// Rebuilds a counter from checkpoint state written by
+    /// [`RatioCounter::save_state`].
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(RatioCounter {
+            marked: r.take()?,
+            total: r.take()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

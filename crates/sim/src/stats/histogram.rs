@@ -148,6 +148,42 @@ impl Histogram {
     }
 }
 
+impl Histogram {
+    /// Serializes the histogram's full state (binning and counts) for an
+    /// engine checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.push_f64(self.lo);
+        w.push_f64(self.width);
+        w.push_usize(self.counts.len());
+        for &c in &self.counts {
+            w.push(c);
+        }
+        w.push(self.underflow);
+        w.push(self.overflow);
+        w.push(self.total);
+    }
+
+    /// Rebuilds a histogram from checkpoint state written by
+    /// [`Histogram::save_state`].
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let lo = r.take_f64()?;
+        let width = r.take_f64()?;
+        let bins = r.take_len()?;
+        let mut counts = Vec::with_capacity(bins);
+        for _ in 0..bins {
+            counts.push(r.take()?);
+        }
+        Ok(Histogram {
+            lo,
+            width,
+            counts,
+            underflow: r.take()?,
+            overflow: r.take()?,
+            total: r.take()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -138,6 +138,43 @@ impl P2Quantile {
     }
 }
 
+impl P2Quantile {
+    /// Serializes the estimator's state for an engine checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.push_f64(self.q);
+        for x in self
+            .heights
+            .iter()
+            .chain(&self.positions)
+            .chain(&self.desired)
+            .chain(&self.increments)
+        {
+            w.push_f64(*x);
+        }
+        w.push(self.count);
+    }
+
+    /// Rebuilds an estimator from checkpoint state written by
+    /// [`P2Quantile::save_state`].
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let q = r.take_f64()?;
+        let mut arrays = [[0.0f64; 5]; 4];
+        for a in arrays.iter_mut() {
+            for x in a.iter_mut() {
+                *x = r.take_f64()?;
+            }
+        }
+        Ok(P2Quantile {
+            q,
+            heights: arrays[0],
+            positions: arrays[1],
+            desired: arrays[2],
+            increments: arrays[3],
+            count: r.take()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

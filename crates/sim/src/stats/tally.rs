@@ -103,6 +103,29 @@ impl Tally {
     }
 }
 
+impl Tally {
+    /// Serializes the tally's state for an engine checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.push(self.n);
+        w.push_f64(self.mean);
+        w.push_f64(self.m2);
+        w.push_f64(self.min);
+        w.push_f64(self.max);
+    }
+
+    /// Rebuilds a tally from checkpoint state written by
+    /// [`Tally::save_state`].
+    pub fn load_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(Tally {
+            n: r.take()?,
+            mean: r.take_f64()?,
+            m2: r.take_f64()?,
+            min: r.take_f64()?,
+            max: r.take_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

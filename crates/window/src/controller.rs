@@ -81,6 +81,21 @@ pub trait WindowController {
         0
     }
 
+    /// Serializes the controller's mutable state for an engine checkpoint.
+    /// Configuration is not captured — the restore target must be built
+    /// with an identically configured controller of the same kind. The
+    /// default captures nothing; controllers with decision-affecting state
+    /// must override both hooks symmetrically.
+    fn save_state(&self, _w: &mut tcw_sim::snap::SnapWriter) {}
+
+    /// Restores state written by [`WindowController::save_state`].
+    fn load_state(
+        &mut self,
+        _r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<(), tcw_sim::snap::SnapError> {
+        Ok(())
+    }
+
     /// Exports controller telemetry (`tcw_controller_*`).
     fn emit(&self, sink: &mut dyn MetricSink) {
         sink.gauge(
@@ -126,6 +141,18 @@ impl WindowController for StaticController {
 
     fn window_ticks(&self) -> u64 {
         self.last
+    }
+
+    fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        w.push(self.last);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<(), tcw_sim::snap::SnapError> {
+        self.last = r.take()?;
+        Ok(())
     }
 }
 
@@ -240,6 +267,22 @@ impl WindowController for AimdController {
 
     fn grows(&self) -> u64 {
         self.grows
+    }
+
+    fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        w.push_f64(self.window);
+        w.push(self.shrinks);
+        w.push(self.grows);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<(), tcw_sim::snap::SnapError> {
+        self.window = r.take_f64()?;
+        self.shrinks = r.take()?;
+        self.grows = r.take()?;
+        Ok(())
     }
 }
 
@@ -411,6 +454,26 @@ impl WindowController for EstimatorController {
             "estimated arrival rate (messages per tick)",
             self.lambda_hat(),
         );
+    }
+
+    fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        w.push_f64(self.occ_ewma);
+        w.push_f64(self.width_ewma);
+        w.push(self.last);
+        w.push(self.shrinks);
+        w.push(self.grows);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<(), tcw_sim::snap::SnapError> {
+        self.occ_ewma = r.take_f64()?;
+        self.width_ewma = r.take_f64()?;
+        self.last = r.take()?;
+        self.shrinks = r.take()?;
+        self.grows = r.take()?;
+        Ok(())
     }
 }
 

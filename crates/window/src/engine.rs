@@ -91,6 +91,7 @@ use tcw_mac::{
     FaultPlan, FaultyMedium, Feedback, Medium, Message, MessageId, SlotOutcome, StationId,
 };
 use tcw_sim::rng::Rng;
+use tcw_sim::snap::{self, SnapError, SnapReader, SnapWriter};
 use tcw_sim::time::{Dur, Time};
 
 /// Static configuration of a protocol run.
@@ -165,6 +166,12 @@ enum ClusterEnd {
     /// Resolution was abandoned (only reachable under fault injection).
     Abandoned,
 }
+
+/// First word of every engine snapshot ("tcw_snap" in ASCII).
+const SNAP_MAGIC: u64 = 0x7463_775f_736e_6170;
+/// Snapshot layout version; bumped whenever the word stream changes so
+/// stale snapshots are rejected instead of misdecoded.
+const SNAP_FORMAT: u64 = 1;
 
 /// The protocol engine; generic over the arrival process.
 pub struct Engine<S: ArrivalSource> {
@@ -345,6 +352,273 @@ impl<S: ArrivalSource> Engine<S> {
     /// Number of pending messages.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Captures the complete mutable simulation state as a flat word
+    /// stream: timeline, pending set, all five RNG stream positions, the
+    /// arrival-source cursor, fault/churn process state, controller state,
+    /// metrics, and channel accounting. Configuration (channel, policy,
+    /// measurement window, controller kind, source schedule) is *not*
+    /// captured: [`Engine::restore`] requires a target built from the
+    /// identical [`EngineConfig`] and controller.
+    ///
+    /// Snapshots are taken at decision-cycle boundaries (between
+    /// [`Engine::step`] calls) — the protocol's own beacon instants, where
+    /// all intra-round state is dead. The stream ends with an FNV-1a
+    /// checksum word, so any bit flip is rejected by `restore`.
+    ///
+    /// # Errors
+    /// Fails if the arrival source kind does not support checkpointing
+    /// (e.g. [`tcw_mac::MergedSource`]).
+    pub fn snapshot(&self) -> Result<Vec<u64>, SnapError> {
+        let cursor = self
+            .source
+            .save_cursor()
+            .ok_or_else(|| SnapError::new("arrival source kind does not support checkpointing"))?;
+        let mut w = SnapWriter::new();
+        w.push(SNAP_MAGIC);
+        w.push(SNAP_FORMAT);
+        self.medium.save_state(&mut w);
+        self.timeline.save_state(&mut w);
+        w.push_usize(self.pending.len());
+        for (key, m) in &self.pending {
+            debug_assert_eq!(*key, (m.arrival, m.id), "pending key out of sync");
+            w.push(m.arrival.ticks());
+            w.push(m.id.0);
+            w.push(u64::from(m.station.0));
+        }
+        match self.lookahead {
+            Some(a) => {
+                w.push_bool(true);
+                w.push(a.time.ticks());
+                w.push(u64::from(a.station.0));
+            }
+            None => w.push_bool(false),
+        }
+        w.push_bool(self.source_done);
+        w.push(self.arrival_cutoff.ticks());
+        w.push(self.next_id);
+        for rng in [&self.rng_policy, &self.rng_coins, &self.rng_source] {
+            for s in rng.state() {
+                w.push(s);
+            }
+        }
+        w.push(self.last_tx_end.ticks());
+        w.push_bool(self.single_buffer);
+        let mut busy: Vec<u32> = self.busy_stations.iter().map(|s| s.0).collect();
+        busy.sort_unstable();
+        w.push_usize(busy.len());
+        for s in busy {
+            w.push(u64::from(s));
+        }
+        w.push(u64::from(self.resync.max_retries));
+        w.push(self.resync.backoff_cap_slots);
+        w.push_usize(self.orphans.len());
+        for &(t, id) in &self.orphans {
+            w.push(t.ticks());
+            w.push(id.0);
+        }
+        let mut touched: Vec<u64> = self.fault_touched.iter().map(|id| id.0).collect();
+        touched.sort_unstable();
+        w.push_usize(touched.len());
+        for id in touched {
+            w.push(id);
+        }
+        self.churn.save_state(&mut w);
+        let mut touched: Vec<u64> = self.churn_touched.iter().map(|id| id.0).collect();
+        touched.sort_unstable();
+        w.push_usize(touched.len());
+        for id in touched {
+            w.push(id);
+        }
+        w.push_usize(self.rejoining.len());
+        for &(s, slot) in &self.rejoining {
+            w.push(u64::from(s.0));
+            w.push(slot);
+        }
+        let mut sub = SnapWriter::new();
+        self.controller.save_state(&mut sub);
+        w.push_section(&sub.into_words());
+        w.push_section(&cursor);
+        self.metrics.save_state(&mut w);
+        for d in [
+            self.channel_stats.idle,
+            self.channel_stats.collision,
+            self.channel_stats.success,
+            self.channel_stats.erased,
+            self.channel_stats.quiet,
+        ] {
+            w.push(d.ticks());
+        }
+        for c in [
+            self.channel_stats.idle_slots,
+            self.channel_stats.collision_slots,
+            self.channel_stats.successes,
+            self.channel_stats.erased_slots,
+            self.channel_stats.quiet_periods,
+        ] {
+            w.push(c);
+        }
+        let mut words = w.into_words();
+        words.push(snap::checksum(&words));
+        Ok(words)
+    }
+
+    /// Overwrites this engine's mutable state with a snapshot captured by
+    /// [`Engine::snapshot`] on an engine built from the identical
+    /// configuration (same [`EngineConfig`], controller kind, and source
+    /// schedule). After a successful restore the run continues bit-identically
+    /// to the engine the snapshot was taken from.
+    ///
+    /// # Errors
+    /// Fails — leaving `self` unspecified but safe to drop — on a checksum
+    /// mismatch (bit corruption), wrong magic/format (stale snapshot), a
+    /// truncated stream, or structurally invalid state.
+    pub fn restore(&mut self, words: &[u64]) -> Result<(), SnapError> {
+        if words.len() < 2 {
+            return Err(SnapError::new("snapshot too short"));
+        }
+        let (payload, tail) = words.split_at(words.len() - 1);
+        if tail[0] != snap::checksum(payload) {
+            return Err(SnapError::new("snapshot checksum mismatch"));
+        }
+        let mut r = SnapReader::new(payload);
+        if r.take()? != SNAP_MAGIC {
+            return Err(SnapError::new("not an engine snapshot (bad magic)"));
+        }
+        let format = r.take()?;
+        if format != SNAP_FORMAT {
+            return Err(SnapError::new(format!(
+                "unsupported snapshot format {format} (expected {SNAP_FORMAT})"
+            )));
+        }
+        self.medium.load_state(&mut r)?;
+        self.timeline = Timeline::load_state(&mut r)?;
+        self.pending.clear();
+        let n = r.take_len()?;
+        for _ in 0..n {
+            let arrival = Time::from_ticks(r.take()?);
+            let id = MessageId(r.take()?);
+            let station = StationId(
+                u32::try_from(r.take()?).map_err(|_| SnapError::new("station id overflows u32"))?,
+            );
+            self.pending.insert(
+                (arrival, id),
+                Message {
+                    id,
+                    station,
+                    arrival,
+                },
+            );
+        }
+        self.lookahead = if r.take_bool()? {
+            let time = Time::from_ticks(r.take()?);
+            let station = StationId(
+                u32::try_from(r.take()?).map_err(|_| SnapError::new("station id overflows u32"))?,
+            );
+            Some(Arrival { time, station })
+        } else {
+            None
+        };
+        self.source_done = r.take_bool()?;
+        self.arrival_cutoff = Time::from_ticks(r.take()?);
+        self.next_id = r.take()?;
+        for rng in [
+            &mut self.rng_policy,
+            &mut self.rng_coins,
+            &mut self.rng_source,
+        ] {
+            let mut s = [0u64; 4];
+            for x in s.iter_mut() {
+                *x = r.take()?;
+            }
+            *rng = Rng::from_state(s);
+        }
+        self.last_tx_end = Time::from_ticks(r.take()?);
+        self.single_buffer = r.take_bool()?;
+        self.busy_stations.clear();
+        let n = r.take_len()?;
+        for _ in 0..n {
+            self.busy_stations.insert(StationId(
+                u32::try_from(r.take()?).map_err(|_| SnapError::new("station id overflows u32"))?,
+            ));
+        }
+        self.resync = ResyncPolicy {
+            max_retries: u32::try_from(r.take()?)
+                .map_err(|_| SnapError::new("resync retries overflow u32"))?,
+            backoff_cap_slots: r.take()?,
+        };
+        self.orphans.clear();
+        let n = r.take_len()?;
+        for _ in 0..n {
+            let t = Time::from_ticks(r.take()?);
+            let id = MessageId(r.take()?);
+            self.orphans.push((t, id));
+        }
+        self.fault_touched.clear();
+        let n = r.take_len()?;
+        for _ in 0..n {
+            self.fault_touched.insert(MessageId(r.take()?));
+        }
+        self.churn = ChurnProcess::load_state(&mut r)?;
+        self.churn_touched.clear();
+        let n = r.take_len()?;
+        for _ in 0..n {
+            self.churn_touched.insert(MessageId(r.take()?));
+        }
+        self.rejoining.clear();
+        let n = r.take_len()?;
+        for _ in 0..n {
+            let s = StationId(
+                u32::try_from(r.take()?).map_err(|_| SnapError::new("station id overflows u32"))?,
+            );
+            let slot = r.take()?;
+            self.rejoining.push((s, slot));
+        }
+        let section = r.take_section()?;
+        {
+            let mut sub = SnapReader::new(section);
+            self.controller.load_state(&mut sub)?;
+            sub.finish().map_err(|_| {
+                SnapError::new("controller state length mismatch (wrong controller kind?)")
+            })?;
+        }
+        let cursor = r.take_section()?;
+        self.source.load_cursor(cursor)?;
+        self.metrics = Metrics::load_state(*self.metrics.config(), &mut r)?;
+        let mut durs = [Dur::from_ticks(0); 5];
+        for d in durs.iter_mut() {
+            *d = Dur::from_ticks(r.take()?);
+        }
+        let mut counts = [0u64; 5];
+        for c in counts.iter_mut() {
+            *c = r.take()?;
+        }
+        self.channel_stats = ChannelStats {
+            idle: durs[0],
+            collision: durs[1],
+            success: durs[2],
+            erased: durs[3],
+            quiet: durs[4],
+            idle_slots: counts[0],
+            collision_slots: counts[1],
+            successes: counts[2],
+            erased_slots: counts[3],
+            quiet_periods: counts[4],
+        };
+        r.finish()?;
+        // Scratch buffers hold no live content at a decision boundary;
+        // clear them so a reused engine starts the next cycle clean.
+        self.scratch.segments.clear();
+        self.scratch.sib_segments.clear();
+        self.scratch.txs.clear();
+        self.scratch.ids.clear();
+        self.scratch.older.clear();
+        self.churn_events.clear();
+        self.sweep_keys.clear();
+        self.orphans_swap.clear();
+        self.rejoining_swap.clear();
+        Ok(())
     }
 
     /// Runs until the clock reaches `horizon`.

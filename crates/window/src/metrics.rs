@@ -501,6 +501,69 @@ impl Metrics {
     }
 }
 
+impl Metrics {
+    /// Serializes all accumulated measurements for an engine checkpoint.
+    /// The [`MeasureConfig`] is *not* captured — a restore target must be
+    /// built from the same configuration.
+    pub fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        self.loss.save_state(w);
+        w.push(self.sender_lost);
+        w.push(self.receiver_lost);
+        w.push(self.blocked);
+        self.true_delay.save_state(w);
+        self.paper_delay.save_state(w);
+        self.sched_slots.save_state(w);
+        self.sched_time.save_state(w);
+        self.paper_delay_hist.save_state(w);
+        self.true_delay_p95.save_state(w);
+        self.true_delay_p99.save_state(w);
+        w.push(self.outstanding);
+        w.push(self.corrupted_slots);
+        w.push(self.erased_slots);
+        w.push(self.resyncs);
+        w.push(self.rounds_abandoned);
+        w.push(self.reopened);
+        w.push(self.fault_losses);
+        w.push(self.churn_blocked);
+        w.push(self.churn_losses);
+        w.push(self.churn_reopened);
+        self.rejoin_slots.save_state(w);
+    }
+
+    /// Rebuilds metrics from checkpoint state written by
+    /// [`Metrics::save_state`], under the restore target's own `cfg`.
+    pub fn load_state(
+        cfg: MeasureConfig,
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, tcw_sim::snap::SnapError> {
+        Ok(Metrics {
+            cfg,
+            loss: RatioCounter::load_state(r)?,
+            sender_lost: r.take()?,
+            receiver_lost: r.take()?,
+            blocked: r.take()?,
+            true_delay: Tally::load_state(r)?,
+            paper_delay: Tally::load_state(r)?,
+            sched_slots: Tally::load_state(r)?,
+            sched_time: Tally::load_state(r)?,
+            paper_delay_hist: Histogram::load_state(r)?,
+            true_delay_p95: P2Quantile::load_state(r)?,
+            true_delay_p99: P2Quantile::load_state(r)?,
+            outstanding: r.take()?,
+            corrupted_slots: r.take()?,
+            erased_slots: r.take()?,
+            resyncs: r.take()?,
+            rounds_abandoned: r.take()?,
+            reopened: r.take()?,
+            fault_losses: r.take()?,
+            churn_blocked: r.take()?,
+            churn_losses: r.take()?,
+            churn_reopened: r.take()?,
+            rejoin_slots: Tally::load_state(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

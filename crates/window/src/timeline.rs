@@ -238,6 +238,52 @@ impl Default for Timeline {
     }
 }
 
+impl Timeline {
+    /// Serializes the timeline (clock + examined set) for an engine
+    /// checkpoint. The reopen scratch buffer is transient and not captured.
+    pub fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        w.push(self.now.ticks());
+        w.push_usize(self.examined.len());
+        for iv in &self.examined {
+            w.push(iv.lo.ticks());
+            w.push(iv.hi.ticks());
+        }
+    }
+
+    /// Rebuilds a timeline from checkpoint state written by
+    /// [`Timeline::save_state`], re-validating the sorted/disjoint/past
+    /// invariants so corrupt snapshots are rejected instead of poisoning
+    /// later window choices.
+    pub fn load_state(
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, tcw_sim::snap::SnapError> {
+        use tcw_sim::snap::SnapError;
+        let now = Time::from_ticks(r.take()?);
+        let n = r.take_len()?;
+        let mut examined = Vec::with_capacity(n);
+        let mut prev_hi = None::<Time>;
+        for _ in 0..n {
+            let lo = Time::from_ticks(r.take()?);
+            let hi = Time::from_ticks(r.take()?);
+            if lo >= hi || hi > now {
+                return Err(SnapError::new("examined interval out of range"));
+            }
+            if let Some(p) = prev_hi {
+                if lo <= p {
+                    return Err(SnapError::new("examined intervals not sorted/disjoint"));
+                }
+            }
+            prev_hi = Some(hi);
+            examined.push(Interval::new(lo, hi));
+        }
+        Ok(Timeline {
+            now,
+            examined,
+            scratch: Vec::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
