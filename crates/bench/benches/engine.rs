@@ -5,6 +5,10 @@
 //!
 //! * **steps/sec (clean)** — probe slots per second of a clean engine,
 //!   the number the zero-allocation rework must never regress;
+//! * **steps/sec (light) and jump speedup** — probe slots per second at
+//!   rho = 0.05, where the event-horizon fast path collapses idle
+//!   stretches, plus the on/off A-B ratio on the same build (gated by
+//!   `check_bench` against an absolute floor);
 //! * **allocations/slot** — heap allocations per probe slot in steady
 //!   state, counted by a global counting allocator (the scratch-buffer
 //!   invariant says this approaches zero once buffers reach their
@@ -64,7 +68,12 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 const STATIONS: u32 = 20;
 
-fn build() -> Engine<PoissonArrivals> {
+/// The light-load offered rate for the event-horizon measurements: at
+/// rho = 0.05 almost every decision cycle is an idle probe, the regime
+/// the jump-ahead kernel collapses into O(1) work per stretch.
+const RHO_LIGHT: f64 = 0.05;
+
+fn build_at(rho: f64) -> Engine<PoissonArrivals> {
     let channel = ChannelConfig {
         ticks_per_tau: 4,
         message_slots: 5,
@@ -79,10 +88,14 @@ fn build() -> Engine<PoissonArrivals> {
         channel,
         ControlPolicy::controlled(Dur::from_ticks(300), Dur::from_ticks(12)),
         measure,
-        0.6,
+        rho,
         STATIONS,
         1983,
     )
+}
+
+fn build() -> Engine<PoissonArrivals> {
+    build_at(0.6)
 }
 
 fn slots(eng: &Engine<PoissonArrivals>) -> u64 {
@@ -97,6 +110,28 @@ fn steps_per_sec(samples: usize, horizon: u64) -> f64 {
     let mut rates: Vec<f64> = (0..samples)
         .map(|_| {
             let mut eng = build();
+            let t0 = Instant::now();
+            eng.run_until(Time::from_ticks(horizon), &mut NoopObserver);
+            eng.drain(&mut NoopObserver);
+            let elapsed = t0.elapsed().as_secs_f64();
+            std::hint::black_box(eng.metrics.offered());
+            slots(&eng) as f64 / elapsed
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
+
+/// Median light-load probe slots per second with the event-horizon fast
+/// path on or off. The on/off pair is the A-B the `check_bench` floor
+/// gates: both runs are bit-identical in every metric (pinned by the
+/// `horizon_equivalence` property suite), so the ratio is pure
+/// dispatch-cost reduction.
+fn steps_per_sec_light(samples: usize, horizon: u64, jump: bool) -> f64 {
+    let mut rates: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut eng = build_at(RHO_LIGHT);
+            eng.set_jump_ahead(jump);
             let t0 = Instant::now();
             eng.run_until(Time::from_ticks(horizon), &mut NoopObserver);
             eng.drain(&mut NoopObserver);
@@ -195,6 +230,17 @@ fn main() {
     let steps = steps_per_sec(samples, horizon);
     println!("engine/steps_per_sec_clean        {steps:>14.0} slots/s ({samples} samples)");
 
+    // Light load runs a longer simulated horizon: with the fast path on,
+    // the wall-clock per run would otherwise be too small to time.
+    let horizon_light = horizon * 16;
+    let light = steps_per_sec_light(samples, horizon_light, true);
+    println!("engine/steps_per_sec_light        {light:>14.0} slots/s (rho={RHO_LIGHT}, {samples} samples)");
+    let light_off = steps_per_sec_light(samples, horizon_light, false);
+    let jump_speedup = light / light_off;
+    println!(
+        "engine/light_jump_speedup         {jump_speedup:>14.2} x (jump-ahead on vs off at rho={RHO_LIGHT})"
+    );
+
     let allocs = allocs_per_slot(horizon);
     println!("engine/allocs_per_slot            {allocs:>14.4} allocs/slot");
 
@@ -215,7 +261,7 @@ fn main() {
     // Flat JSON, manual formatting (the workspace has no serialization
     // dependency); CI parses it and compares against the committed copy.
     let json = format!(
-        "{{\n  \"engine_steps_per_sec_clean\": {steps:.0},\n  \"engine_allocs_per_slot\": {allocs:.4},\n  \"sweep_cells_per_sec_serial\": {serial:.3},\n  \"sweep_cells_per_sec_parallel\": {parallel:.3},\n  \"sweep_parallel_speedup\": {speedup:.3},\n  \"engine_snapshot_restore_per_sec\": {snap:.0},\n  \"host_parallelism\": {parallel_jobs}\n}}\n"
+        "{{\n  \"engine_steps_per_sec_clean\": {steps:.0},\n  \"engine_steps_per_sec_light\": {light:.0},\n  \"engine_light_jump_speedup\": {jump_speedup:.3},\n  \"engine_allocs_per_slot\": {allocs:.4},\n  \"sweep_cells_per_sec_serial\": {serial:.3},\n  \"sweep_cells_per_sec_parallel\": {parallel:.3},\n  \"sweep_parallel_speedup\": {speedup:.3},\n  \"engine_snapshot_restore_per_sec\": {snap:.0},\n  \"host_parallelism\": {parallel_jobs}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");

@@ -16,8 +16,14 @@
 //!   comparison is meaningless, so a multi-core fresh run is instead
 //!   held to an absolute floor: the parallel executor must deliver at
 //!   least 1.1x, or the parallelism claim has regressed;
+//! * `engine_light_jump_speedup` is a same-host on/off A-B of the
+//!   event-horizon fast path and is held to an absolute floor rather
+//!   than compared against the committed value;
 //! * `host_parallelism` describes the host, not the code, and is
-//!   reported but never gated.
+//!   reported but never gated;
+//! * the two field sets must match in **both** directions — a key
+//!   present in only one of the snapshots fails the gate, so a grown
+//!   bench cannot ship without a re-measured committed baseline.
 //!
 //! Usage: `check_bench <committed.json> <fresh.json>`. Both files are
 //! the flat single-level JSON the engine bench writes; parsing is done
@@ -67,6 +73,12 @@ fn environmental(key: &str) -> bool {
 /// the committed baseline is single-core and offers no reference.
 const SPEEDUP_FLOOR: f64 = 1.1;
 
+/// Minimum light-load speedup of the event-horizon fast path over the
+/// slot-stepped engine. An on/off A-B on the same host and build, so no
+/// relative comparison against the committed snapshot is needed — the
+/// absolute floor is the claim itself.
+const LIGHT_JUMP_FLOOR: f64 = 5.0;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [committed_path, fresh_path] = &args[..] else {
@@ -108,6 +120,20 @@ fn main() -> ExitCode {
             println!("  ok {key}: {base} -> {now} (environmental, not gated)");
             continue;
         }
+        if key == "engine_light_jump_speedup" {
+            if now < LIGHT_JUMP_FLOOR {
+                diag::error(
+                    "check_bench",
+                    &format!(
+                        "FAIL {key}: fresh {now} (absolute floor {LIGHT_JUMP_FLOOR}; jump-ahead must beat slot stepping at light load)"
+                    ),
+                );
+                failed = true;
+            } else {
+                println!("  ok {key}: {base} -> {now} (absolute floor {LIGHT_JUMP_FLOOR})");
+            }
+            continue;
+        }
         if key == "sweep_parallel_speedup" && !speedup_gated {
             if single_core(&fresh) {
                 println!(
@@ -143,9 +169,16 @@ fn main() -> ExitCode {
             println!("  ok {key}: {base} -> {now}");
         }
     }
+    // The committed snapshot and the bench must agree on the field set in
+    // both directions: a fresh-only key means the snapshot was never
+    // re-measured after the bench grew a gate, leaving it silently ungated.
     for key in fresh.keys() {
         if !committed.contains_key(key) {
-            println!("  note: new field {key} (not in committed snapshot)");
+            diag::error(
+                "check_bench",
+                &format!("FAIL {key}: missing from committed snapshot (re-run the bench and commit the result)"),
+            );
+            failed = true;
         }
     }
     if failed {

@@ -29,6 +29,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 
 use crate::replay::{load_artifact, panic_message, save_artifact, ArtifactReader, ArtifactWriter};
+use crate::runner::run_to_horizon;
 use tcw_mac::traffic::{VoiceConfig, VoiceSource};
 use tcw_mac::{
     AdversarialInjector, AdversaryPlan, ArrivalSource, ChannelConfig, MergedSource,
@@ -368,8 +369,9 @@ fn build_engine(scenario: Scenario, kind: ControllerKind, replicate: u64) -> Eng
 }
 
 /// Runs one cell to completion (horizon + drain) and reports the
-/// outcome; when `sink` is given, engine and controller telemetry are
-/// emitted into it after the run.
+/// outcome; when `sink` is given, the engine's full accounting (via
+/// [`run_to_horizon`]) plus controller telemetry is emitted into it
+/// after the run.
 pub fn run_cell(
     scenario: Scenario,
     kind: ControllerKind,
@@ -378,11 +380,13 @@ pub fn run_cell(
     sink: Option<&mut dyn MetricSink>,
 ) -> CellOutcome {
     let mut eng = build_engine(scenario, kind, replicate);
-    eng.run_until(Time::from_ticks(HORIZON_TICKS), obs);
-    eng.drain(obs);
-    if let Some(sink) = sink {
-        eng.metrics.emit(sink);
-        eng.controller().emit(sink);
+    let horizon = Time::from_ticks(HORIZON_TICKS);
+    match sink {
+        Some(sink) => {
+            run_to_horizon(&mut eng, horizon, obs, Some(&mut *sink));
+            eng.controller().emit(sink);
+        }
+        None => run_to_horizon(&mut eng, horizon, obs, None),
     }
     CellOutcome {
         offered: eng.metrics.offered(),

@@ -22,7 +22,7 @@
 //! progress line).
 
 use tcw_experiments::plot::write_csv;
-use tcw_experiments::runner::measure_window;
+use tcw_experiments::runner::{measure_window, run_to_horizon};
 use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
 use tcw_experiments::{
     diag, observe_engine_cell, write_observability, CellArtifacts, ObsConfig, Panel, SimSettings,
@@ -90,12 +90,12 @@ fn run_cell(cell: &Cell, index: usize, tracing: bool, metrics: bool) -> (Outcome
         if cell.single_buffer.is_some() {
             eng.set_single_buffer_stations(true);
         }
-        eng.run_until(Time::from_ticks(measure_end + measure_end / 10), obs);
-        eng.drain(obs);
-        if let Some(sink) = sink {
-            eng.metrics.emit(sink);
-            eng.channel_stats.emit(sink);
-        }
+        run_to_horizon(
+            &mut eng,
+            Time::from_ticks(measure_end + measure_end / 10),
+            obs,
+            sink,
+        );
         let offered = eng.metrics.offered().max(1);
         Outcome {
             loss: eng.metrics.loss_fraction(),

@@ -29,6 +29,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 
 use crate::replay::{load_artifact, panic_message, save_artifact, ArtifactReader, ArtifactWriter};
+use crate::runner::run_to_horizon;
 use tcw_mac::{
     AdversarialInjector, AdversaryPlan, ArrivalSource, ChannelConfig, ChurnPlan, FaultPlan,
     MergedSource, PiecewiseArrivals, RateStep,
@@ -464,6 +465,10 @@ impl<'a> MutatingObserver<'a> {
 }
 
 impl EngineObserver for MutatingObserver<'_> {
+    fn slow_path(&self) -> bool {
+        self.inner.slow_path()
+    }
+
     fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
         self.inner.on_decision(now, segments);
     }
@@ -614,16 +619,14 @@ pub fn run_observed(
                     a: extra,
                     b: &mut inner,
                 };
-                eng.run_until(horizon, &mut obs);
-                eng.drain(&mut obs);
+                run_to_horizon(&mut eng, horizon, &mut obs, None);
             }
             None => {
                 let mut obs = Tee {
                     a: extra,
                     b: &mut mutator,
                 };
-                eng.run_until(horizon, &mut obs);
-                eng.drain(&mut obs);
+                run_to_horizon(&mut eng, horizon, &mut obs, None);
             }
         }
         mutator.flush();

@@ -176,6 +176,29 @@ pub fn run_horizon(measure: MeasureConfig, ticks_per_tau: u64) -> Time {
     Time::from_ticks(end + (end - start) / 10 + 64 * ticks_per_tau)
 }
 
+/// Drives an engine to its horizon and through the final drain, then —
+/// when a sink is attached — registers the engine's own accounting with
+/// it: metrics, channel stats, churn counters, and the event-horizon
+/// fast-path counters (`tcw_horizon_*`). Every sweep binary that runs
+/// an engine to completion shares this sequence; telemetry specific to
+/// a call site (controller, invariant monitor, divergence detector)
+/// stays with the caller.
+pub fn run_to_horizon<S: tcw_mac::ArrivalSource>(
+    eng: &mut Engine<S>,
+    horizon: Time,
+    obs: &mut dyn tcw_window::trace::EngineObserver,
+    sink: Option<&mut dyn tcw_sim::stats::MetricSink>,
+) {
+    eng.run_until(horizon, obs);
+    eng.drain(obs);
+    if let Some(sink) = sink {
+        eng.metrics.emit(sink);
+        eng.channel_stats.emit(sink);
+        eng.churn().emit(sink);
+        eng.horizon_stats.emit(sink);
+    }
+}
+
 /// Builds the engine for one panel point; returns it with the run horizon
 /// and the policy (so observers needing the shared policy/seed can be
 /// constructed alongside).
@@ -364,18 +387,30 @@ pub fn simulate_churn_observed(
     let (mut eng, horizon, _policy) = build_engine(panel, kind, k_tau, settings, seed);
     eng.set_fault_plan(plan);
     eng.set_churn_plan(churn, settings.stations);
-    eng.run_until(horizon, obs);
-    eng.drain(obs);
-    if let Some(sink) = sink {
-        eng.metrics.emit(sink);
-        eng.channel_stats.emit(sink);
-        eng.churn().emit(sink);
-    }
+    run_to_horizon(&mut eng, horizon, obs, sink);
     ChurnSimPoint {
         point: collect_point(&eng, k_tau, settings),
         faults: collect_faults(&eng),
         churn: collect_churn(&eng),
     }
+}
+
+/// Runs one clean panel point and reports the measured point together
+/// with the event-horizon fast-path counters — how many idle-run jumps
+/// and batched resolutions the engine took while producing it. The
+/// counters are telemetry only (the result is bit-identical with the
+/// fast path off); sweeps that make performance claims commit them so
+/// CI can prove the fast path actually engaged.
+pub fn simulate_with_horizon(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+) -> (SimPoint, tcw_window::engine::HorizonStats) {
+    let (mut eng, horizon, _policy) = build_engine(panel, kind, k_tau, settings, seed);
+    run_to_horizon(&mut eng, horizon, &mut NoopObserver, None);
+    (collect_point(&eng, k_tau, settings), eng.horizon_stats)
 }
 
 /// Outcome of a run observed through the per-station
@@ -434,8 +469,7 @@ pub fn simulate_churn_with_detector(
     eng.set_churn_plan(churn, settings.stations);
     let mut det = DivergenceDetector::new(policy, seed, 0, plan.deafness, plan.deaf_slots)
         .with_outage(churn.outage_start_slot, churn.outage_slots);
-    eng.run_until(horizon, &mut det);
-    eng.drain(&mut det);
+    run_to_horizon(&mut eng, horizon, &mut det, None);
     let report = DetectorReport {
         divergences: det.divergences(),
         resyncs: det.resyncs(),

@@ -310,6 +310,55 @@ impl ChurnProcess {
         msgs.retain(|m| self.is_up(m.station));
     }
 
+    /// The earliest future probe slot (strictly after the current one) at
+    /// which [`step`](Self::step) could emit an event or mutate any
+    /// member's state, or `None` if no transition will ever occur. With a
+    /// positive crash probability (or any station mid-outage) every slot
+    /// can transition, so the answer is the very next slot. The engine's
+    /// event-horizon fast path uses this to bound how many slots it may
+    /// [`skip_slots`](Self::skip_slots) past.
+    pub fn next_scheduled_transition(&self) -> Option<u64> {
+        if self.plan.is_none() {
+            return None;
+        }
+        if self.plan.crash > 0.0 {
+            return Some(self.slot + 1);
+        }
+        let mut next: Option<u64> = None;
+        let consider = |candidate: u64, next: &mut Option<u64>| {
+            let c = candidate.max(self.slot + 1);
+            *next = Some(next.map_or(c, |n: u64| n.min(c)));
+        };
+        for (i, m) in self.state.iter().enumerate() {
+            match m {
+                MemberState::Absent => consider(self.plan.join_slot, &mut next),
+                // A down station mutates (counts down) on every step.
+                MemberState::Down { .. } => consider(self.slot + 1, &mut next),
+                MemberState::Up | MemberState::Left => {}
+            }
+            if self.leave_at[i] != u64::MAX && !matches!(m, MemberState::Left) {
+                consider(self.leave_at[i], &mut next);
+            }
+        }
+        next
+    }
+
+    /// Advances the slot clock by `n` without stepping the state machine,
+    /// for runs of slots proven transition-free via
+    /// [`next_scheduled_transition`](Self::next_scheduled_transition).
+    /// Draws nothing and emits nothing, so it is bit-identical to `n`
+    /// transition-free [`step`](Self::step) calls.
+    pub fn skip_slots(&mut self, n: u64) {
+        debug_assert!(
+            match self.next_scheduled_transition() {
+                None => true,
+                Some(s) => s > self.slot + n,
+            },
+            "skip_slots({n}) would jump over a membership transition"
+        );
+        self.slot += n;
+    }
+
     /// Advances the membership process one probe slot, appending any
     /// transitions to `events`. With [`ChurnPlan::none`] this only
     /// advances the slot counter and draws nothing from the RNG.

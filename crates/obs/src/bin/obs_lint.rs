@@ -2,14 +2,19 @@
 //! (`.ndjson`/`.jsonl`) against the tcw-obs event schema, and `.prom`
 //! files against the Prometheus text exposition format.
 //!
-//! Usage: `obs_lint FILE...` — each file is dispatched on its extension.
+//! Usage: `obs_lint [--require NAME]... FILE...` — each file is
+//! dispatched on its extension. Every `--require NAME` demands that the
+//! metric family `NAME` is declared in **each** `.prom` file passed
+//! (used by CI to pin the engine's `tcw_horizon_*` fast-path counters
+//! into the telemetry stream; a wiring regression that silently drops
+//! them would otherwise still lint clean).
 //!
 //! Exit codes: `0` all files valid, `1` usage error, `2` validation
-//! failure or unreadable file.
+//! failure, missing required family, or unreadable file.
 
 use std::process::ExitCode;
 
-use tcw_obs::lint::{lint_events, lint_prom};
+use tcw_obs::lint::{lint_events, lint_prom_families};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("obs_lint: {msg}");
@@ -18,11 +23,29 @@ fn fail(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: obs_lint FILE...   (.ndjson/.jsonl = event stream, .prom = exposition)");
+    let mut required: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--require" {
+            match it.next() {
+                Some(name) => required.push(name.clone()),
+                None => {
+                    eprintln!("obs_lint: --require needs a metric family name");
+                    return ExitCode::from(1);
+                }
+            }
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    if files.is_empty() || files.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: obs_lint [--require NAME]... FILE...   (.ndjson/.jsonl = event stream, .prom = exposition)"
+        );
         return ExitCode::from(1);
     }
-    for path in &args {
+    for path in &files {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => return fail(&format!("{path}: {e}")),
@@ -36,11 +59,20 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&format!("{path}: {e}")),
             }
         } else if path.ends_with(".prom") {
-            match lint_prom(&text) {
-                Ok(s) => println!(
-                    "obs_lint: {path}: ok ({} families, {} samples)",
-                    s.families, s.samples
-                ),
+            match lint_prom_families(&text) {
+                Ok((s, families)) => {
+                    for name in &required {
+                        if !families.contains(name) {
+                            return fail(&format!(
+                                "{path}: required metric family {name:?} is not declared"
+                            ));
+                        }
+                    }
+                    println!(
+                        "obs_lint: {path}: ok ({} families, {} samples)",
+                        s.families, s.samples
+                    )
+                }
                 Err(e) => return fail(&format!("{path}: {e}")),
             }
         } else {

@@ -281,6 +281,12 @@ fn escape_json_str(s: &str, out: &mut String) {
 }
 
 impl EngineObserver for EventTracer {
+    // NDJSON traces are a per-event record by definition; the tracer
+    // forces the slot-stepped path so no event is aggregated away.
+    fn slow_path(&self) -> bool {
+        true
+    }
+
     fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
         match segments {
             Some(s) => {

@@ -171,6 +171,14 @@ pub struct PromStats {
 /// `_bucket`/`_sum`/`_count` suffixes allowed for histograms), metric
 /// names match the Prometheus grammar and values parse as floats.
 pub fn lint_prom(text: &str) -> Result<PromStats, String> {
+    lint_prom_families(text).map(|(stats, _)| stats)
+}
+
+/// [`lint_prom`] variant that also returns the declared family names, so
+/// callers can assert that required metrics (e.g. the engine's
+/// `tcw_horizon_*` fast-path counters) are actually present in an
+/// exposition.
+pub fn lint_prom_families(text: &str) -> Result<(PromStats, Vec<String>), String> {
     let mut stats = PromStats::default();
     let mut families: BTreeMap<String, String> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -239,7 +247,7 @@ pub fn lint_prom(text: &str) -> Result<PromStats, String> {
         }
         stats.samples += 1;
     }
-    Ok(stats)
+    Ok((stats, families.into_keys().collect()))
 }
 
 /// Validates a `key="value",...` label body.

@@ -133,6 +133,10 @@ mod gated {
         probe: LogHistogram,
         reopen: LogHistogram,
         other: LogHistogram,
+        jumps: u64,
+        slots_skipped: u64,
+        batched_runs: u64,
+        batched_slots: u64,
     }
 
     impl Default for PhaseProfiler {
@@ -150,7 +154,31 @@ mod gated {
                 probe: LogHistogram::new(),
                 reopen: LogHistogram::new(),
                 other: LogHistogram::new(),
+                jumps: 0,
+                slots_skipped: 0,
+                batched_runs: 0,
+                batched_slots: 0,
             }
+        }
+
+        /// Idle-run jumps observed (event-horizon fast path).
+        pub fn jumps(&self) -> u64 {
+            self.jumps
+        }
+
+        /// Idle decision rounds aggregated into jumps.
+        pub fn slots_skipped(&self) -> u64 {
+            self.slots_skipped
+        }
+
+        /// Batched resolution kernel activations observed.
+        pub fn batched_runs(&self) -> u64 {
+            self.batched_runs
+        }
+
+        /// Rounds resolved by the batched kernel.
+        pub fn batched_slots(&self) -> u64 {
+            self.batched_slots
         }
 
         fn lap(&mut self, phase: Phase) {
@@ -187,6 +215,11 @@ mod gated {
                     h.quantile_bound(0.99).unwrap_or(0),
                 );
             }
+            let _ = writeln!(
+                out,
+                "  horizon  jumps={} slots_skipped={} batched_runs={} batched_slots={}",
+                self.jumps, self.slots_skipped, self.batched_runs, self.batched_slots,
+            );
             out
         }
     }
@@ -233,6 +266,18 @@ mod gated {
         }
         fn on_beacon(&mut self, _now: Time, _timeline: &Timeline, _rng: &Rng) {}
         fn on_churn_event(&mut self, _now: Time, _ev: &ChurnEvent) {
+            self.lap(Phase::Other);
+        }
+        // Deliberately keeps the default `slow_path() == false`: the
+        // profiler tolerates aggregated stretches and counts them here.
+        fn on_idle_jump(&mut self, _from: Time, _to: Time, slots: u64) {
+            self.jumps += 1;
+            self.slots_skipped += slots;
+            self.lap(Phase::Other);
+        }
+        fn on_batched_run(&mut self, _from: Time, _to: Time, slots: u64) {
+            self.batched_runs += 1;
+            self.batched_slots += slots;
             self.lap(Phase::Other);
         }
     }

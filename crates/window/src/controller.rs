@@ -68,6 +68,34 @@ pub trait WindowController {
     /// A cleanly observed slot completed.
     fn on_slot(&mut self, ctx: SlotContext, outcome: &SlotOutcome);
 
+    /// Feeds back up to `n` consecutive steady-state idle rounds in one
+    /// call: at each round the engine would command a length, clip it to
+    /// the one-`tau` backlog `width` (ticks), probe the whole gap idle and
+    /// report `Initial { width }` / `Idle`. The default replays exactly
+    /// that loop — [`next_length`](Self::next_length) then
+    /// [`on_slot`](Self::on_slot), advancing `now` by `width` ticks per
+    /// round — bailing out (without the `on_slot`) as soon as a commanded
+    /// length no longer covers the gap, and returns the number of rounds
+    /// consumed. The engine re-runs `next_length` at the bail point on its
+    /// slow path, so implementations must keep `next_length` idempotent at
+    /// fixed state (all in-tree controllers are). Overrides must be
+    /// bit-identical to the default; [`StaticController`] collapses it to
+    /// O(1) because its feedback is ignored and its command depends only
+    /// on the backlog.
+    fn on_idle_run(&mut self, now: Time, width: u64, n: u64, policy: &ControlPolicy) -> u64 {
+        let backlog = Dur::from_ticks(width);
+        let mut t = now;
+        for i in 0..n {
+            let len = self.next_length(t, backlog, policy);
+            if len < width {
+                return i;
+            }
+            self.on_slot(SlotContext::Initial { width }, &SlotOutcome::Idle);
+            t += backlog;
+        }
+        n
+    }
+
     /// The most recently commanded window length in ticks (gauge).
     fn window_ticks(&self) -> u64;
 
@@ -138,6 +166,17 @@ impl WindowController for StaticController {
     }
 
     fn on_slot(&mut self, _ctx: SlotContext, _outcome: &SlotOutcome) {}
+
+    fn on_idle_run(&mut self, now: Time, width: u64, n: u64, policy: &ControlPolicy) -> u64 {
+        // Feedback is ignored and the command is a pure function of the
+        // backlog, so one `next_length` call reproduces the state of `n`.
+        let len = self.next_length(now, Dur::from_ticks(width), policy);
+        if len < width {
+            0
+        } else {
+            n
+        }
+    }
 
     fn window_ticks(&self) -> u64 {
         self.last

@@ -81,7 +81,7 @@
 use crate::controller::{SlotContext, StaticController, WindowController};
 use crate::interval::Interval;
 use crate::metrics::{MeasureConfig, Metrics};
-use crate::policy::ControlPolicy;
+use crate::policy::{ControlPolicy, WindowPosition};
 use crate::pseudo::{PseudoInterval, PseudoMap};
 use crate::timeline::Timeline;
 use crate::trace::EngineObserver;
@@ -171,7 +171,51 @@ enum ClusterEnd {
 const SNAP_MAGIC: u64 = 0x7463_775f_736e_6170;
 /// Snapshot layout version; bumped whenever the word stream changes so
 /// stale snapshots are rejected instead of misdecoded.
-const SNAP_FORMAT: u64 = 1;
+const SNAP_FORMAT: u64 = 2;
+
+/// Telemetry of the event-horizon fast path: how much work the engine
+/// avoided by jumping over analytically known idle runs and by resolving
+/// contiguous singleton/empty windows in the batched kernel. Purely
+/// observational — both paths are bit-identical in every protocol metric,
+/// so these counters are excluded from equivalence fingerprints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HorizonStats {
+    /// Idle-run jumps taken.
+    pub jumps: u64,
+    /// Idle decision rounds aggregated into jumps (one probe slot each).
+    pub slots_skipped: u64,
+    /// Batched-kernel activations.
+    pub batched_runs: u64,
+    /// Rounds resolved by the batched kernel without generic dispatch.
+    pub batched_slots: u64,
+}
+
+impl HorizonStats {
+    /// Pushes the fast-path counters into `sink` under stable
+    /// `tcw_horizon_*` names.
+    pub fn emit(&self, sink: &mut dyn tcw_sim::stats::MetricSink) {
+        sink.counter(
+            "tcw_horizon_jumps_total",
+            "idle-run jumps taken by the event-horizon fast path",
+            self.jumps,
+        );
+        sink.counter(
+            "tcw_horizon_slots_skipped_total",
+            "idle decision rounds aggregated into jumps",
+            self.slots_skipped,
+        );
+        sink.counter(
+            "tcw_horizon_batched_runs_total",
+            "batched resolution kernel activations",
+            self.batched_runs,
+        );
+        sink.counter(
+            "tcw_horizon_batched_slots_total",
+            "rounds resolved by the batched kernel",
+            self.batched_slots,
+        );
+    }
+}
 
 /// The protocol engine; generic over the arrival process.
 pub struct Engine<S: ArrivalSource> {
@@ -230,10 +274,16 @@ pub struct Engine<S: ArrivalSource> {
     orphans_swap: Vec<(Time, MessageId)>,
     /// See `orphans_swap`.
     rejoining_swap: Vec<(StationId, u64)>,
+    /// Event-horizon fast path toggle (on by default). Off forces the
+    /// slot-stepped slow path unconditionally, as does attaching an
+    /// observer whose [`EngineObserver::slow_path`] returns `true`.
+    jump_ahead: bool,
     /// Loss/delay accounting.
     pub metrics: Metrics,
     /// Channel-time accounting.
     pub channel_stats: ChannelStats,
+    /// Event-horizon fast-path telemetry.
+    pub horizon_stats: HorizonStats,
 }
 
 impl<S: ArrivalSource> Engine<S> {
@@ -279,9 +329,25 @@ impl<S: ArrivalSource> Engine<S> {
             sweep_keys: Vec::new(),
             orphans_swap: Vec::new(),
             rejoining_swap: Vec::new(),
+            jump_ahead: true,
             metrics: Metrics::new(cfg.measure),
             channel_stats: ChannelStats::new(),
+            horizon_stats: HorizonStats::default(),
         }
+    }
+
+    /// Enables or disables the event-horizon fast path (on by default).
+    /// Disabling forces every decision cycle through the slot-stepped
+    /// slow path; both paths are bit-identical in every protocol metric,
+    /// RNG stream and controller state (pinned by the A-B property test),
+    /// so this knob only trades speed for per-event observability.
+    pub fn set_jump_ahead(&mut self, on: bool) {
+        self.jump_ahead = on;
+    }
+
+    /// Whether the event-horizon fast path is enabled.
+    pub fn jump_ahead(&self) -> bool {
+        self.jump_ahead
     }
 
     /// Installs a fault plan; [`FaultPlan::none`] (the default) leaves the
@@ -459,6 +525,15 @@ impl<S: ArrivalSource> Engine<S> {
         ] {
             w.push(c);
         }
+        w.push_bool(self.jump_ahead);
+        for c in [
+            self.horizon_stats.jumps,
+            self.horizon_stats.slots_skipped,
+            self.horizon_stats.batched_runs,
+            self.horizon_stats.batched_slots,
+        ] {
+            w.push(c);
+        }
         let mut words = w.into_words();
         words.push(snap::checksum(&words));
         Ok(words)
@@ -606,6 +681,13 @@ impl<S: ArrivalSource> Engine<S> {
             erased_slots: counts[3],
             quiet_periods: counts[4],
         };
+        self.jump_ahead = r.take_bool()?;
+        self.horizon_stats = HorizonStats {
+            jumps: r.take()?,
+            slots_skipped: r.take()?,
+            batched_runs: r.take()?,
+            batched_slots: r.take()?,
+        };
         r.finish()?;
         // Scratch buffers hold no live content at a decision boundary;
         // clear them so a reused engine starts the next cycle clean.
@@ -622,8 +704,21 @@ impl<S: ArrivalSource> Engine<S> {
     }
 
     /// Runs until the clock reaches `horizon`.
+    ///
+    /// When the event-horizon fast path is enabled (the default) and the
+    /// attached observer does not demand per-event callbacks
+    /// ([`EngineObserver::slow_path`]), stretches of analytically known
+    /// rounds are executed by [`Engine::fast_forward`] — bit-identical in
+    /// every protocol metric, RNG stream and controller state to the
+    /// slot-stepped path, but reported to the observer only through the
+    /// aggregate [`EngineObserver::on_idle_jump`] /
+    /// [`EngineObserver::on_batched_run`] hooks.
     pub fn run_until(&mut self, horizon: Time, obs: &mut dyn EngineObserver) {
+        let fast = self.jump_ahead && !obs.slow_path();
         while self.timeline.now() < horizon {
+            if fast && self.fast_forward(horizon, obs) {
+                continue;
+            }
             self.cycle(obs);
         }
     }
@@ -647,6 +742,250 @@ impl<S: ArrivalSource> Engine<S> {
         self.lookahead
             .map(|a| a.time <= self.arrival_cutoff)
             .unwrap_or(false)
+    }
+
+    /// The event-horizon fast path. Tries to execute a stretch of
+    /// analytically known decision cycles in one pass and returns whether
+    /// any progress was made; on `false` the caller must run one generic
+    /// [`Engine::cycle`]. Two kernels:
+    ///
+    /// * **idle-run jump** — pending book empty: every cycle until the
+    ///   next arrival (bounded by the horizon and the next scheduled churn
+    ///   transition) probes the whole one-`tau` trailing gap idle, so the
+    ///   clock, examined prefix, idle counters and controller feedback are
+    ///   all advanced in O(1) + the controller's own feedback cost;
+    /// * **batched resolution** — pending book nonempty, single trailing
+    ///   gap, Oldest position: maximal runs of empty/singleton initial
+    ///   windows are resolved without pseudo-map rebuilds or generic
+    ///   round dispatch, bailing to the slow path on the first window
+    ///   holding two or more live arrivals.
+    ///
+    /// Both kernels require a fault-free medium, no pending recovery work
+    /// (orphans/rejoining) and a non-RANDOM window position, and replicate
+    /// the slow path's operation order exactly — no RNG stream is touched
+    /// differently, so the runs are bit-identical (pinned by the A-B
+    /// property tests). Per-event observer callbacks inside the stretch
+    /// are suppressed; `fast_forward` is only reached when the observer
+    /// declared itself aggregate-only via [`EngineObserver::slow_path`].
+    fn fast_forward(&mut self, limit: Time, obs: &mut dyn EngineObserver) -> bool {
+        if !self.medium.plan().is_none()
+            || !self.orphans.is_empty()
+            || !self.rejoining.is_empty()
+            || matches!(self.policy.position, WindowPosition::Random)
+        {
+            return false;
+        }
+        let tau = self.medium.config().tau();
+        // `ingest` is idempotent at fixed `now`: bailing to `cycle()`
+        // afterwards re-runs it as a no-op.
+        self.ingest(self.timeline.now());
+        if self.pending.is_empty() {
+            self.idle_jump(limit, tau, obs)
+        } else {
+            self.batched_rounds(limit, tau, obs)
+        }
+    }
+
+    /// Idle-run jump: with nothing pending and the timeline in its
+    /// steady idle shape (examined prefix + one trailing gap exactly one
+    /// `tau` wide), every cycle up to the next external event is an
+    /// idle probe of the whole gap. `n` such cycles leave the system in a
+    /// closed-form state: clock `+n*tau`, examined prefix extended by
+    /// `(n-1)*tau` (the final gap stays unexamined), `n` idle slots of
+    /// channel time, `n` churn slots with no transitions, and `n`
+    /// identical `Initial`/`Idle` feedback events — which
+    /// [`WindowController::on_idle_run`] applies (or replays) exactly.
+    /// No RNG stream is touched, matching the slow path draw-for-draw.
+    fn idle_jump(&mut self, limit: Time, tau: Dur, obs: &mut dyn EngineObserver) -> bool {
+        // A sub-`tau` discard deadline would eat into the trailing gap at
+        // every cycle; leave that pathology to the slow path.
+        if self.policy.discard_after.is_some_and(|k| k < tau) {
+            return false;
+        }
+        let now = self.timeline.now();
+        let Some(gap) = self.timeline.trailing_gap() else {
+            return false;
+        };
+        if gap.hi != now || gap.width() != tau {
+            return false;
+        }
+        let tau_ticks = tau.ticks();
+        // Cycle counts that reproduce the slow path's exit conditions
+        // exactly: `run_until` overshoots to the first decision point at
+        // or past the horizon, and an arrival is admitted at the first
+        // decision point at or past its arrival time.
+        let mut n = (limit - now).ticks().div_ceil(tau_ticks);
+        match self.lookahead {
+            Some(a) => {
+                debug_assert!(a.time > now, "admissible arrival not ingested");
+                n = n.min((a.time - now).ticks().div_ceil(tau_ticks));
+            }
+            // `ingest` leaves `lookahead` empty only when the source is
+            // exhausted, so there is no arrival bound.
+            None => debug_assert!(self.source_done),
+        }
+        if let Some(s) = self.churn.next_scheduled_transition() {
+            n = n.min(s - self.churn.slot() - 1);
+        }
+        if n == 0 {
+            return false;
+        }
+        let consumed = self.controller.on_idle_run(now, tau_ticks, n, &self.policy);
+        if consumed == 0 {
+            return false;
+        }
+        let to = now + Dur::from_ticks(consumed * tau_ticks);
+        self.timeline.advance(to);
+        self.timeline.mark_examined(Interval::new(
+            gap.lo,
+            now + Dur::from_ticks((consumed - 1) * tau_ticks),
+        ));
+        self.channel_stats.idle += Dur::from_ticks(consumed * tau_ticks);
+        self.channel_stats.idle_slots += consumed;
+        self.churn.skip_slots(consumed);
+        self.horizon_stats.jumps += 1;
+        self.horizon_stats.slots_skipped += consumed;
+        obs.on_idle_jump(now, to, consumed);
+        true
+    }
+
+    /// Batched resolution kernel: under the Oldest (FCFS) position with a
+    /// single trailing gap, an initial window is one contiguous actual
+    /// interval at the gap's old edge, so counting its live occupants is
+    /// one `BTreeMap` range probe — no pseudo-map rebuild, no segment
+    /// materialization. Empty and singleton windows resolve in one step
+    /// (idle round / immediate success); the first window holding two or
+    /// more live arrivals ends the batch and falls back to the generic
+    /// round (re-entry is idempotent: nothing beyond `ingest`, the
+    /// discard sweep and an idempotent `next_length` has happened for the
+    /// aborted round, and no RNG was drawn).
+    fn batched_rounds(&mut self, limit: Time, tau: Dur, obs: &mut dyn EngineObserver) -> bool {
+        if !matches!(self.policy.position, WindowPosition::Oldest) {
+            return false;
+        }
+        let from = self.timeline.now();
+        let mut done: u64 = 0;
+        loop {
+            let now = self.timeline.now();
+            if now >= limit {
+                break;
+            }
+            // The single churn slot this round consumes must be
+            // transition-free; an eventful slot needs `cycle`'s handlers.
+            if self
+                .churn
+                .next_scheduled_transition()
+                .is_some_and(|s| s <= self.churn.slot() + 1)
+            {
+                break;
+            }
+            self.ingest(now);
+            // Book drained and the timeline back in its steady idle
+            // shape: hand the stretch to the O(1) idle jump instead of
+            // stepping tau-wide idle rounds one loop iteration each.
+            if self.pending.is_empty()
+                && self
+                    .timeline
+                    .trailing_gap()
+                    .is_some_and(|g| g.width() == tau)
+            {
+                break;
+            }
+            // Policy element (4), replicated from `cycle`.
+            if let Some(k) = self.policy.discard_after {
+                let cutoff = now.saturating_sub(k);
+                while let Some((&key, _)) = self.pending.iter().next() {
+                    if key.0 >= cutoff {
+                        break;
+                    }
+                    let msg = self.pending.remove(&key).expect("key just observed");
+                    self.busy_stations.remove(&msg.station);
+                    let counted = self.metrics.config().counts(msg.arrival);
+                    if self.fault_touched.remove(&msg.id) && counted {
+                        self.metrics.on_fault_loss();
+                    }
+                    if self.churn_touched.remove(&msg.id) && counted {
+                        self.metrics.on_churn_loss();
+                    }
+                    self.metrics.on_sender_discard(msg.arrival);
+                    obs.on_sender_discard(&msg, now);
+                }
+                self.timeline.discard_before(cutoff);
+            }
+            let Some(gap) = self.timeline.trailing_gap() else {
+                // Zero backlog (or interior gaps): slow path.
+                break;
+            };
+            debug_assert_eq!(gap.hi, now);
+            let backlog = gap.width();
+            let length = self.controller.next_length(now, backlog, &self.policy);
+            // Mirrors `choose_window_with_length` under Oldest: pseudo
+            // `[0, w)` is actual `[gap.lo, gap.lo + w)` when the
+            // unexamined region is one interval.
+            let w = length.max(1).min(backlog.ticks());
+            let span = Interval::new(gap.lo, gap.lo + Dur::from_ticks(w));
+            let filter_churn = !self.churn.plan().is_none();
+            let mut first: Option<Message> = None;
+            let mut live = 0usize;
+            for m in self
+                .pending
+                .range((span.lo, MessageId(0))..(span.hi, MessageId(0)))
+                .map(|(_, m)| m)
+            {
+                if filter_churn && !self.churn.is_up(m.station) {
+                    continue;
+                }
+                live += 1;
+                if live == 1 {
+                    first = Some(*m);
+                } else {
+                    break;
+                }
+            }
+            if live >= 2 {
+                break; // genuine collision: generic splitting machinery
+            }
+            // Operation order replicates the slow path exactly: stats,
+            // controller feedback, clock, delivery, churn slot, examined
+            // marking.
+            match first {
+                None => {
+                    self.channel_stats.record(&SlotOutcome::Idle, tau);
+                    self.controller
+                        .on_slot(SlotContext::Initial { width: w }, &SlotOutcome::Idle);
+                    self.timeline.advance(now + tau);
+                    self.churn.skip_slots(1);
+                    self.timeline.mark_examined(span);
+                }
+                Some(msg) => {
+                    let (outcome, dur) = (
+                        SlotOutcome::Success(msg.id),
+                        if self.medium.config().guard {
+                            self.medium.config().message_duration() + tau
+                        } else {
+                            self.medium.config().message_duration()
+                        },
+                    );
+                    self.channel_stats.record(&outcome, dur);
+                    self.controller
+                        .on_slot(SlotContext::Initial { width: w }, &outcome);
+                    self.timeline.advance(now + dur);
+                    // Delivery precedes the end-of-slot churn transitions,
+                    // as in the slow path.
+                    self.complete_transmission(msg, now, now, 0, obs);
+                    self.churn.skip_slots(1);
+                    self.timeline.mark_examined(span);
+                }
+            }
+            done += 1;
+        }
+        if done == 0 {
+            return false;
+        }
+        self.horizon_stats.batched_runs += 1;
+        self.horizon_stats.batched_slots += done;
+        obs.on_batched_run(from, self.timeline.now(), done);
+        true
     }
 
     /// Admits arrivals with time `<= now` into the pending set.
@@ -1763,6 +2102,10 @@ mod tests {
         #[derive(Default)]
         struct OutcomeLog(Vec<SlotOutcome>);
         impl EngineObserver for OutcomeLog {
+            // Replay needs every probe, so opt out of the fast path.
+            fn slow_path(&self) -> bool {
+                true
+            }
             fn on_probe(
                 &mut self,
                 _start: Time,

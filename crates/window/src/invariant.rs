@@ -392,6 +392,12 @@ impl InvariantMonitor {
 }
 
 impl EngineObserver for InvariantMonitor {
+    // The monitor reconstructs the clock from individual probes, so it
+    // must see every slot: attaching it forces the slot-stepped path.
+    fn slow_path(&self) -> bool {
+        true
+    }
+
     fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
         self.check_clock("decision", now);
         if let Some(m) = &mut self.mirror {

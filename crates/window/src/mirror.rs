@@ -122,6 +122,12 @@ impl StationMirror {
 }
 
 impl EngineObserver for StationMirror {
+    // The mirror re-derives every window from per-slot feedback, so it
+    // must see every slot: attaching it forces the slot-stepped path.
+    fn slow_path(&self) -> bool {
+        true
+    }
+
     fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
         self.decisions += 1;
         if self.round.is_some() {
@@ -457,6 +463,12 @@ impl DivergenceDetector {
 }
 
 impl EngineObserver for DivergenceDetector {
+    // Outage windows are counted in heard slots, so the detector needs
+    // every per-slot callback.
+    fn slow_path(&self) -> bool {
+        true
+    }
+
     fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
         // A down station misses decisions outright — unlike a deaf one,
         // which still catches the (out-of-band) decision announcement.

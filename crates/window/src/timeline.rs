@@ -230,6 +230,20 @@ impl Timeline {
     pub fn examined_fragments(&self) -> usize {
         self.examined.len()
     }
+
+    /// The single trailing unexamined gap `[e, now)` when the examined set
+    /// is exactly the prefix `[0, e)` (or empty), `None` otherwise. This
+    /// is the steady-state shape under the FCFS/Theorem-1 discipline and
+    /// the precondition for the engine's event-horizon fast path: a
+    /// nonempty answer proves the whole unexamined region is one interval
+    /// ending at `now`.
+    pub fn trailing_gap(&self) -> Option<Interval> {
+        match self.examined.as_slice() {
+            [] => (self.now > Time::ZERO).then(|| Interval::new(Time::ZERO, self.now)),
+            [e] if e.lo == Time::ZERO && e.hi < self.now => Some(Interval::new(e.hi, self.now)),
+            _ => None,
+        }
+    }
 }
 
 impl Default for Timeline {

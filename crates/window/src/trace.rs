@@ -72,6 +72,28 @@ pub trait EngineObserver {
     /// A station membership transition (crash, restart, late join or
     /// permanent leave) occurred after the slot that just completed.
     fn on_churn_event(&mut self, _now: Time, _ev: &ChurnEvent) {}
+
+    /// Whether this observer needs every per-event callback (`on_beacon`,
+    /// `on_decision`, `on_probe`, ...) at each individual slot. Observers
+    /// returning `true` force the engine onto its slot-stepped slow path;
+    /// the event-horizon fast path (which aggregates runs of idle slots
+    /// and reports only [`on_idle_jump`](Self::on_idle_jump) /
+    /// [`on_batched_run`](Self::on_batched_run)) would starve them.
+    /// Metrics, channel stats and controller state are bit-identical on
+    /// either path, so purely statistical observers keep the default.
+    fn slow_path(&self) -> bool {
+        false
+    }
+
+    /// The event-horizon fast path advanced the clock from `from` to `to`
+    /// in one jump, aggregating `slots` idle decision rounds. Per-event
+    /// callbacks for those rounds are suppressed.
+    fn on_idle_jump(&mut self, _from: Time, _to: Time, _slots: u64) {}
+
+    /// The batched resolution kernel resolved `slots` contiguous
+    /// singleton/empty rounds between `from` and `to` without per-slot
+    /// re-dispatch. Per-event callbacks for those rounds are suppressed.
+    fn on_batched_run(&mut self, _from: Time, _to: Time, _slots: u64) {}
 }
 
 /// The do-nothing observer.
@@ -125,6 +147,10 @@ impl TraceRecorder {
 }
 
 impl EngineObserver for TraceRecorder {
+    fn slow_path(&self) -> bool {
+        true
+    }
+
     fn on_decision(&mut self, now: Time, segments: Option<&[Interval]>) {
         match segments {
             Some(s) => self.push(format!(
@@ -251,6 +277,17 @@ impl<'a, A: EngineObserver + ?Sized, B: EngineObserver + ?Sized> EngineObserver 
     fn on_churn_event(&mut self, now: Time, ev: &ChurnEvent) {
         self.a.on_churn_event(now, ev);
         self.b.on_churn_event(now, ev);
+    }
+    fn slow_path(&self) -> bool {
+        self.a.slow_path() || self.b.slow_path()
+    }
+    fn on_idle_jump(&mut self, from: Time, to: Time, slots: u64) {
+        self.a.on_idle_jump(from, to, slots);
+        self.b.on_idle_jump(from, to, slots);
+    }
+    fn on_batched_run(&mut self, from: Time, to: Time, slots: u64) {
+        self.a.on_batched_run(from, to, slots);
+        self.b.on_batched_run(from, to, slots);
     }
 }
 

@@ -382,3 +382,58 @@ fn trace_source_cursor_round_trips() {
     assert_eq!(target.metrics.offered(), full.metrics.offered());
     assert_eq!(target.now(), full.now());
 }
+
+/// Checkpoint/restore around the event-horizon fast path: a light-load
+/// run whose stretches are executed by the idle-jump kernel snapshots at
+/// points the jump lands on mid-stretch, restores into a fresh engine,
+/// and continues bit-identically — including the `HorizonStats`
+/// accounting and the `jump_ahead` switch itself, which both live in the
+/// snapshot (format v2).
+#[test]
+fn snapshot_mid_jump_continues_bit_identically() {
+    let light = |seed: u64| {
+        let mut eng = poisson_engine(channel(), policy(), measure(), 0.05, 20, seed);
+        eng.set_controller(ControllerConfig::Static.build());
+        eng
+    };
+
+    let mut full = light(31);
+    full.run_until(Time::from_ticks(HORIZON), &mut NoopObserver);
+    full.drain(&mut NoopObserver);
+    let reference = fingerprint(&full, "");
+    assert!(
+        full.horizon_stats.jumps > 0,
+        "light-load run must exercise the idle jump"
+    );
+
+    // Split points chosen off decision boundaries: `run_until` overshoots
+    // each to wherever the in-flight jump or round actually lands.
+    for split in [7_919, 23_677, 59_999] {
+        let mut first = light(31);
+        first.run_until(Time::from_ticks(split), &mut NoopObserver);
+        let stats_at_split = first.horizon_stats;
+        assert!(stats_at_split.jumps > 0, "split {split} before first jump");
+        let words = first.snapshot().expect("snapshot mid-jump");
+        drop(first);
+
+        let mut second = light(31 ^ 0xdead_beef);
+        second.set_jump_ahead(false); // must be overwritten by restore
+        second.restore(&words).expect("restore mid-jump");
+        assert!(second.jump_ahead(), "jump_ahead flag lost in round trip");
+        assert_eq!(
+            second.horizon_stats, stats_at_split,
+            "horizon stats lost in round trip"
+        );
+        second.run_until(Time::from_ticks(HORIZON), &mut NoopObserver);
+        second.drain(&mut NoopObserver);
+        assert_eq!(
+            fingerprint(&second, ""),
+            reference,
+            "split {split} diverged after restore"
+        );
+        assert!(
+            second.horizon_stats.jumps >= stats_at_split.jumps,
+            "restored engine stopped jumping"
+        );
+    }
+}
