@@ -25,8 +25,8 @@ use tcw_experiments::plot::write_csv;
 use tcw_experiments::runner::{measure_window, run_to_horizon};
 use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
 use tcw_experiments::{
-    diag, observe_engine_cell, write_observability, CellArtifacts, ObsConfig, Panel, SimSettings,
-    SweepMeta,
+    diag, observe_engine_cell, write_observability, Capture, CellArtifacts, ObsConfig, Panel,
+    SimSettings, SweepMeta,
 };
 use tcw_mdp::howard::policy_iteration;
 use tcw_mdp::smdp::{Smdp, SmdpConfig};
@@ -65,10 +65,10 @@ struct Outcome {
     blocked_frac: f64,
 }
 
-fn run_cell(cell: &Cell, index: usize, tracing: bool, metrics: bool) -> (Outcome, CellArtifacts) {
+fn run_cell(cell: &Cell, index: usize, caps: Capture) -> (Outcome, CellArtifacts) {
     let seed_s = format!("{}", cell.seed);
     let labels = [("variant", cell.name.as_str()), ("seed", seed_s.as_str())];
-    observe_engine_cell(tracing, metrics, index, &cell.name, &labels, |obs, sink| {
+    observe_engine_cell(caps, index, &cell.name, &labels, |obs, sink| {
         let settings = cell.settings;
         let tpt = settings.ticks_per_tau;
         let channel = tcw_mac::ChannelConfig {
@@ -342,14 +342,12 @@ fn main() {
         cells.push(c);
     }
 
-    let tracing = obs.trace_events.is_some();
-    let metrics = obs.metrics.is_some();
+    let caps = obs.capture();
     let progress = obs
         .progress
         .then(|| tcw_obs::Progress::new(cells.len(), jobs));
-    let outcomes = run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, c| {
-        run_cell(c, i, tracing, metrics)
-    });
+    let outcomes =
+        run_parallel_with_progress(&cells, jobs, progress.as_ref(), |i, c| run_cell(c, i, caps));
     if let Some(p) = &progress {
         p.finish();
     }

@@ -29,7 +29,7 @@ use tcw_experiments::replay::panic_message;
 use tcw_experiments::supervise::{supervised_cells, SupervisorOptions};
 use tcw_experiments::sweep::{jobs_from_args, run_parallel_with_progress};
 use tcw_experiments::{
-    observe_engine_cell, write_observability, CellArtifacts, ObsConfig, SweepMeta,
+    observe_engine_cell, write_observability, Capture, CellArtifacts, ObsConfig, SweepMeta,
 };
 use tcw_sim::rng::stream_seed;
 
@@ -106,10 +106,10 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
-    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+    if sup.is_some() && obs.wants_telemetry() {
         diag::error(
             "adaptive",
-            "supervision flags are incompatible with --trace-events/--metrics",
+            "supervision flags are incompatible with --trace-events/--spans/--metrics",
         );
         std::process::exit(diag::EXIT_USAGE);
     }
@@ -186,7 +186,7 @@ fn main() {
                 },
                 move |i| {
                     let (s, c, r) = sup_cells[i];
-                    observe_engine_cell(false, false, i, "", &[], |obs, sink| {
+                    observe_engine_cell(Capture::OFF, i, "", &[], |obs, sink| {
                         run_cell(s, c, r, obs, sink)
                     })
                     .0
@@ -198,8 +198,7 @@ fn main() {
                 (0..n).map(|_| CellArtifacts::default()).collect(),
             )
         } else {
-            let tracing = obs.trace_events.is_some();
-            let metrics = obs.metrics.is_some();
+            let caps = obs.capture();
             let progress = obs
                 .progress
                 .then(|| tcw_obs::Progress::new(cells.len(), jobs));
@@ -215,7 +214,7 @@ fn main() {
                         ("replicate", r_s.as_str()),
                     ];
                     catch_unwind(AssertUnwindSafe(|| {
-                        observe_engine_cell(tracing, metrics, i, &label, &labels, |obs, sink| {
+                        observe_engine_cell(caps, i, &label, &labels, |obs, sink| {
                             run_cell(s, c, r, obs, sink)
                         })
                     }))

@@ -221,10 +221,10 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
-    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+    if sup.is_some() && obs.wants_telemetry() {
         diag::error(
             "chaos",
-            "supervision flags are incompatible with --trace-events/--metrics",
+            "supervision flags are incompatible with --trace-events/--spans/--metrics",
         );
         std::process::exit(diag::EXIT_USAGE);
     }
@@ -271,8 +271,7 @@ fn main() {
         supervised_outcomes(configs, jobs, sup, obs.progress, inject_panic, inject_slow)
     } else {
         let cells: Vec<u64> = (0..configs as u64).collect();
-        let tracing = obs.trace_events.is_some();
-        let metrics = obs.metrics.is_some();
+        let caps = obs.capture();
         let progress = obs
             .progress
             .then(|| tcw_obs::Progress::new(cells.len(), jobs));
@@ -284,8 +283,8 @@ fn main() {
                 ("config", idx_s.as_str()),
                 ("controller", cfg.controller.label()),
             ];
-            if tracing || metrics {
-                let (out, art) = observe_engine_cell(tracing, metrics, i, &label, &labels, {
+            if caps.any() {
+                let (out, art) = observe_engine_cell(caps, i, &label, &labels, {
                     let cfg = cfg.clone();
                     move |obs, sink| run_observed(&cfg, obs, sink)
                 });

@@ -92,10 +92,10 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
-    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+    if sup.is_some() && obs.wants_telemetry() {
         diag::error(
             "churn",
-            "supervision flags are incompatible with --trace-events/--metrics",
+            "supervision flags are incompatible with --trace-events/--spans/--metrics",
         );
         std::process::exit(diag::EXIT_USAGE);
     }
@@ -170,8 +170,7 @@ fn main() {
                 (0..n).map(|_| CellArtifacts::default()).collect(),
             )
         } else {
-            let tracing = obs.trace_events.is_some();
-            let metrics = obs.metrics.is_some();
+            let caps = obs.capture();
             let progress = obs
                 .progress
                 .then(|| tcw_obs::Progress::new(cells.len(), jobs));
@@ -184,8 +183,7 @@ fn main() {
                     let labels = [("rho", rho_s.as_str()), ("crash_rate", c_s.as_str())];
                     catch_unwind(AssertUnwindSafe(|| {
                         observed_cell(
-                            tracing,
-                            metrics,
+                            caps,
                             i,
                             &label,
                             &labels,
@@ -198,7 +196,18 @@ fn main() {
                             rec.churn,
                         )
                     }))
-                    .map(|(csp, art)| (Ok(csp), art))
+                    .map(|(csp, art)| {
+                        if let Some(p) = &progress {
+                            let h = csp.horizon;
+                            p.note_horizon(
+                                h.jumps,
+                                h.slots_skipped,
+                                h.batched_runs,
+                                h.batched_slots,
+                            );
+                        }
+                        (Ok(csp), art)
+                    })
                     .unwrap_or_else(|e| (Err(panic_message(e)), CellArtifacts::default()))
                 });
             if let Some(p) = &progress {

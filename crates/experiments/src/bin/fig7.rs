@@ -142,8 +142,7 @@ fn run_panels(
         let n = points.len();
         (points, (0..n).map(|_| CellArtifacts::default()).collect())
     } else {
-        let tracing = obs.trace_events.is_some();
-        let metrics = obs.metrics.is_some();
+        let caps = obs.capture();
         let progress = obs
             .progress
             .then(|| tcw_obs::Progress::new(cells.len(), jobs));
@@ -159,8 +158,7 @@ fn run_panels(
                 ("seed", seed_str.as_str()),
             ];
             let (p, art) = observed_cell(
-                tracing,
-                metrics,
+                caps,
                 i,
                 &label,
                 &labels,
@@ -172,6 +170,10 @@ fn run_panels(
                 FaultPlan::none(),
                 ChurnPlan::none(),
             );
+            if let Some(pr) = &progress {
+                let h = p.horizon;
+                pr.note_horizon(h.jumps, h.slots_skipped, h.batched_runs, h.batched_slots);
+            }
             (p.point, art)
         });
         if let Some(p) = &progress {
@@ -394,8 +396,7 @@ fn run_obs_cell(obs: &ObsConfig) -> i32 {
         ("seed", seed_str.as_str()),
     ];
     let (p, art) = observed_cell(
-        true,
-        true,
+        obs.capture(),
         0,
         &label,
         &labels,
@@ -437,10 +438,10 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
-    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+    if sup.is_some() && obs.wants_telemetry() {
         diag::error(
             "fig7",
-            "supervision flags are incompatible with --trace-events/--metrics",
+            "supervision flags are incompatible with --trace-events/--spans/--metrics",
         );
         std::process::exit(diag::EXIT_USAGE);
     }

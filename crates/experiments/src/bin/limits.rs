@@ -122,8 +122,7 @@ fn main() {
     println!("eq. 4.7 boundary checks\n");
 
     let cells: [(f64, u64); 4] = [(0.01, 25), (0.02, 25), (0.03, 25), (0.0075, 100)];
-    let tracing = obs.trace_events.is_some();
-    let metrics = obs.metrics.is_some();
+    let caps = obs.capture();
     let progress = obs
         .progress
         .then(|| tcw_obs::Progress::new(cells.len(), jobs));
@@ -133,7 +132,7 @@ fn main() {
             let l_s = format!("{lambda}");
             let m_s = format!("{m}");
             let labels = [("lambda", l_s.as_str()), ("m", m_s.as_str())];
-            observe_engine_cell(tracing, metrics, i, &label, &labels, |_obs, sink| {
+            observe_engine_cell(caps, i, &label, &labels, |_obs, sink| {
                 panel_checks(lambda, m, sink)
             })
         });

@@ -96,10 +96,10 @@ fn main() {
             std::process::exit(diag::EXIT_USAGE);
         }
     };
-    if sup.is_some() && (obs.trace_events.is_some() || obs.metrics.is_some()) {
+    if sup.is_some() && obs.wants_telemetry() {
         diag::error(
             "robustness",
-            "supervision flags are incompatible with --trace-events/--metrics",
+            "supervision flags are incompatible with --trace-events/--spans/--metrics",
         );
         std::process::exit(diag::EXIT_USAGE);
     }
@@ -173,8 +173,7 @@ fn main() {
                 (0..n).map(|_| CellArtifacts::default()).collect(),
             )
         } else {
-            let tracing = obs.trace_events.is_some();
-            let metrics = obs.metrics.is_some();
+            let caps = obs.capture();
             let progress = obs
                 .progress
                 .then(|| tcw_obs::Progress::new(cells.len(), jobs));
@@ -187,8 +186,7 @@ fn main() {
                     let labels = [("rho", rho_s.as_str()), ("fault_prob", p_s.as_str())];
                     catch_unwind(AssertUnwindSafe(|| {
                         let (point, art) = observed_cell(
-                            tracing,
-                            metrics,
+                            caps,
                             i,
                             &label,
                             &labels,
@@ -200,6 +198,15 @@ fn main() {
                             rec.plan,
                             ChurnPlan::none(),
                         );
+                        if let Some(pr) = &progress {
+                            let h = point.horizon;
+                            pr.note_horizon(
+                                h.jumps,
+                                h.slots_skipped,
+                                h.batched_runs,
+                                h.batched_slots,
+                            );
+                        }
                         (
                             FaultSimPoint {
                                 point: point.point,

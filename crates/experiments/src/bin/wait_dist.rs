@@ -68,8 +68,7 @@ fn main() {
     let tpt = 64u64;
     let grid: Vec<f64> = (1..=40).map(|i| k_tau * i as f64 / 40.0).collect();
     let seeds = [77u64];
-    let tracing = obs.trace_events.is_some();
-    let metrics_on = obs.metrics.is_some();
+    let caps = obs.capture();
     let progress = obs
         .progress
         .then(|| tcw_obs::Progress::new(seeds.len(), jobs));
@@ -77,7 +76,7 @@ fn main() {
         let label = format!("wait_dist seed={seed}");
         let seed_s = format!("{seed}");
         let labels = [("seed", seed_s.as_str())];
-        observe_engine_cell(tracing, metrics_on, i, &label, &labels, |observer, sink| {
+        observe_engine_cell(caps, i, &label, &labels, |observer, sink| {
             let channel = ChannelConfig {
                 ticks_per_tau: tpt,
                 message_slots: m,

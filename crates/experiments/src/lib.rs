@@ -46,7 +46,8 @@ pub use chaos::{
     Mutation, ShrinkResult, ShrinkStep,
 };
 pub use obs::{
-    observe_engine_cell, observed_cell, write_observability, CellArtifacts, ObsConfig, SweepMeta,
+    observe_engine_cell, observed_cell, write_observability, Capture, CellArtifacts, ObsConfig,
+    SweepMeta,
 };
 pub use panels::{Panel, PANELS};
 pub use replay::FailureRecord;

@@ -1,9 +1,10 @@
 //! Observability glue for the experiment binaries: the shared
-//! `--trace-events` / `--metrics` / `--progress` flags, per-cell telemetry
-//! capture, and deterministic artifact assembly.
+//! `--trace-events` / `--spans` / `--metrics` / `--progress` flags,
+//! per-cell telemetry capture, and deterministic artifact assembly.
 //!
 //! Each sweep cell produces its telemetry into cell-local buffers (an
-//! NDJSON fragment from an [`EventTracer`], a labeled [`Registry`]);
+//! NDJSON fragment from an [`EventTracer`], a lifecycle-span fragment
+//! from a [`SpanTracer`], a labeled [`Registry`]);
 //! [`write_observability`] then concatenates/merges them **in cell
 //! order**, so exported artifacts are byte-identical for any `--jobs N`.
 //! Only the stderr progress line (enabled by `--progress`) is wall-clock
@@ -16,19 +17,48 @@ use crate::runner::{
     simulate_churn, simulate_churn_observed, ChurnSimPoint, PolicyKind, SimSettings,
 };
 use tcw_mac::{ChurnPlan, FaultPlan};
-use tcw_obs::{EventTracer, Registry};
-use tcw_window::trace::NoopObserver;
+use tcw_obs::{EventTracer, Registry, SpanTracer};
+use tcw_window::trace::{NoopObserver, Tee};
 
 /// Parsed observability flags, shared by all experiment binaries.
 #[derive(Clone, Debug, Default)]
 pub struct ObsConfig {
     /// `--trace-events PATH`: write the NDJSON event stream here.
     pub trace_events: Option<PathBuf>,
+    /// `--spans PATH`: write the NDJSON lifecycle-span stream here
+    /// (conventionally `*.spans.ndjson`, which `obs_lint` dispatches on).
+    pub spans: Option<PathBuf>,
     /// `--metrics PATH`: write the metrics snapshot here (`.prom` selects
     /// the Prometheus text exposition format, anything else JSON).
     pub metrics: Option<PathBuf>,
     /// `--progress`: render a live progress line on stderr.
     pub progress: bool,
+}
+
+/// Which telemetry streams to capture while running one cell. Derived
+/// from [`ObsConfig::capture`]; [`Capture::OFF`] disables everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Capture {
+    /// Record the protocol event stream (forces the slot-stepped path).
+    pub tracing: bool,
+    /// Register run metrics (including the `tcw_aoi_*` families).
+    pub metrics: bool,
+    /// Record the message-lifecycle span stream (fast-path compatible).
+    pub spans: bool,
+}
+
+impl Capture {
+    /// Capture nothing.
+    pub const OFF: Capture = Capture {
+        tracing: false,
+        metrics: false,
+        spans: false,
+    };
+
+    /// Whether any stream is being captured.
+    pub fn any(&self) -> bool {
+        self.tracing || self.metrics || self.spans
+    }
 }
 
 impl ObsConfig {
@@ -45,6 +75,11 @@ impl ObsConfig {
                 cfg.trace_events = Some(PathBuf::from(v));
             } else if let Some(v) = a.strip_prefix("--trace-events=") {
                 cfg.trace_events = Some(PathBuf::from(v));
+            } else if a == "--spans" {
+                let v = it.next().ok_or("--spans needs a path")?;
+                cfg.spans = Some(PathBuf::from(v));
+            } else if let Some(v) = a.strip_prefix("--spans=") {
+                cfg.spans = Some(PathBuf::from(v));
             } else if a == "--metrics" {
                 let v = it.next().ok_or("--metrics needs a path")?;
                 cfg.metrics = Some(PathBuf::from(v));
@@ -59,33 +94,46 @@ impl ObsConfig {
         Ok((cfg, rest))
     }
 
-    /// Whether any per-cell telemetry (tracing or metrics) is requested.
+    /// Whether any per-cell telemetry (tracing, spans or metrics) is
+    /// requested.
     pub fn wants_telemetry(&self) -> bool {
-        self.trace_events.is_some() || self.metrics.is_some()
+        self.trace_events.is_some() || self.spans.is_some() || self.metrics.is_some()
+    }
+
+    /// The per-cell capture selection these flags imply.
+    pub fn capture(&self) -> Capture {
+        Capture {
+            tracing: self.trace_events.is_some(),
+            metrics: self.metrics.is_some(),
+            spans: self.spans.is_some(),
+        }
     }
 }
 
 /// Telemetry captured while running one sweep cell.
 #[derive(Debug, Default)]
 pub struct CellArtifacts {
-    /// NDJSON fragment (starts with the cell header line).
+    /// NDJSON event fragment (starts with the cell header line).
     pub trace: Option<String>,
+    /// NDJSON lifecycle-span fragment (starts with the cell header line).
+    pub spans: Option<String>,
     /// Cell-labeled metrics registry.
     pub registry: Option<Registry>,
 }
 
-/// Runs one simulation cell with telemetry capture: when `tracing`, the
-/// protocol event stream is recorded under a `cell` header carrying
-/// `cell_index` and `label`; when `metrics`, the run's metrics register
-/// into a fresh [`Registry`] under `labels`.
+/// Runs one simulation cell with telemetry capture: when `caps.tracing`
+/// or `caps.spans`, the protocol event stream / message-lifecycle span
+/// stream is recorded under a `cell` header carrying `cell_index` and
+/// `label`; when `caps.metrics`, the run's metrics register into a fresh
+/// [`Registry`] under `labels`.
 ///
 /// The simulated result is bit-identical to
 /// [`simulate_churn`] — observers are passive
-/// and never touch an RNG stream.
+/// and never touch an RNG stream. Span capture alone keeps the
+/// event-horizon fast path on; event tracing forces slot stepping.
 #[allow(clippy::too_many_arguments)]
 pub fn observed_cell(
-    tracing: bool,
-    metrics: bool,
+    caps: Capture,
     cell_index: usize,
     label: &str,
     labels: &[(&str, &str)],
@@ -97,11 +145,11 @@ pub fn observed_cell(
     plan: FaultPlan,
     churn: ChurnPlan,
 ) -> (ChurnSimPoint, CellArtifacts) {
-    if !tracing && !metrics {
+    if !caps.any() {
         let p = simulate_churn(panel, kind, k_tau, settings, seed, plan, churn);
         return (p, CellArtifacts::default());
     }
-    observe_engine_cell(tracing, metrics, cell_index, label, labels, |obs, sink| {
+    observe_engine_cell(caps, cell_index, label, labels, |obs, sink| {
         simulate_churn_observed(panel, kind, k_tau, settings, seed, plan, churn, obs, sink)
     })
 }
@@ -109,12 +157,11 @@ pub fn observed_cell(
 /// Runs an arbitrary engine-driving closure with the same per-cell
 /// telemetry capture as [`observed_cell`], for binaries that build their
 /// engines directly instead of going through the shared runner. The
-/// closure receives the event observer to thread through
+/// closure receives the observer to thread through
 /// `Engine::run_until`/`drain` and, when metrics are on, the sink to
 /// `emit` counters into after the run.
 pub fn observe_engine_cell<T>(
-    tracing: bool,
-    metrics: bool,
+    caps: Capture,
     cell_index: usize,
     label: &str,
     labels: &[(&str, &str)],
@@ -124,24 +171,43 @@ pub fn observe_engine_cell<T>(
     ) -> T,
 ) -> (T, CellArtifacts) {
     let mut tracer = EventTracer::new();
+    let mut span_tracer = SpanTracer::new();
     let mut registry = Registry::new();
-    if tracing {
+    if caps.tracing {
         tracer.begin_cell(cell_index, label);
     }
-    if metrics {
+    if caps.spans {
+        span_tracer.begin_cell(cell_index, label);
+    }
+    if caps.metrics {
         registry.set_labels(labels);
     }
     let mut noop = NoopObserver;
-    let obs: &mut dyn tcw_window::trace::EngineObserver =
-        if tracing { &mut tracer } else { &mut noop };
-    let sink: Option<&mut dyn tcw_sim::stats::MetricSink> =
-        if metrics { Some(&mut registry) } else { None };
-    let value = run(obs, sink);
+    let value = {
+        let sink: Option<&mut dyn tcw_sim::stats::MetricSink> = if caps.metrics {
+            Some(&mut registry)
+        } else {
+            None
+        };
+        match (caps.tracing, caps.spans) {
+            (true, true) => {
+                let mut tee = Tee {
+                    a: &mut tracer,
+                    b: &mut span_tracer,
+                };
+                run(&mut tee, sink)
+            }
+            (true, false) => run(&mut tracer, sink),
+            (false, true) => run(&mut span_tracer, sink),
+            (false, false) => run(&mut noop, sink),
+        }
+    };
     (
         value,
         CellArtifacts {
-            trace: tracing.then(|| tracer.finish()),
-            registry: metrics.then_some(registry),
+            trace: caps.tracing.then(|| tracer.finish()),
+            spans: caps.spans.then(|| span_tracer.finish()),
+            registry: caps.metrics.then_some(registry),
         },
     )
 }
@@ -169,6 +235,15 @@ pub fn write_observability(
         let mut text = String::new();
         for a in artifacts {
             if let Some(t) = &a.trace {
+                text.push_str(t);
+            }
+        }
+        write_creating_dirs(path, &text)?;
+    }
+    if let Some(path) = &cfg.spans {
+        let mut text = String::new();
+        for a in artifacts {
+            if let Some(t) = &a.spans {
                 text.push_str(t);
             }
         }
@@ -221,6 +296,7 @@ mod tests {
             "--quick",
             "--trace-events",
             "out.ndjson",
+            "--spans=out.spans.ndjson",
             "--metrics=m.prom",
             "--progress",
             "--jobs",
@@ -228,15 +304,28 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(cfg.trace_events.as_deref(), Some(Path::new("out.ndjson")));
+        assert_eq!(cfg.spans.as_deref(), Some(Path::new("out.spans.ndjson")));
         assert_eq!(cfg.metrics.as_deref(), Some(Path::new("m.prom")));
         assert!(cfg.progress);
         assert!(cfg.wants_telemetry());
+        let caps = cfg.capture();
+        assert!(caps.tracing && caps.metrics && caps.spans && caps.any());
         assert_eq!(rest, strs(&["--quick", "--jobs", "2"]));
+    }
+
+    #[test]
+    fn spans_alone_count_as_telemetry() {
+        let (cfg, _) = ObsConfig::split_args(&strs(&["--spans", "s.spans.ndjson"])).unwrap();
+        assert!(cfg.wants_telemetry());
+        let caps = cfg.capture();
+        assert!(caps.spans && !caps.tracing && !caps.metrics);
+        assert!(!Capture::OFF.any());
     }
 
     #[test]
     fn split_args_rejects_missing_values() {
         assert!(ObsConfig::split_args(&strs(&["--trace-events"])).is_err());
+        assert!(ObsConfig::split_args(&strs(&["--spans"])).is_err());
         assert!(ObsConfig::split_args(&strs(&["--metrics"])).is_err());
     }
 
@@ -268,8 +357,11 @@ mod tests {
             ChurnPlan::none(),
         );
         let (observed, art) = observed_cell(
-            true,
-            true,
+            Capture {
+                tracing: true,
+                metrics: true,
+                spans: true,
+            },
             0,
             "test cell",
             &[("seed", "7")],
@@ -286,7 +378,57 @@ mod tests {
         let trace = art.trace.expect("trace captured");
         assert!(trace.starts_with("{\"schema_version\":1,\"ev\":\"cell\""));
         assert!(tcw_obs::lint::lint_events(&trace).is_ok());
+        let spans = art.spans.expect("spans captured");
+        assert!(spans.starts_with("{\"schema_version\":1,\"ev\":\"cell\""));
+        assert!(tcw_obs::lint::lint_spans(&spans).is_ok());
         let reg = art.registry.expect("registry captured");
-        assert!(tcw_obs::lint::lint_prom(&reg.to_prometheus()).is_ok());
+        let prom = reg.to_prometheus();
+        assert!(tcw_obs::lint::lint_prom(&prom).is_ok());
+        assert!(prom.contains("tcw_aoi_deliveries_total"), "{prom}");
+    }
+
+    #[test]
+    fn spans_only_capture_matches_plain_run() {
+        let panel = crate::panels::PANELS[0];
+        let settings = SimSettings {
+            messages: 500,
+            warmup: 50,
+            ticks_per_tau: 8,
+            stations: 20,
+            guard: false,
+        };
+        let plain = simulate_churn(
+            panel,
+            PolicyKind::Controlled,
+            100.0,
+            settings,
+            11,
+            FaultPlan::none(),
+            ChurnPlan::none(),
+        );
+        let (observed, art) = observed_cell(
+            Capture {
+                spans: true,
+                ..Capture::OFF
+            },
+            3,
+            "spans only",
+            &[],
+            panel,
+            PolicyKind::Controlled,
+            100.0,
+            settings,
+            11,
+            FaultPlan::none(),
+            ChurnPlan::none(),
+        );
+        assert_eq!(plain.point.loss.to_bits(), observed.point.loss.to_bits());
+        assert_eq!(plain.point.offered, observed.point.offered);
+        assert!(art.trace.is_none());
+        assert!(art.registry.is_none());
+        let spans = art.spans.expect("spans captured");
+        let stats = tcw_obs::lint::lint_spans(&spans).unwrap();
+        assert!(stats.spans > 0);
+        assert!(tcw_obs::report::parse_spans(&spans).is_ok());
     }
 }

@@ -145,6 +145,10 @@ pub struct ChurnSimPoint {
     pub faults: FaultCounters,
     /// Membership/recovery counters.
     pub churn: ChurnCounters,
+    /// Event-horizon fast-path counters (telemetry only — excluded from
+    /// equivalence fingerprints; sweeps feed them into the live progress
+    /// line's `[hzn: ...]` segment).
+    pub horizon: tcw_window::engine::HorizonStats,
 }
 
 /// Converts the message-count knobs into the measurement window at
@@ -392,6 +396,7 @@ pub fn simulate_churn_observed(
         point: collect_point(&eng, k_tau, settings),
         faults: collect_faults(&eng),
         churn: collect_churn(&eng),
+        horizon: eng.horizon_stats,
     }
 }
 
@@ -411,6 +416,87 @@ pub fn simulate_with_horizon(
     let (mut eng, horizon, _policy) = build_engine(panel, kind, k_tau, settings, seed);
     run_to_horizon(&mut eng, horizon, &mut NoopObserver, None);
     (collect_point(&eng, k_tau, settings), eng.horizon_stats)
+}
+
+/// Age-of-Information summary of one run, in units of `tau`.
+///
+/// The underlying sawtooth integral is exact integer arithmetic over
+/// ticks (see `tcw_window::metrics::AgeTracker`); the conversion to
+/// `tau` happens only here, at the reporting boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct AoiPoint {
+    /// Deadline `K` in units of `tau` (grid coordinate).
+    pub k: f64,
+    /// Time-averaged age across observed stations, in `tau`.
+    pub mean_age_tau: f64,
+    /// Mean of the per-station peak ages, in `tau`.
+    pub peak_age_tau: f64,
+    /// Fraction of observed time the age exceeded the deadline `K`.
+    pub violation: f64,
+    /// Source-to-monitor deliveries the tracker observed.
+    pub deliveries: u64,
+    /// Stations that delivered at least once (age is undefined for the
+    /// rest — they never produced a sample to monitor).
+    pub stations_observed: u64,
+}
+
+/// Collects the AoI summary from a finished engine.
+fn collect_aoi(eng: &Engine<PoissonArrivals>, k_tau: f64, settings: SimSettings) -> AoiPoint {
+    let aoi = eng.metrics.aoi();
+    let tpt = settings.ticks_per_tau as f64;
+    AoiPoint {
+        k: k_tau,
+        mean_age_tau: aoi.mean_age().unwrap_or(0.0) / tpt,
+        peak_age_tau: aoi.peak_age().mean() / tpt,
+        violation: aoi.violation_fraction().unwrap_or(0.0),
+        deliveries: aoi.deliveries(),
+        stations_observed: aoi.stations_observed(),
+    }
+}
+
+/// One AoI run: conventional measurements, the AoI summary and the
+/// event-horizon counters of the run that produced them.
+#[derive(Clone, Copy, Debug)]
+pub struct AoiRun {
+    /// The conventional measurements.
+    pub point: SimPoint,
+    /// The Age-of-Information summary.
+    pub aoi: AoiPoint,
+    /// Event-horizon fast-path counters (telemetry only).
+    pub horizon: tcw_window::engine::HorizonStats,
+}
+
+/// Runs one clean panel point and returns the conventional measurements
+/// together with the Age-of-Information summary.
+pub fn simulate_aoi(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+) -> AoiRun {
+    simulate_aoi_observed(panel, kind, k_tau, settings, seed, &mut NoopObserver, None)
+}
+
+/// [`simulate_aoi`] with telemetry attached; the observer and sink are
+/// strictly passive, so the measured result is bit-identical to the
+/// unobserved run.
+pub fn simulate_aoi_observed(
+    panel: Panel,
+    kind: PolicyKind,
+    k_tau: f64,
+    settings: SimSettings,
+    seed: u64,
+    obs: &mut dyn tcw_window::trace::EngineObserver,
+    sink: Option<&mut dyn tcw_sim::stats::MetricSink>,
+) -> AoiRun {
+    let (mut eng, horizon, _policy) = build_engine(panel, kind, k_tau, settings, seed);
+    run_to_horizon(&mut eng, horizon, obs, sink);
+    AoiRun {
+        point: collect_point(&eng, k_tau, settings),
+        aoi: collect_aoi(&eng, k_tau, settings),
+        horizon: eng.horizon_stats,
+    }
 }
 
 /// Outcome of a run observed through the per-station
@@ -482,6 +568,7 @@ pub fn simulate_churn_with_detector(
             point: collect_point(&eng, k_tau, settings),
             faults: collect_faults(&eng),
             churn: collect_churn(&eng),
+            horizon: eng.horizon_stats,
         },
         report,
     )

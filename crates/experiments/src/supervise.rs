@@ -54,7 +54,7 @@ use tcw_obs::Progress;
 use tcw_sim::snap::{self, SnapError, SnapReader, SnapWriter};
 
 /// Journal file format version; bumped on any layout change.
-pub const JOURNAL_FORMAT: u64 = 1;
+pub const JOURNAL_FORMAT: u64 = 2;
 
 /// `experiment` tag of the engine-checkpoint artifact envelope.
 pub const SNAPSHOT_EXPERIMENT: &str = "engine-snapshot";
@@ -238,17 +238,36 @@ impl JournalItem for crate::runner::FaultSimPoint {
     }
 }
 
+impl JournalItem for tcw_window::engine::HorizonStats {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.push(self.jumps);
+        w.push(self.slots_skipped);
+        w.push(self.batched_runs);
+        w.push(self.batched_slots);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(tcw_window::engine::HorizonStats {
+            jumps: r.take()?,
+            slots_skipped: r.take()?,
+            batched_runs: r.take()?,
+            batched_slots: r.take()?,
+        })
+    }
+}
+
 impl JournalItem for crate::runner::ChurnSimPoint {
     fn encode(&self, w: &mut SnapWriter) {
         self.point.encode(w);
         self.faults.encode(w);
         self.churn.encode(w);
+        self.horizon.encode(w);
     }
     fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
         Ok(crate::runner::ChurnSimPoint {
             point: JournalItem::decode(r)?,
             faults: JournalItem::decode(r)?,
             churn: JournalItem::decode(r)?,
+            horizon: JournalItem::decode(r)?,
         })
     }
 }
@@ -1217,6 +1236,12 @@ mod tests {
                 rejoin_mean_slots: f64::NAN,
                 rejoin_max_slots: 64.0,
             },
+            horizon: tcw_window::engine::HorizonStats {
+                jumps: 14,
+                slots_skipped: 15,
+                batched_runs: 16,
+                batched_slots: 17,
+            },
         };
         let mut w = SnapWriter::new();
         csp.encode(&mut w);
@@ -1231,6 +1256,7 @@ mod tests {
             back.churn.rejoin_mean_slots.to_bits(),
             csp.churn.rejoin_mean_slots.to_bits()
         );
+        assert_eq!(back.horizon, csp.horizon);
 
         let chaos = crate::chaos::ChaosOutcome {
             kind: "violation".into(),

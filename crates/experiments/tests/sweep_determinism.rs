@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use tcw_experiments::plot::write_csv;
 use tcw_experiments::runner::{ChurnSimPoint, PolicyKind, SimSettings};
 use tcw_experiments::sweep::{run_cells, run_parallel, Cell};
-use tcw_experiments::{observed_cell, CellArtifacts, PANELS};
+use tcw_experiments::{observed_cell, Capture, CellArtifacts, PANELS};
 use tcw_mac::{ChurnPlan, FaultPlan};
 use tcw_obs::Registry;
 
@@ -103,32 +103,45 @@ fn parallel_sweep_csv_is_byte_identical_to_serial() {
 /// returning the simulated points plus the assembled artifacts exactly
 /// as `write_observability` would build them: traces concatenated and
 /// registries merged in cell order.
-fn instrumented_run(jobs: usize) -> (Vec<ChurnSimPoint>, String, String, String) {
+fn instrumented_run(jobs: usize) -> (Vec<ChurnSimPoint>, String, String, String, String) {
     let cells = grid();
+    let caps = Capture {
+        tracing: true,
+        metrics: true,
+        spans: true,
+    };
     let out: Vec<(ChurnSimPoint, CellArtifacts)> = run_parallel(&cells, jobs, |i, c| {
         let label = format!("cell {i}");
         let seed_s = format!("{}", c.seed);
         let labels = [("cell", label.as_str()), ("seed", seed_s.as_str())];
         observed_cell(
-            true, true, i, &label, &labels, c.panel, c.policy, c.k_tau, c.settings, c.seed, c.plan,
+            caps, i, &label, &labels, c.panel, c.policy, c.k_tau, c.settings, c.seed, c.plan,
             c.churn,
         )
     });
     let (points, artifacts): (Vec<_>, Vec<_>) = out.into_iter().unzip();
     let mut trace = String::new();
+    let mut spans = String::new();
     let mut merged = Registry::new();
     for a in &artifacts {
         trace.push_str(a.trace.as_deref().expect("tracing was on"));
+        spans.push_str(a.spans.as_deref().expect("spans were on"));
         merged.absorb(a.registry.as_ref().expect("metrics were on"));
     }
-    (points, trace, merged.to_prometheus(), merged.to_json())
+    (
+        points,
+        trace,
+        spans,
+        merged.to_prometheus(),
+        merged.to_json(),
+    )
 }
 
 #[test]
 fn instrumented_sweep_is_byte_identical_to_plain_for_any_jobs() {
     let plain_csv = csv_bytes(1, "plain");
-    let (points1, trace1, prom1, json1) = instrumented_run(1);
-    let (points4, trace4, prom4, json4) = instrumented_run(4);
+    let (points1, trace1, spans1, prom1, json1) = instrumented_run(1);
+    let (points4, trace4, spans4, prom4, json4) = instrumented_run(4);
 
     // Telemetry capture never perturbs the simulation: the instrumented
     // points render to the same CSV bytes as the instrumentation-free run.
@@ -159,12 +172,15 @@ fn instrumented_sweep_is_byte_identical_to_plain_for_any_jobs() {
 
     // The artifacts themselves are byte-identical for any worker count.
     assert!(!trace1.is_empty());
+    assert!(!spans1.is_empty());
     assert_eq!(trace1, trace4, "NDJSON trace depends on --jobs");
+    assert_eq!(spans1, spans4, "span stream depends on --jobs");
     assert_eq!(prom1, prom4, "Prometheus exposition depends on --jobs");
     assert_eq!(json1, json4, "metrics JSON depends on --jobs");
 
     // And they are well-formed per the shipped linters.
     tcw_obs::lint::lint_events(&trace1).expect("trace lints clean");
+    tcw_obs::lint::lint_spans(&spans1).expect("spans lint clean");
     tcw_obs::lint::lint_prom(&prom1).expect("exposition lints clean");
 }
 

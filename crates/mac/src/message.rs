@@ -1,7 +1,7 @@
 //! Messages and station identities.
 
 use std::fmt;
-use tcw_sim::time::Time;
+use tcw_sim::time::{Dur, Time};
 
 /// Identifies a station in the network.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -54,6 +54,14 @@ impl Message {
             arrival,
         }
     }
+
+    /// Elapsed time since this message arrived at its station — the
+    /// age-of-information contribution the message would have if it were
+    /// delivered at `now`. Saturates at zero if `now` precedes the
+    /// arrival (e.g. a probe instant formatted before admission).
+    pub fn age_at(&self, now: Time) -> Dur {
+        Dur::from_ticks(now.ticks().saturating_sub(self.arrival.ticks()))
+    }
 }
 
 #[cfg(test)]
@@ -65,6 +73,14 @@ mod tests {
         assert_eq!(format!("{:?}", StationId(3)), "S3");
         assert_eq!(format!("{}", StationId(3)), "station 3");
         assert_eq!(format!("{:?}", MessageId(42)), "m42");
+    }
+
+    #[test]
+    fn age_saturates_before_arrival() {
+        let m = Message::new(MessageId(1), StationId(0), Time::from_ticks(10));
+        assert_eq!(m.age_at(Time::from_ticks(25)), Dur::from_ticks(15));
+        assert_eq!(m.age_at(Time::from_ticks(10)), Dur::ZERO);
+        assert_eq!(m.age_at(Time::from_ticks(3)), Dur::ZERO);
     }
 
     #[test]

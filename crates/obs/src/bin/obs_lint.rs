@@ -1,20 +1,23 @@
-//! Validates observability artifacts: NDJSON event streams
-//! (`.ndjson`/`.jsonl`) against the tcw-obs event schema, and `.prom`
-//! files against the Prometheus text exposition format.
+//! Validates observability artifacts: NDJSON lifecycle-span streams
+//! (`.spans.ndjson`) against the tcw-obs span schema (balanced
+//! open/close per message id, monotone `t` within each cell), other
+//! NDJSON event streams (`.ndjson`/`.jsonl`) against the event schema,
+//! and `.prom` files against the Prometheus text exposition format.
 //!
 //! Usage: `obs_lint [--require NAME]... FILE...` — each file is
 //! dispatched on its extension. Every `--require NAME` demands that the
 //! metric family `NAME` is declared in **each** `.prom` file passed
 //! (used by CI to pin the engine's `tcw_horizon_*` fast-path counters
-//! into the telemetry stream; a wiring regression that silently drops
-//! them would otherwise still lint clean).
+//! and the `tcw_aoi_*` age-of-information families into the telemetry
+//! stream; a wiring regression that silently drops them would otherwise
+//! still lint clean).
 //!
 //! Exit codes: `0` all files valid, `1` usage error, `2` validation
 //! failure, missing required family, or unreadable file.
 
 use std::process::ExitCode;
 
-use tcw_obs::lint::{lint_events, lint_prom_families};
+use tcw_obs::lint::{lint_events, lint_prom_families, lint_spans};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("obs_lint: {msg}");
@@ -41,7 +44,7 @@ fn main() -> ExitCode {
     }
     if files.is_empty() || files.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: obs_lint [--require NAME]... FILE...   (.ndjson/.jsonl = event stream, .prom = exposition)"
+            "usage: obs_lint [--require NAME]... FILE...   (.spans.ndjson = span stream, .ndjson/.jsonl = event stream, .prom = exposition)"
         );
         return ExitCode::from(1);
     }
@@ -50,7 +53,15 @@ fn main() -> ExitCode {
             Ok(t) => t,
             Err(e) => return fail(&format!("{path}: {e}")),
         };
-        if path.ends_with(".ndjson") || path.ends_with(".jsonl") {
+        if path.ends_with(".spans.ndjson") || path.ends_with(".spans.jsonl") {
+            match lint_spans(&text) {
+                Ok(s) => println!(
+                    "obs_lint: {path}: ok ({} lines, {} cells, {} spans)",
+                    s.lines, s.cells, s.spans
+                ),
+                Err(e) => return fail(&format!("{path}: {e}")),
+            }
+        } else if path.ends_with(".ndjson") || path.ends_with(".jsonl") {
             match lint_events(&text) {
                 Ok(s) => println!(
                     "obs_lint: {path}: ok ({} lines, {} cells, {} events)",
@@ -76,7 +87,9 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&format!("{path}: {e}")),
             }
         } else {
-            eprintln!("obs_lint: {path}: unknown extension (want .ndjson, .jsonl or .prom)");
+            eprintln!(
+                "obs_lint: {path}: unknown extension (want .spans.ndjson, .ndjson, .jsonl or .prom)"
+            );
             return ExitCode::from(1);
         }
     }

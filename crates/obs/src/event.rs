@@ -262,7 +262,7 @@ fn window_bounds(segments: &[Interval]) -> (u32, u64, u64) {
     }
 }
 
-fn escape_json_str(s: &str, out: &mut String) {
+pub(crate) fn escape_json_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -9,6 +9,12 @@
 //!   decision/probe/split/transmit/discard/fault/churn events into a
 //!   preallocated ring buffer and drains them as schema-versioned NDJSON
 //!   (the `--trace-events PATH` flag of the experiment binaries);
+//! * [`span::SpanTracer`] — an `EngineObserver` that encodes each
+//!   message's lifecycle (admission → window membership → collision
+//!   episodes → delivery/discard/drop) as NDJSON spans (the
+//!   `--spans PATH` flag); unlike the event tracer it does **not**
+//!   disable the event-horizon fast path, and the `obs_report` binary
+//!   consumes its output offline;
 //! * [`registry::Registry`] — a named-metric registry
 //!   (counters/gauges/histograms) populated through
 //!   [`tcw_sim::stats::MetricSink`] by the engine, the channel accounting,
@@ -62,6 +68,28 @@
 //!
 //! Durations and times are integer ticks. The `obs_lint` binary validates
 //! streams against this schema.
+//!
+//! ## Span schema (`schema_version` 1, `*.spans.ndjson`)
+//!
+//! Lifecycle-span streams reuse the `cell` header and the `seq`/`t`
+//! prefix but carry **no** `slot` field: spans are emitted on the
+//! event-horizon fast path too, where probe slots are not individually
+//! stepped. Within a cell every `span_open` is eventually balanced by
+//! exactly one `span_close` for the same `msg`, with any `span_window` /
+//! `span_collision` lines for that `msg` strictly between the two; `t` is
+//! non-decreasing line-to-line.
+//!
+//! | `ev` | extra fields | meaning |
+//! |---|---|---|
+//! | `cell` | `cell`, `label` | header: start of one sweep cell's stream |
+//! | `span_open` | `msg`, `station`, `arrival` | message admitted into the protocol (span opens) |
+//! | `span_window` | `msg`, `age` | message joined the initial window of a windowing round |
+//! | `span_collision` | `msg`, `age` | message transmitted into a collision episode |
+//! | `span_close` | `outcome` (`delivered`\|`discarded`\|`dropped`), plus `start`, `paper_delay`, `true_delay` when delivered; `age` otherwise; `cause` (`station_left`\|`rejoin_expired`) when dropped | lifecycle closes |
+//!
+//! The `obs_lint` binary validates span balance and monotonicity; the
+//! `obs_report` binary reconstructs collision-resolution episodes,
+//! per-message latency breakdowns and age-of-information series offline.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -71,7 +99,10 @@ pub mod lint;
 pub mod profile;
 pub mod progress;
 pub mod registry;
+pub mod report;
+pub mod span;
 
 pub use event::{EventTracer, SCHEMA_VERSION};
 pub use progress::Progress;
 pub use registry::Registry;
+pub use span::SpanTracer;

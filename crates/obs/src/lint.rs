@@ -1,6 +1,7 @@
 //! Validators for the artifacts this crate exports: the NDJSON event
-//! schema ([`lint_events`]) and the Prometheus text exposition format
-//! ([`lint_prom`]). The `obs_lint` binary wraps both for CI.
+//! schema ([`lint_events`]), the lifecycle-span schema ([`lint_spans`])
+//! and the Prometheus text exposition format ([`lint_prom`]). The
+//! `obs_lint` binary wraps all three for CI.
 
 use std::collections::BTreeMap;
 
@@ -20,14 +21,14 @@ pub struct EventStats {
 
 /// Scalar values the flat-JSON line parser distinguishes.
 #[derive(Clone, Debug, PartialEq)]
-enum Scalar {
+pub(crate) enum Scalar {
     Num(f64),
     Str(String),
 }
 
 /// Parses one flat JSON object (`{"k":scalar,...}`, no nesting) into its
 /// fields. Returns an error describing the first malformation.
-fn parse_flat_line(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+pub(crate) fn parse_flat_line(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
     let body = line
         .trim()
         .strip_prefix('{')
@@ -94,7 +95,7 @@ fn parse_string(s: &str) -> Result<(String, &str), String> {
     Err("unterminated string".to_string())
 }
 
-fn num(fields: &BTreeMap<String, Scalar>, key: &str) -> Option<f64> {
+pub(crate) fn num(fields: &BTreeMap<String, Scalar>, key: &str) -> Option<f64> {
     match fields.get(key) {
         Some(Scalar::Num(n)) => Some(*n),
         _ => None,
@@ -154,6 +155,127 @@ pub fn lint_events(text: &str) -> Result<EventStats, String> {
         }
         last_t = t;
     }
+    Ok(stats)
+}
+
+/// Summary of a validated NDJSON lifecycle-span stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Total lines.
+    pub lines: usize,
+    /// `cell` header lines.
+    pub cells: usize,
+    /// Completed spans (`span_open` balanced by `span_close`).
+    pub spans: usize,
+}
+
+/// Validates an NDJSON lifecycle-span stream against the span schema
+/// documented at the crate root: every line parses flat, carries
+/// `schema_version` == [`SCHEMA_VERSION`] and a string `ev`; span lines
+/// carry `seq` (dense from 0 per cell) and `t` (non-decreasing per cell);
+/// within a cell each `msg` opens exactly once, interior
+/// `span_window`/`span_collision` lines fall strictly between its open
+/// and close, every open is balanced by exactly one `span_close` with a
+/// valid `outcome` (and a `cause` when dropped), and no message id is
+/// reused after closing.
+pub fn lint_spans(text: &str) -> Result<SpanStats, String> {
+    use std::collections::BTreeSet;
+    let mut stats = SpanStats::default();
+    let mut expected_seq: u64 = 0;
+    let mut last_t: u64 = 0;
+    let mut open: BTreeSet<u64> = BTreeSet::new();
+    let mut closed: BTreeSet<u64> = BTreeSet::new();
+    let cell_end = |open: &mut BTreeSet<u64>, closed: &mut BTreeSet<u64>| -> Result<(), String> {
+        if let Some(msg) = open.iter().next() {
+            return Err(format!(
+                "cell ended with {} unbalanced span(s), e.g. msg {msg}",
+                open.len()
+            ));
+        }
+        open.clear();
+        closed.clear();
+        Ok(())
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        stats.lines += 1;
+        let fields = parse_flat_line(line).map_err(|e| format!("line {n}: {e}"))?;
+        match num(&fields, "schema_version") {
+            Some(v) if v == SCHEMA_VERSION as f64 => {}
+            Some(v) => return Err(format!("line {n}: schema_version {v} != {SCHEMA_VERSION}")),
+            None => return Err(format!("line {n}: missing schema_version")),
+        }
+        let ev = match fields.get("ev") {
+            Some(Scalar::Str(s)) => s.clone(),
+            _ => return Err(format!("line {n}: missing string field \"ev\"")),
+        };
+        if ev == "cell" {
+            if num(&fields, "cell").is_none() {
+                return Err(format!("line {n}: cell header missing \"cell\""));
+            }
+            if !matches!(fields.get("label"), Some(Scalar::Str(_))) {
+                return Err(format!("line {n}: cell header missing \"label\""));
+            }
+            cell_end(&mut open, &mut closed).map_err(|e| format!("line {n}: {e}"))?;
+            stats.cells += 1;
+            expected_seq = 0;
+            last_t = 0;
+            continue;
+        }
+        let seq = num(&fields, "seq").ok_or(format!("line {n}: missing seq"))? as u64;
+        if seq != expected_seq {
+            return Err(format!("line {n}: seq {seq}, expected {expected_seq}"));
+        }
+        expected_seq += 1;
+        let t = num(&fields, "t").ok_or(format!("line {n}: missing t"))? as u64;
+        if t < last_t {
+            return Err(format!("line {n}: t {t} < previous {last_t}"));
+        }
+        last_t = t;
+        let msg = num(&fields, "msg").ok_or(format!("line {n}: missing msg"))? as u64;
+        match ev.as_str() {
+            "span_open" => {
+                if num(&fields, "station").is_none() || num(&fields, "arrival").is_none() {
+                    return Err(format!("line {n}: span_open missing station/arrival"));
+                }
+                if open.contains(&msg) || closed.contains(&msg) {
+                    return Err(format!("line {n}: msg {msg} opened twice"));
+                }
+                open.insert(msg);
+            }
+            "span_window" | "span_collision" => {
+                if !open.contains(&msg) {
+                    return Err(format!("line {n}: {ev} for msg {msg} outside its span"));
+                }
+            }
+            "span_close" => {
+                if !open.remove(&msg) {
+                    return Err(format!("line {n}: span_close for msg {msg} without open"));
+                }
+                closed.insert(msg);
+                stats.spans += 1;
+                let outcome = match fields.get("outcome") {
+                    Some(Scalar::Str(s)) => s.as_str(),
+                    _ => return Err(format!("line {n}: span_close missing \"outcome\"")),
+                };
+                match outcome {
+                    "delivered" => {
+                        if num(&fields, "true_delay").is_none() {
+                            return Err(format!("line {n}: delivered close missing true_delay"));
+                        }
+                    }
+                    "discarded" => {}
+                    "dropped" => match fields.get("cause") {
+                        Some(Scalar::Str(c)) if c == "station_left" || c == "rejoin_expired" => {}
+                        _ => return Err(format!("line {n}: dropped close missing valid cause")),
+                    },
+                    other => return Err(format!("line {n}: unknown outcome {other:?}")),
+                }
+            }
+            other => return Err(format!("line {n}: unknown span event {other:?}")),
+        }
+    }
+    cell_end(&mut open, &mut closed).map_err(|e| format!("end of stream: {e}"))?;
     Ok(stats)
 }
 
@@ -376,6 +498,78 @@ mod tests {
                 samples: 1
             }
         );
+    }
+
+    #[test]
+    fn span_tracer_output_passes_span_lint() {
+        use crate::span::SpanTracer;
+        use tcw_mac::{Message, MessageId, StationId};
+        use tcw_window::trace::DropCause;
+        let mut tr = SpanTracer::new();
+        tr.begin_cell(0, "cell \"zero\"");
+        let m1 = Message::new(MessageId(1), StationId(0), Time::from_ticks(2));
+        let m2 = Message::new(MessageId(2), StationId(1), Time::from_ticks(3));
+        tr.on_arrival(&m1, Time::from_ticks(4));
+        tr.on_arrival(&m2, Time::from_ticks(4));
+        tr.on_window_member(&m1, Time::from_ticks(5));
+        tr.on_collision_member(&m1, Time::from_ticks(5));
+        tr.on_transmit(
+            &m1,
+            Time::from_ticks(6),
+            Dur::from_ticks(4),
+            Dur::from_ticks(4),
+        );
+        tr.on_message_drop(&m2, Time::from_ticks(7), DropCause::StationLeft);
+        tr.begin_cell(1, "one");
+        let m3 = Message::new(MessageId(3), StationId(2), Time::from_ticks(0));
+        tr.on_arrival(&m3, Time::from_ticks(1));
+        tr.on_sender_discard(&m3, Time::from_ticks(9));
+        let stats = lint_spans(&tr.finish()).unwrap();
+        assert_eq!(
+            stats,
+            SpanStats {
+                lines: 10,
+                cells: 2,
+                spans: 3
+            }
+        );
+    }
+
+    #[test]
+    fn span_lint_rejects_unbalanced_and_misordered_streams() {
+        // Unbalanced at end of stream.
+        let open_only =
+            "{\"schema_version\":1,\"seq\":0,\"t\":1,\"ev\":\"span_open\",\"msg\":1,\"station\":0,\"arrival\":0}\n";
+        let err = lint_spans(open_only).unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
+        // Interior event outside its span.
+        let stray =
+            "{\"schema_version\":1,\"seq\":0,\"t\":1,\"ev\":\"span_window\",\"msg\":7,\"age\":1}\n";
+        let err = lint_spans(stray).unwrap_err();
+        assert!(err.contains("outside its span"), "{err}");
+        // Close without open.
+        let close =
+            "{\"schema_version\":1,\"seq\":0,\"t\":1,\"ev\":\"span_close\",\"outcome\":\"discarded\",\"msg\":7,\"station\":0,\"age\":1}\n";
+        assert!(lint_spans(close).is_err());
+        // Double open.
+        let double = concat!(
+            "{\"schema_version\":1,\"seq\":0,\"t\":1,\"ev\":\"span_open\",\"msg\":1,\"station\":0,\"arrival\":0}\n",
+            "{\"schema_version\":1,\"seq\":1,\"t\":2,\"ev\":\"span_open\",\"msg\":1,\"station\":0,\"arrival\":0}\n",
+        );
+        let err = lint_spans(double).unwrap_err();
+        assert!(err.contains("opened twice"), "{err}");
+        // t decreases within a cell.
+        let nonmono = concat!(
+            "{\"schema_version\":1,\"seq\":0,\"t\":9,\"ev\":\"span_open\",\"msg\":1,\"station\":0,\"arrival\":0}\n",
+            "{\"schema_version\":1,\"seq\":1,\"t\":3,\"ev\":\"span_close\",\"outcome\":\"discarded\",\"msg\":1,\"station\":0,\"age\":1}\n",
+        );
+        assert!(lint_spans(nonmono).is_err());
+        // Dropped close without a valid cause.
+        let nocause = concat!(
+            "{\"schema_version\":1,\"seq\":0,\"t\":1,\"ev\":\"span_open\",\"msg\":1,\"station\":0,\"arrival\":0}\n",
+            "{\"schema_version\":1,\"seq\":1,\"t\":2,\"ev\":\"span_close\",\"outcome\":\"dropped\",\"msg\":1,\"station\":0,\"age\":1}\n",
+        );
+        assert!(lint_spans(nocause).is_err());
     }
 
     #[test]

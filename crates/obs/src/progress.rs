@@ -45,6 +45,13 @@ pub struct Progress {
     retries: AtomicU64,
     timeouts: AtomicU64,
     quarantined: AtomicU64,
+    /// Event-horizon fast-path counters, accumulated across completed
+    /// cells via [`Progress::note_horizon`]. All zero when the fast path
+    /// never engaged, in which case the render line omits them.
+    hzn_jumps: AtomicU64,
+    hzn_slots_skipped: AtomicU64,
+    hzn_batched_runs: AtomicU64,
+    hzn_batched_slots: AtomicU64,
 }
 
 impl Progress {
@@ -67,7 +74,30 @@ impl Progress {
             retries: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            hzn_jumps: AtomicU64::new(0),
+            hzn_slots_skipped: AtomicU64::new(0),
+            hzn_batched_runs: AtomicU64::new(0),
+            hzn_batched_slots: AtomicU64::new(0),
         }
+    }
+
+    /// Accumulates one cell's event-horizon fast-path counters (the
+    /// engine's `tcw_horizon_*` families) into the live line. Safe to
+    /// call from worker threads.
+    pub fn note_horizon(
+        &self,
+        jumps: u64,
+        slots_skipped: u64,
+        batched_runs: u64,
+        batched_slots: u64,
+    ) {
+        self.hzn_jumps.fetch_add(jumps, Ordering::Relaxed);
+        self.hzn_slots_skipped
+            .fetch_add(slots_skipped, Ordering::Relaxed);
+        self.hzn_batched_runs
+            .fetch_add(batched_runs, Ordering::Relaxed);
+        self.hzn_batched_slots
+            .fetch_add(batched_slots, Ordering::Relaxed);
     }
 
     /// Records `n` cells satisfied straight from the resume journal.
@@ -182,6 +212,17 @@ impl Progress {
                 " [sup: {skipped} skipped {retries} retries {timeouts} timeouts {quarantined} quarantined]"
             ));
         }
+        let (jumps, slots_skipped, batched_runs, batched_slots) = (
+            self.hzn_jumps.load(Ordering::Relaxed),
+            self.hzn_slots_skipped.load(Ordering::Relaxed),
+            self.hzn_batched_runs.load(Ordering::Relaxed),
+            self.hzn_batched_slots.load(Ordering::Relaxed),
+        );
+        if jumps + slots_skipped + batched_runs + batched_slots > 0 {
+            line.push_str(&format!(
+                " [hzn: {jumps} jumps {slots_skipped} skipped {batched_runs} batched {batched_slots} slots]"
+            ));
+        }
         line
     }
 
@@ -264,6 +305,20 @@ mod tests {
         let line = p.render_line(Duration::from_secs(1));
         assert!(
             line.contains("[sup: 2 skipped 1 retries 1 timeouts 1 quarantined]"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn horizon_counters_render_only_when_fast_path_engaged() {
+        let p = Progress::new(4, 1);
+        let quiet = p.render_line(Duration::from_secs(1));
+        assert!(!quiet.contains("[hzn:"), "{quiet}");
+        p.note_horizon(3, 120, 2, 40);
+        p.note_horizon(1, 8, 0, 0);
+        let line = p.render_line(Duration::from_secs(1));
+        assert!(
+            line.contains("[hzn: 4 jumps 128 skipped 2 batched 40 slots]"),
             "{line}"
         );
     }

@@ -84,7 +84,7 @@ use crate::metrics::{MeasureConfig, Metrics};
 use crate::policy::{ControlPolicy, WindowPosition};
 use crate::pseudo::{PseudoInterval, PseudoMap};
 use crate::timeline::Timeline;
-use crate::trace::EngineObserver;
+use crate::trace::{DropCause, EngineObserver};
 use std::collections::{BTreeMap, HashSet};
 use tcw_mac::{
     Arrival, ArrivalSource, ChannelConfig, ChannelStats, ChurnEvent, ChurnPlan, ChurnProcess,
@@ -171,7 +171,7 @@ enum ClusterEnd {
 const SNAP_MAGIC: u64 = 0x7463_775f_736e_6170;
 /// Snapshot layout version; bumped whenever the word stream changes so
 /// stale snapshots are rejected instead of misdecoded.
-const SNAP_FORMAT: u64 = 2;
+const SNAP_FORMAT: u64 = 3;
 
 /// Telemetry of the event-horizon fast path: how much work the engine
 /// avoided by jumping over analytically known idle runs and by resolving
@@ -727,7 +727,7 @@ impl<S: ArrivalSource> Engine<S> {
     /// message is resolved (transmitted or discarded).
     pub fn drain(&mut self, obs: &mut dyn EngineObserver) {
         self.arrival_cutoff = self.timeline.now();
-        self.ingest(self.timeline.now());
+        self.ingest(self.timeline.now(), obs);
         while !self.pending.is_empty() || self.has_admissible_lookahead() {
             self.cycle(obs);
         }
@@ -778,7 +778,7 @@ impl<S: ArrivalSource> Engine<S> {
         let tau = self.medium.config().tau();
         // `ingest` is idempotent at fixed `now`: bailing to `cycle()`
         // afterwards re-runs it as a no-op.
-        self.ingest(self.timeline.now());
+        self.ingest(self.timeline.now(), obs);
         if self.pending.is_empty() {
             self.idle_jump(limit, tau, obs)
         } else {
@@ -879,7 +879,7 @@ impl<S: ArrivalSource> Engine<S> {
             {
                 break;
             }
-            self.ingest(now);
+            self.ingest(now, obs);
             // Book drained and the timeline back in its steady idle
             // shape: hand the stretch to the O(1) idle jump instead of
             // stepping tau-wide idle rounds one loop iteration each.
@@ -970,6 +970,11 @@ impl<S: ArrivalSource> Engine<S> {
                     self.controller
                         .on_slot(SlotContext::Initial { width: w }, &outcome);
                     self.timeline.advance(now + dur);
+                    // The singleton's span events (window membership, then
+                    // delivery inside `complete_transmission`) are emitted
+                    // here with the same instants as the slow path's
+                    // round, so a span stream never needs the slow path.
+                    obs.on_window_member(&msg, now);
                     // Delivery precedes the end-of-slot churn transitions,
                     // as in the slow path.
                     self.complete_transmission(msg, now, now, 0, obs);
@@ -988,8 +993,11 @@ impl<S: ArrivalSource> Engine<S> {
         true
     }
 
-    /// Admits arrivals with time `<= now` into the pending set.
-    fn ingest(&mut self, now: Time) {
+    /// Admits arrivals with time `<= now` into the pending set. Each
+    /// admission opens a lifecycle span via
+    /// [`EngineObserver::on_arrival`]; blocked arrivals (churn-blocked or
+    /// single-buffer) never enter the protocol and open no span.
+    fn ingest(&mut self, now: Time, obs: &mut dyn EngineObserver) {
         loop {
             if self.lookahead.is_none() && !self.source_done {
                 self.lookahead = self.source.next_arrival(&mut self.rng_source);
@@ -1018,6 +1026,7 @@ impl<S: ArrivalSource> Engine<S> {
                     self.metrics.on_offered(a.time);
                     self.busy_stations.insert(a.station);
                     self.pending.insert((a.time, msg.id), msg);
+                    obs.on_arrival(&msg, now);
                 }
                 _ => break,
             }
@@ -1028,7 +1037,7 @@ impl<S: ArrivalSource> Engine<S> {
     /// selects.
     fn cycle(&mut self, obs: &mut dyn EngineObserver) {
         let now = self.timeline.now();
-        self.ingest(now);
+        self.ingest(now, obs);
 
         // Membership recovery: stations that restarted since the last
         // decision point cold-start from this beacon. Backlog stranded in
@@ -1074,6 +1083,7 @@ impl<S: ArrivalSource> Engine<S> {
                         self.fault_touched.remove(&msg.id);
                         self.churn_touched.remove(&msg.id);
                         self.metrics.on_churn_drop(msg.arrival);
+                        obs.on_message_drop(&msg, now, DropCause::RejoinExpired);
                     }
                 }
             }
@@ -1217,6 +1227,9 @@ impl<S: ArrivalSource> Engine<S> {
         // The round's first clean probe examines the blindly chosen
         // initial window — the rate-information slot for controllers.
         let mut first_probe = true;
+        // Lifecycle spans report the initial window's membership once per
+        // round (not re-reported on erased-feedback re-probes).
+        let mut members_reported = false;
         let mut current = initial;
         // `Some(s)` means: current ∪ s is known to contain >= 2 arrivals,
         // so if current is empty then s contains >= 2.
@@ -1233,6 +1246,12 @@ impl<S: ArrivalSource> Engine<S> {
                 // stranded backlog stays pending for rejoin recovery or
                 // the age discard.
                 self.churn.retain_up(&mut bufs.txs);
+            }
+            if !members_reported {
+                members_reported = true;
+                for m in &bufs.txs {
+                    obs.on_window_member(m, now);
+                }
             }
             bufs.ids.clear();
             bufs.ids.extend(bufs.txs.iter().map(|m| m.id));
@@ -1284,6 +1303,13 @@ impl<S: ArrivalSource> Engine<S> {
             retries = 0;
             self.channel_stats.record(&outcome, report.dur);
             obs.on_probe(now, &bufs.segments, &outcome, report.dur);
+            if matches!(outcome, SlotOutcome::Collision(_)) {
+                // A collision episode: every current transmitter stays
+                // pending and re-contends as the window is split.
+                for m in &bufs.txs {
+                    obs.on_collision_member(m, now);
+                }
+            }
             let ctx = if first_probe {
                 SlotContext::Initial {
                     width: initial.width(),
@@ -1440,6 +1466,7 @@ impl<S: ArrivalSource> Engine<S> {
                             self.fault_touched.remove(&msg.id);
                             self.churn_touched.remove(&msg.id);
                             self.metrics.on_churn_drop(msg.arrival);
+                            obs.on_message_drop(&msg, now, DropCause::StationLeft);
                         }
                         self.sweep_keys = keys;
                     }
@@ -1567,6 +1594,13 @@ impl<S: ArrivalSource> Engine<S> {
             }
             self.channel_stats.record(&outcome, report.dur);
             obs.on_probe(now, &[], &outcome, report.dur);
+            if matches!(outcome, SlotOutcome::Collision(_)) {
+                // Sub-tick collision episode among the live "older" half
+                // (the actual transmitter set of this probe).
+                for m in bufs.older.iter().filter(|m| self.churn.is_up(m.station)) {
+                    obs.on_collision_member(m, now);
+                }
+            }
             self.controller.on_slot(SlotContext::Resolution, &outcome);
             self.timeline.advance(now + report.dur);
             // As in the round loop: a delivered success completes
@@ -1646,6 +1680,11 @@ impl<S: ArrivalSource> Engine<S> {
             .on_transmit(msg.arrival, paper_delay, true_delay);
         self.metrics.on_round(overhead);
         self.metrics.on_sched_time(sched_time);
+        // Age process: the delivery instant is the end of the slot
+        // (`timeline.now()` — already advanced), identical on the
+        // slot-stepped and batched paths.
+        self.metrics
+            .on_delivery(msg.station, msg.arrival, self.timeline.now());
         obs.on_transmit(&msg, tx_start, paper_delay, true_delay);
     }
 }

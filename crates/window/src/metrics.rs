@@ -18,6 +18,7 @@
 //! receiver — the simulation measures the truth, exactly as the paper's
 //! simulation points do).
 
+use tcw_mac::StationId;
 use tcw_sim::stats::{Histogram, MetricSink, P2Quantile, RatioCounter, Tally};
 use tcw_sim::time::{Dur, Time};
 
@@ -37,6 +38,338 @@ impl MeasureConfig {
     /// Whether a message arriving at `t` is inside the measured window.
     pub fn counts(&self, t: Time) -> bool {
         t >= self.start && t < self.end
+    }
+}
+
+/// Per-station age-process state.
+///
+/// Accounting is *lazy*: between deliveries the instantaneous age is the
+/// deterministic ramp `t − u` (with `u` the latest delivered arrival), so
+/// the integral, the peak samples and the violation time are all updated
+/// only at delivery instants plus one closed-form tail at read-out. No
+/// per-slot work means the event-horizon fast path needs no special
+/// handling — a jumped idle run contains no deliveries by construction,
+/// and the batched kernel completes its singleton transmissions through
+/// the same [`Metrics::on_delivery`] call as the slot-stepped path, so
+/// the age process is bit-identical on either path.
+#[derive(Clone, Copy, Debug)]
+struct StationAge {
+    /// Latest arrival instant among this station's delivered messages.
+    u: Time,
+    /// Start of this station's observed interval: its first delivery,
+    /// clamped into the measurement window.
+    obs_start: Time,
+    /// The age integral and violation time cover `[obs_start, flushed_to)`.
+    flushed_to: Time,
+    /// Twice the age integral over the flushed interval, in ticks²
+    /// (doubling keeps the trapezoid areas integral, so the accounting is
+    /// exact integer arithmetic — no floating-point path dependence).
+    twice_area: u128,
+    /// Ticks of the flushed interval with age strictly above the
+    /// threshold.
+    violation: u64,
+    /// Deliveries recorded for this station.
+    deliveries: u64,
+}
+
+impl StationAge {
+    /// Extends the flushed interval to `min(to, end)`. `self.u` is the
+    /// anchor: the age at `t` is `t − u` throughout the extension.
+    fn flush(&mut self, to: Time, end: Time, threshold: Dur) {
+        let hi = to.min(end);
+        if hi <= self.flushed_to {
+            return;
+        }
+        // Whenever the guard passes, `flushed_to < end`, which (see
+        // `on_delivery`) implies `u <= flushed_to`: ages are well formed.
+        let u = self.u.ticks();
+        let a0 = self.flushed_to.ticks() - u;
+        let a1 = hi.ticks() - u;
+        self.twice_area += (a1 as u128) * (a1 as u128) - (a0 as u128) * (a0 as u128);
+        let viol_from = (u + threshold.ticks()).max(self.flushed_to.ticks());
+        self.violation += hi.ticks().saturating_sub(viol_from);
+        self.flushed_to = hi;
+    }
+}
+
+/// Per-station Age-of-Information tracker over the measurement window.
+///
+/// The age of station *i* at time *t* is `t − u_i(t)` where `u_i(t)` is
+/// the latest arrival instant among station *i*'s messages delivered by
+/// *t* — the standard AoI saw-tooth. The tracker observes each station
+/// from its first delivery (clamped into `[start, end)`) to the end of
+/// the measurement window and reports time-averaged age, per-delivery
+/// peak age, and the fraction of observed time the age exceeded a
+/// threshold (the deadline `K` by default).
+#[derive(Clone, Debug)]
+pub struct AgeTracker {
+    start: Time,
+    end: Time,
+    threshold: Dur,
+    /// Indexed by station id; `None` until the station's first delivery.
+    stations: Vec<Option<StationAge>>,
+    /// Age immediately before each delivery after a station's first
+    /// (the saw-tooth peaks), for deliveries inside `[start, end)`.
+    peak: Tally,
+    /// Peak-age samples over `[0, 4K)` ticks.
+    peak_hist: Histogram,
+    /// All deliveries reported to the tracker (including warm-up
+    /// deliveries, which seed the age process so it is not censored at
+    /// the window start).
+    deliveries: u64,
+}
+
+impl AgeTracker {
+    fn new(cfg: &MeasureConfig) -> Self {
+        AgeTracker {
+            start: cfg.start,
+            end: cfg.end,
+            threshold: cfg.deadline,
+            stations: Vec::new(),
+            peak: Tally::new(),
+            peak_hist: Histogram::new(0.0, (4 * cfg.deadline.ticks()).max(2) as f64, 128),
+            deliveries: 0,
+        }
+    }
+
+    /// Records the delivery at instant `delivered` of a message that
+    /// arrived at `arrival` at `station`. Called by the engine from
+    /// `complete_transmission` on both the slot-stepped and the batched
+    /// path (with identical instants, pinned by the A-B property suite).
+    pub fn on_delivery(&mut self, station: StationId, arrival: Time, delivered: Time) {
+        self.deliveries += 1;
+        let idx = station.0 as usize;
+        if idx >= self.stations.len() {
+            self.stations.resize(idx + 1, None);
+        }
+        match &mut self.stations[idx] {
+            slot @ None => {
+                // Observation starts here; no peak sample for the first
+                // delivery (the pre-delivery age is undefined).
+                *slot = Some(StationAge {
+                    u: arrival,
+                    obs_start: self.start.max(delivered),
+                    flushed_to: self.start.max(delivered),
+                    twice_area: 0,
+                    violation: 0,
+                    deliveries: 1,
+                });
+            }
+            Some(s) => {
+                s.flush(delivered, self.end, self.threshold);
+                if delivered >= self.start && delivered < self.end {
+                    // Saw-tooth peak: the age immediately before this
+                    // delivery resets it. `u <= flushed_to <= delivered`.
+                    let peak = (delivered - s.u).as_f64();
+                    self.peak.record(peak);
+                    self.peak_hist.record(peak);
+                }
+                // After `flush`, `flushed_to = min(delivered, end)`, so a
+                // new anchor `u = arrival <= delivered` keeps
+                // `u <= flushed_to` whenever `flushed_to < end`. When
+                // `arrival > end` the interval is already fully flushed
+                // and no further flush can pass its guard, but the anchor
+                // is clamped to `end` so the final-age snapshot at the
+                // window end (`end - u`) stays non-negative.
+                s.u = s.u.max(arrival.min(self.end));
+                s.deliveries += 1;
+            }
+        }
+    }
+
+    /// Station state with the closed-form tail `[flushed_to, end)` folded
+    /// in, without mutating the tracker.
+    fn with_tail(&self, s: &StationAge) -> StationAge {
+        let mut t = *s;
+        t.flush(self.end, self.end, self.threshold);
+        t
+    }
+
+    /// Stations observed (at least one delivery, and a non-empty observed
+    /// interval inside the measurement window).
+    pub fn stations_observed(&self) -> u64 {
+        self.stations
+            .iter()
+            .flatten()
+            .filter(|s| s.obs_start < self.end)
+            .count() as u64
+    }
+
+    /// Deliveries reported to the tracker.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// The violation threshold (the deadline `K` of the run).
+    pub fn threshold(&self) -> Dur {
+        self.threshold
+    }
+
+    /// Total observed station-time in ticks, and the summed doubled age
+    /// integral and violation time over it.
+    fn totals(&self) -> (u128, u128, u64) {
+        let mut obs: u128 = 0;
+        let mut twice_area: u128 = 0;
+        let mut violation: u64 = 0;
+        for s in self.stations.iter().flatten() {
+            if s.obs_start >= self.end {
+                continue;
+            }
+            let t = self.with_tail(s);
+            obs += (self.end - t.obs_start).ticks() as u128;
+            twice_area += t.twice_area;
+            violation += t.violation;
+        }
+        (obs, twice_area, violation)
+    }
+
+    /// Time-averaged age across all observed stations (ticks), weighted
+    /// by each station's observed time. `None` until a station has been
+    /// observed for a positive interval.
+    pub fn mean_age(&self) -> Option<f64> {
+        let (obs, twice_area, _) = self.totals();
+        (obs > 0).then(|| (twice_area as f64 / 2.0) / obs as f64)
+    }
+
+    /// Fraction of observed station-time with age above the threshold.
+    pub fn violation_fraction(&self) -> Option<f64> {
+        let (obs, _, violation) = self.totals();
+        (obs > 0).then(|| violation as f64 / obs as f64)
+    }
+
+    /// Tally of saw-tooth peak ages (ticks) at deliveries inside the
+    /// measurement window.
+    pub fn peak_age(&self) -> &Tally {
+        &self.peak
+    }
+
+    /// Histogram of per-station instantaneous age at the end of the
+    /// measurement window (ticks, over `[0, 4K)`).
+    pub fn final_age_histogram(&self) -> Histogram {
+        let mut h = Histogram::new(0.0, (4 * self.threshold.ticks()).max(2) as f64, 128);
+        for s in self.stations.iter().flatten() {
+            if s.obs_start < self.end {
+                h.record((self.end - s.u).as_f64());
+            }
+        }
+        h
+    }
+
+    /// Pushes the AoI instruments into `sink` under stable `tcw_aoi_*`
+    /// names. Families whose value needs a positive observed interval
+    /// (mean age, violation ratio) follow the p95/p99 convention and are
+    /// emitted only when defined.
+    pub fn emit(&self, sink: &mut dyn MetricSink) {
+        sink.gauge(
+            "tcw_aoi_stations",
+            "stations observed by the age tracker (>=1 delivery in-window)",
+            self.stations_observed() as f64,
+        );
+        sink.counter(
+            "tcw_aoi_deliveries_total",
+            "deliveries folded into the age processes (incl. warm-up seeding)",
+            self.deliveries,
+        );
+        sink.gauge(
+            "tcw_aoi_threshold_ticks",
+            "age-violation threshold (the run's deadline K, ticks)",
+            self.threshold.as_f64(),
+        );
+        if let Some(mean) = self.mean_age() {
+            sink.gauge(
+                "tcw_aoi_mean_age_ticks",
+                "time-averaged age of information across observed stations (ticks)",
+                mean,
+            );
+        }
+        if let Some(v) = self.violation_fraction() {
+            sink.gauge(
+                "tcw_aoi_violation_ratio",
+                "fraction of observed station-time with age above the threshold",
+                v,
+            );
+        }
+        sink.tally(
+            "tcw_aoi_peak_age_ticks",
+            "saw-tooth peak age at in-window deliveries (ticks)",
+            &self.peak,
+        );
+        sink.histogram(
+            "tcw_aoi_peak_age_hist_ticks",
+            "peak-age samples over [0, 4K) (ticks)",
+            &self.peak_hist,
+        );
+        let final_hist = self.final_age_histogram();
+        sink.histogram(
+            "tcw_aoi_final_age_hist_ticks",
+            "per-station instantaneous age at the window end over [0, 4K) (ticks)",
+            &final_hist,
+        );
+    }
+
+    /// Serializes the tracker for an engine checkpoint (configuration
+    /// excluded, as everywhere in the snapshot format).
+    pub fn save_state(&self, w: &mut tcw_sim::snap::SnapWriter) {
+        w.push(self.deliveries);
+        self.peak.save_state(w);
+        self.peak_hist.save_state(w);
+        w.push_usize(self.stations.len());
+        for s in &self.stations {
+            match s {
+                None => w.push_bool(false),
+                Some(st) => {
+                    w.push_bool(true);
+                    w.push(st.u.ticks());
+                    w.push(st.obs_start.ticks());
+                    w.push(st.flushed_to.ticks());
+                    w.push((st.twice_area >> 64) as u64);
+                    w.push(st.twice_area as u64);
+                    w.push(st.violation);
+                    w.push(st.deliveries);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the tracker from checkpoint state written by
+    /// [`AgeTracker::save_state`], under the restore target's own `cfg`.
+    pub fn load_state(
+        cfg: &MeasureConfig,
+        r: &mut tcw_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, tcw_sim::snap::SnapError> {
+        let deliveries = r.take()?;
+        let peak = Tally::load_state(r)?;
+        let peak_hist = Histogram::load_state(r)?;
+        let n = r.take_len()?;
+        let mut stations = Vec::with_capacity(n);
+        for _ in 0..n {
+            stations.push(if r.take_bool()? {
+                let u = Time::from_ticks(r.take()?);
+                let obs_start = Time::from_ticks(r.take()?);
+                let flushed_to = Time::from_ticks(r.take()?);
+                let hi = r.take()? as u128;
+                let lo = r.take()? as u128;
+                Some(StationAge {
+                    u,
+                    obs_start,
+                    flushed_to,
+                    twice_area: (hi << 64) | lo,
+                    violation: r.take()?,
+                    deliveries: r.take()?,
+                })
+            } else {
+                None
+            });
+        }
+        Ok(AgeTracker {
+            start: cfg.start,
+            end: cfg.end,
+            threshold: cfg.deadline,
+            stations,
+            peak,
+            peak_hist,
+            deliveries,
+        })
     }
 }
 
@@ -84,6 +417,8 @@ pub struct Metrics {
     /// Rejoin latency of restarted stations, in probe slots from restart
     /// to the decision point that re-admits them.
     rejoin_slots: Tally,
+    /// Per-station Age-of-Information processes.
+    aoi: AgeTracker,
 }
 
 impl Metrics {
@@ -113,6 +448,7 @@ impl Metrics {
             churn_losses: 0,
             churn_reopened: 0,
             rejoin_slots: Tally::new(),
+            aoi: AgeTracker::new(&cfg),
         }
     }
 
@@ -165,6 +501,19 @@ impl Metrics {
         } else {
             self.loss.miss();
         }
+    }
+
+    /// Records a delivery in the per-station age process. Unlike
+    /// [`Metrics::on_transmit`], this is called for *every* delivery —
+    /// warm-up deliveries seed the age saw-tooth so the process is not
+    /// censored at the measurement-window start.
+    pub fn on_delivery(&mut self, station: StationId, arrival: Time, delivered: Time) {
+        self.aoi.on_delivery(station, arrival, delivered);
+    }
+
+    /// The per-station Age-of-Information tracker.
+    pub fn aoi(&self) -> &AgeTracker {
+        &self.aoi
     }
 
     /// Records the overhead slot count of a scheduling round that produced
@@ -498,6 +847,7 @@ impl Metrics {
             "rejoin latency of restarted stations (probe slots)",
             &self.rejoin_slots,
         );
+        self.aoi.emit(sink);
     }
 }
 
@@ -528,6 +878,7 @@ impl Metrics {
         w.push(self.churn_losses);
         w.push(self.churn_reopened);
         self.rejoin_slots.save_state(w);
+        self.aoi.save_state(w);
     }
 
     /// Rebuilds metrics from checkpoint state written by
@@ -560,6 +911,7 @@ impl Metrics {
             churn_losses: r.take()?,
             churn_reopened: r.take()?,
             rejoin_slots: Tally::load_state(r)?,
+            aoi: AgeTracker::load_state(&cfg, r)?,
         })
     }
 }
@@ -626,6 +978,111 @@ mod tests {
         assert_eq!(m.sender_lost(), 1);
         assert!((m.loss_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(m.outstanding(), 0);
+    }
+
+    fn aoi_cfg() -> MeasureConfig {
+        MeasureConfig {
+            start: Time::from_ticks(0),
+            end: Time::from_ticks(100),
+            deadline: Dur::from_ticks(10),
+        }
+    }
+
+    #[test]
+    fn aoi_sawtooth_integral_is_exact() {
+        let mut a = AgeTracker::new(&aoi_cfg());
+        assert!(a.mean_age().is_none());
+        assert_eq!(a.stations_observed(), 0);
+        // First delivery at t=10 of an arrival at t=0: observation starts,
+        // age ramps from 10 upward anchored at u=0.
+        a.on_delivery(StationId(0), Time::from_ticks(0), Time::from_ticks(10));
+        // Second delivery at t=30 of an arrival at t=20: peak 30, then the
+        // age drops to 10 and ramps to 80 at the window end.
+        a.on_delivery(StationId(0), Time::from_ticks(20), Time::from_ticks(30));
+        assert_eq!(a.deliveries(), 2);
+        assert_eq!(a.stations_observed(), 1);
+        // ∫age over [10,30) = (30²-10²)/2 = 400; over [30,100) anchored at
+        // u=20: (80²-10²)/2 = 3150. Observed time = 90.
+        let mean = a.mean_age().unwrap();
+        assert!((mean - 3550.0 / 90.0).abs() < 1e-12, "{mean}");
+        assert_eq!(a.peak_age().count(), 1);
+        assert_eq!(a.peak_age().mean(), 30.0);
+        // Age exceeds θ=10 on (10,30) and (30,100): 20 + 70 ticks of 90.
+        let v = a.violation_fraction().unwrap();
+        assert!((v - 1.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn aoi_warmup_delivery_seeds_the_process() {
+        let cfg = MeasureConfig {
+            start: Time::from_ticks(50),
+            end: Time::from_ticks(100),
+            deadline: Dur::from_ticks(10),
+        };
+        let mut a = AgeTracker::new(&cfg);
+        // Delivered before the window: observation is clamped to start=50
+        // with the age already ramping (u=20), not censored.
+        a.on_delivery(StationId(3), Time::from_ticks(20), Time::from_ticks(40));
+        assert_eq!(a.stations_observed(), 1);
+        // Age over [50,100) anchored at u=20: from 30 to 80.
+        let mean = a.mean_age().unwrap();
+        assert!((mean - 55.0).abs() < 1e-12, "{mean}");
+        // No peak samples: the only delivery predates the window.
+        assert_eq!(a.peak_age().count(), 0);
+    }
+
+    #[test]
+    fn aoi_post_window_delivery_changes_nothing() {
+        let mut a = AgeTracker::new(&aoi_cfg());
+        a.on_delivery(StationId(0), Time::from_ticks(0), Time::from_ticks(10));
+        let before = a.mean_age().unwrap();
+        // A cool-down delivery (at/after end) must not perturb the
+        // observed interval, even with an arrival beyond the window.
+        a.on_delivery(StationId(0), Time::from_ticks(105), Time::from_ticks(120));
+        let after = a.mean_age().unwrap();
+        assert_eq!(before.to_bits(), after.to_bits());
+        assert_eq!(a.peak_age().count(), 0);
+        // The anchor is clamped to `end`, so the final-age snapshot
+        // stays well-defined (it would underflow with u=105 > end=100).
+        let h = a.final_age_histogram();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn aoi_violation_zero_when_always_fresh() {
+        let cfg = MeasureConfig {
+            start: Time::from_ticks(0),
+            end: Time::from_ticks(20),
+            deadline: Dur::from_ticks(100),
+        };
+        let mut a = AgeTracker::new(&cfg);
+        a.on_delivery(StationId(1), Time::from_ticks(0), Time::from_ticks(5));
+        assert_eq!(a.violation_fraction().unwrap(), 0.0);
+        let h = a.final_age_histogram();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn aoi_state_roundtrips_through_snapshot() {
+        let mut a = AgeTracker::new(&aoi_cfg());
+        a.on_delivery(StationId(0), Time::from_ticks(0), Time::from_ticks(10));
+        a.on_delivery(StationId(2), Time::from_ticks(5), Time::from_ticks(12));
+        a.on_delivery(StationId(0), Time::from_ticks(20), Time::from_ticks(30));
+        let mut w = tcw_sim::snap::SnapWriter::new();
+        a.save_state(&mut w);
+        let words = w.into_words();
+        let mut r = tcw_sim::snap::SnapReader::new(&words);
+        let b = AgeTracker::load_state(&aoi_cfg(), &mut r).unwrap();
+        assert_eq!(a.deliveries(), b.deliveries());
+        assert_eq!(a.stations_observed(), b.stations_observed());
+        assert_eq!(
+            a.mean_age().unwrap().to_bits(),
+            b.mean_age().unwrap().to_bits()
+        );
+        assert_eq!(
+            a.violation_fraction().unwrap().to_bits(),
+            b.violation_fraction().unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -14,6 +14,30 @@ use tcw_mac::{ChurnEvent, Message, SlotOutcome};
 use tcw_sim::rng::Rng;
 use tcw_sim::time::{Dur, Time};
 
+/// Why a pending message was removed from the protocol without either a
+/// delivery or a policy-element-(4) sender discard. These are the churn
+/// terminations; together with [`EngineObserver::on_transmit`] and
+/// [`EngineObserver::on_sender_discard`] they close every message
+/// lifecycle span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// The message's station left the population permanently.
+    StationLeft,
+    /// The message's station restarted, but the message was older than
+    /// the rejoin catch-up window and was not re-admitted.
+    RejoinExpired,
+}
+
+impl DropCause {
+    /// Stable lower-case label (used in span streams and traces).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropCause::StationLeft => "station_left",
+            DropCause::RejoinExpired => "rejoin_expired",
+        }
+    }
+}
+
 /// Callbacks for protocol events. All methods have empty defaults.
 pub trait EngineObserver {
     /// A decision point: a new initial window was chosen (`None`: no
@@ -94,6 +118,26 @@ pub trait EngineObserver {
     /// singleton/empty rounds between `from` and `to` without per-slot
     /// re-dispatch. Per-event callbacks for those rounds are suppressed.
     fn on_batched_run(&mut self, _from: Time, _to: Time, _slots: u64) {}
+
+    /// A message was admitted into the protocol (lifecycle span opens).
+    /// Blocked arrivals (single-buffer or churn-blocked) never enter the
+    /// protocol and never open a span. Fired on both the slot-stepped and
+    /// the event-horizon fast path — a span stream does **not** force the
+    /// slow path, because no message event can occur inside an idle jump
+    /// and the batched kernel reports its singleton deliveries itself.
+    fn on_arrival(&mut self, _msg: &Message, _now: Time) {}
+
+    /// A pending message became a member of the window about to be
+    /// probed (one event per windowing round it participates in).
+    fn on_window_member(&mut self, _msg: &Message, _now: Time) {}
+
+    /// A message transmitted into a collision episode (it remains pending
+    /// and re-contends as the window is split or the cluster resolved).
+    fn on_collision_member(&mut self, _msg: &Message, _now: Time) {}
+
+    /// A pending message was removed by churn (lifecycle span closes
+    /// without delivery or sender discard); see [`DropCause`].
+    fn on_message_drop(&mut self, _msg: &Message, _now: Time, _cause: DropCause) {}
 }
 
 /// The do-nothing observer.
@@ -289,6 +333,22 @@ impl<'a, A: EngineObserver + ?Sized, B: EngineObserver + ?Sized> EngineObserver 
         self.a.on_batched_run(from, to, slots);
         self.b.on_batched_run(from, to, slots);
     }
+    fn on_arrival(&mut self, msg: &Message, now: Time) {
+        self.a.on_arrival(msg, now);
+        self.b.on_arrival(msg, now);
+    }
+    fn on_window_member(&mut self, msg: &Message, now: Time) {
+        self.a.on_window_member(msg, now);
+        self.b.on_window_member(msg, now);
+    }
+    fn on_collision_member(&mut self, msg: &Message, now: Time) {
+        self.a.on_collision_member(msg, now);
+        self.b.on_collision_member(msg, now);
+    }
+    fn on_message_drop(&mut self, msg: &Message, now: Time, cause: DropCause) {
+        self.a.on_message_drop(msg, now, cause);
+        self.b.on_message_drop(msg, now, cause);
+    }
 }
 
 #[cfg(test)]
@@ -334,5 +394,126 @@ mod tests {
             r.on_decision(Time::from_ticks(i), None);
         }
         assert_eq!(r.lines().len(), 2);
+    }
+
+    #[test]
+    fn recorder_limit_keeps_oldest_lines_across_event_kinds() {
+        let mut r = TraceRecorder::new(3);
+        let w = [Interval::from_ticks(0, 8)];
+        r.on_decision(Time::from_ticks(0), Some(&w));
+        r.on_probe(
+            Time::from_ticks(0),
+            &w,
+            &SlotOutcome::Idle,
+            Dur::from_ticks(1),
+        );
+        r.on_backoff(Time::from_ticks(1), Dur::from_ticks(2));
+        // Past the limit: every further event of any kind is dropped.
+        r.on_round_abandoned(Time::from_ticks(3));
+        let msg = Message::new(MessageId(7), StationId(2), Time::from_ticks(1));
+        r.on_sender_discard(&msg, Time::from_ticks(4));
+        r.on_corrupted_slot(Time::from_ticks(5), Dur::from_ticks(1));
+        assert_eq!(r.lines().len(), 3);
+        assert!(r.text().contains("decision"));
+        assert!(r.text().contains("quiet backoff"));
+        assert!(!r.text().contains("abandoned"));
+        assert!(!r.text().contains("discarded"));
+    }
+
+    #[test]
+    fn recorder_zero_limit_records_nothing() {
+        let mut r = TraceRecorder::new(0);
+        r.on_decision(Time::from_ticks(0), None);
+        assert!(r.lines().is_empty());
+        assert_eq!(r.text(), "");
+    }
+
+    /// Counts the lifecycle-span callbacks; stays on the default fast
+    /// path (`slow_path()` = false) like a real span tracer.
+    #[derive(Default)]
+    struct SpanCounter {
+        arrivals: u64,
+        members: u64,
+        collisions: u64,
+        drops: u64,
+    }
+
+    impl EngineObserver for SpanCounter {
+        fn on_arrival(&mut self, _msg: &Message, _now: Time) {
+            self.arrivals += 1;
+        }
+        fn on_window_member(&mut self, _msg: &Message, _now: Time) {
+            self.members += 1;
+        }
+        fn on_collision_member(&mut self, _msg: &Message, _now: Time) {
+            self.collisions += 1;
+        }
+        fn on_message_drop(&mut self, _msg: &Message, _now: Time, _cause: DropCause) {
+            self.drops += 1;
+        }
+    }
+
+    #[test]
+    fn tee_propagates_slow_path_from_either_side() {
+        let mut noop_a = NoopObserver;
+        let mut noop_b = NoopObserver;
+        assert!(!Tee {
+            a: &mut noop_a,
+            b: &mut noop_b,
+        }
+        .slow_path());
+
+        let mut rec = TraceRecorder::new(4);
+        let mut noop = NoopObserver;
+        assert!(Tee {
+            a: &mut rec,
+            b: &mut noop,
+        }
+        .slow_path());
+        assert!(Tee {
+            a: &mut noop,
+            b: &mut rec,
+        }
+        .slow_path());
+
+        // Nested tee: the slow-path bit must survive another fan-out
+        // layer (the engine sees only the outermost observer).
+        let mut spans = SpanCounter::default();
+        let mut inner = Tee {
+            a: &mut rec,
+            b: &mut noop,
+        };
+        assert!(Tee {
+            a: &mut inner,
+            b: &mut spans,
+        }
+        .slow_path());
+    }
+
+    #[test]
+    fn tee_forwards_span_callbacks_to_both_sides() {
+        let mut a = SpanCounter::default();
+        let mut b = SpanCounter::default();
+        let msg = Message::new(MessageId(1), StationId(0), Time::from_ticks(3));
+        {
+            let mut tee = Tee {
+                a: &mut a,
+                b: &mut b,
+            };
+            tee.on_arrival(&msg, Time::from_ticks(3));
+            tee.on_window_member(&msg, Time::from_ticks(4));
+            tee.on_collision_member(&msg, Time::from_ticks(4));
+            tee.on_message_drop(&msg, Time::from_ticks(9), DropCause::StationLeft);
+            assert!(!tee.slow_path());
+        }
+        for c in [&a, &b] {
+            assert_eq!((c.arrivals, c.members, c.collisions, c.drops), (1, 1, 1, 1));
+        }
+    }
+
+    #[test]
+    fn drop_cause_labels_are_stable() {
+        assert_eq!(DropCause::StationLeft.label(), "station_left");
+        assert_eq!(DropCause::RejoinExpired.label(), "rejoin_expired");
     }
 }

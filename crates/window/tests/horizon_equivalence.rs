@@ -127,7 +127,8 @@ fn summary(eng: &Engine<PoissonArrivals>) -> String {
          true_mean={:016x} sched={:016x} util={:016x} corrupted={} resyncs={} abandoned={} \
          reopened={} fault_losses={} churn_blocked={} churn_losses={} churn_reopened={} \
          crashes={} restarts={} churn_slot={} ctl_window={} ctl_shrinks={} ctl_grows={} \
-         fragments={} backlog={} pending={}",
+         fragments={} backlog={} pending={} aoi_n={} aoi_st={} aoi_mean={:016x} \
+         aoi_viol={:016x} aoi_peak_n={} aoi_peak_mean={:016x}",
         m.offered(),
         m.sender_lost(),
         m.receiver_lost(),
@@ -161,6 +162,12 @@ fn summary(eng: &Engine<PoissonArrivals>) -> String {
         eng.timeline().examined_fragments(),
         eng.timeline().unexamined_total().ticks(),
         eng.pending_count(),
+        m.aoi().deliveries(),
+        m.aoi().stations_observed(),
+        m.aoi().mean_age().unwrap_or(-1.0).to_bits(),
+        m.aoi().violation_fraction().unwrap_or(-1.0).to_bits(),
+        m.aoi().peak_age().count(),
+        m.aoi().peak_age().mean().to_bits(),
     )
 }
 
@@ -234,4 +241,84 @@ fn slow_path_observer_forces_slot_stepping() {
         slow.drain(&mut NoopObserver);
         assert_eq!(summary(&observed), summary(&slow), "case {case}");
     }
+}
+
+/// Records every lifecycle-span callback as text while keeping
+/// `slow_path()` = false, like the real span tracer: the stream must be
+/// byte-identical whether the fast path engages or is forced off.
+#[derive(Default)]
+struct SpanLog {
+    lines: Vec<String>,
+    force_slow: bool,
+}
+
+impl tcw_window::trace::EngineObserver for SpanLog {
+    fn slow_path(&self) -> bool {
+        self.force_slow
+    }
+    fn on_arrival(&mut self, msg: &tcw_mac::Message, now: Time) {
+        self.lines
+            .push(format!("arr {:?} {:?} {}", msg.id, msg.station, now));
+    }
+    fn on_window_member(&mut self, msg: &tcw_mac::Message, now: Time) {
+        self.lines.push(format!("win {:?} {}", msg.id, now));
+    }
+    fn on_collision_member(&mut self, msg: &tcw_mac::Message, now: Time) {
+        self.lines.push(format!("col {:?} {}", msg.id, now));
+    }
+    fn on_transmit(&mut self, msg: &tcw_mac::Message, start: Time, paper: Dur, true_d: Dur) {
+        self.lines
+            .push(format!("tx {:?} {} {} {}", msg.id, start, paper, true_d));
+    }
+    fn on_sender_discard(&mut self, msg: &tcw_mac::Message, now: Time) {
+        self.lines.push(format!("disc {:?} {}", msg.id, now));
+    }
+    fn on_message_drop(
+        &mut self,
+        msg: &tcw_mac::Message,
+        now: Time,
+        cause: tcw_window::trace::DropCause,
+    ) {
+        self.lines
+            .push(format!("drop {:?} {} {}", msg.id, now, cause.label()));
+    }
+}
+
+/// The lifecycle-span stream is a fast-path-safe observation: recording
+/// it must leave the fast path engaged, and the recorded stream must be
+/// byte-identical to the one a forced slot-stepped run produces.
+#[test]
+fn span_stream_is_identical_on_both_paths() {
+    let mut engaged = 0u64;
+    for case in 0..CASES / 4 {
+        let cfg = draw_case(case);
+        let horizon = Time::from_ticks(cfg.horizon);
+
+        let mut fast = build(&cfg);
+        let mut fast_log = SpanLog::default();
+        fast.run_until(horizon, &mut fast_log);
+        fast.drain(&mut fast_log);
+        engaged += fast.horizon_stats.jumps + fast.horizon_stats.batched_runs;
+
+        let mut slow = build(&cfg);
+        let mut slow_log = SpanLog {
+            force_slow: true,
+            ..SpanLog::default()
+        };
+        slow.run_until(horizon, &mut slow_log);
+        slow.drain(&mut slow_log);
+        assert_eq!(
+            slow.horizon_stats.jumps + slow.horizon_stats.batched_runs,
+            0,
+            "case {case}: slow_path() observer must force slot stepping"
+        );
+
+        assert_eq!(
+            fast_log.lines.join("\n"),
+            slow_log.lines.join("\n"),
+            "case {case}: span stream diverged between paths"
+        );
+        assert_eq!(summary(&fast), summary(&slow), "case {case}");
+    }
+    assert!(engaged > 0, "fast path never engaged under the span log");
 }
